@@ -1,0 +1,53 @@
+//! Checkpoint I/O benchmarks (backing experiment E10).
+
+use bagualu::checkpoint::{load_params, save_params, save_params_sharded};
+use bagualu::model::config::ModelConfig;
+use bagualu::model::transformer::Transformer;
+use bagualu::tensor::rng::Rng;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn model() -> Transformer {
+    let cfg = ModelConfig {
+        vocab: 512,
+        d_model: 128,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 256,
+        max_seq: 32,
+        n_experts: 8,
+        ..ModelConfig::tiny()
+    };
+    Transformer::new(cfg, &mut Rng::seed_from(1))
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut m = model();
+    let dir = std::env::temp_dir().join(format!("bagualu-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.bglu");
+    let bytes = save_params(&path, &mut m).unwrap();
+
+    let mut g = c.benchmark_group("checkpoint");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("save_monolithic", |bench| {
+        bench.iter(|| save_params(&path, &mut m).unwrap())
+    });
+    g.bench_function("save_sharded_x8", |bench| {
+        bench.iter(|| save_params_sharded(dir.join("shards"), &mut m, 8).unwrap())
+    });
+    g.bench_function("load_monolithic", |bench| {
+        bench.iter(|| load_params(&path, &mut m).unwrap())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_checkpoint}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Inference benchmarks: KV-cached decoding vs full-window recompute, and
+//! tokenizer throughput.
+
+use bagualu::model::config::ModelConfig;
+use bagualu::model::transformer::Transformer;
+use bagualu::tensor::rng::Rng;
+use bagualu::tokenizer::Bpe;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn model() -> Transformer {
+    let cfg = ModelConfig {
+        vocab: 128,
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        max_seq: 64,
+        n_experts: 4,
+        ..ModelConfig::tiny()
+    };
+    Transformer::new(cfg, &mut Rng::seed_from(1))
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut m = model();
+    let prompt = vec![1usize, 2, 3, 4];
+    let n = 32;
+    let mut g = c.benchmark_group("generate_32_tokens");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("recompute_window", |b| b.iter(|| m.generate(&prompt, n)));
+    g.bench_function("kv_cached", |b| b.iter(|| m.generate_cached(&prompt, n)));
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let corpus = "the quick brown fox jumps over the lazy dog ".repeat(64);
+    let bpe = Bpe::train(&corpus, 320);
+    let mut g = c.benchmark_group("tokenizer");
+    g.throughput(Throughput::Bytes(corpus.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| bpe.encode(&corpus)));
+    let ids = bpe.encode(&corpus);
+    g.bench_function("decode", |b| b.iter(|| bpe.decode(&ids)));
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {name = benches; config = quick(); targets = bench_decode, bench_tokenizer}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Compute-kernel microbenchmarks: the substitute for the SWDNN kernel
+//! table (per-kernel throughput on one rank's compute substrate).
+
+use bagualu::tensor::ops::{gelu, matmul, matmul_nt, matmul_tn, softmax_rows};
+use bagualu::tensor::rng::Rng;
+use bagualu::tensor::{DType, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let n = 256usize;
+    let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let mut g = c.benchmark_group("matmul_256");
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("nn", |bench| bench.iter(|| matmul(&a, &b)));
+    g.bench_function("nt", |bench| bench.iter(|| matmul_nt(&a, &b)));
+    g.bench_function("tn", |bench| bench.iter(|| matmul_tn(&a, &b)));
+    g.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let x = Tensor::randn(&[512, 1024], 1.0, &mut rng);
+    let mut g = c.benchmark_group("elementwise");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("gelu", |bench| bench.iter(|| gelu(&x)));
+    g.bench_function("softmax_rows", |bench| bench.iter(|| softmax_rows(&x)));
+    g.finish();
+}
+
+fn bench_half_conversion(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn(&[1 << 16], 1.0, &mut rng);
+    let mut g = c.benchmark_group("half_round_trip");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("f16", |bench| {
+        bench.iter(|| {
+            let mut y = x.clone();
+            y.quantize(DType::F16);
+            y
+        })
+    });
+    g.bench_function("bf16", |bench| {
+        bench.iter(|| {
+            let mut y = x.clone();
+            y.quantize(DType::BF16);
+            y
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_matmul, bench_elementwise, bench_half_conversion}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! MoE component benchmarks: gating policies and the full local layer
+//! (backing experiments E4/E12's cost intuition).
+
+use bagualu::model::moe::{Gate, GateKind, MoELayer};
+use bagualu::tensor::rng::Rng;
+use bagualu::tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const D: usize = 64;
+const EXPERTS: usize = 32;
+const TOKENS: usize = 1024;
+
+fn bench_gates(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let x = Tensor::randn(&[TOKENS, D], 1.0, &mut rng);
+    let mut g = c.benchmark_group("gate_forward_1k_tokens");
+    g.throughput(Throughput::Elements(TOKENS as u64));
+    for (name, kind) in [
+        ("top1", GateKind::Top1),
+        ("top2", GateKind::Top2),
+        ("balanced", GateKind::Balanced),
+    ] {
+        let mut gate = Gate::new("g", D, EXPERTS, kind, 1.25, 0.01, &mut rng);
+        g.bench_function(name, |bench| bench.iter(|| gate.forward(&x)));
+    }
+    g.finish();
+}
+
+fn bench_moe_layer(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let mut layer =
+        MoELayer::new("m", D, 4 * D, EXPERTS, GateKind::Top2, 1.25, 0.01, &mut rng);
+    let x = Tensor::randn(&[TOKENS, D], 1.0, &mut rng);
+    let mut g = c.benchmark_group("moe_layer_1k_tokens");
+    g.throughput(Throughput::Elements(TOKENS as u64));
+    g.bench_function("forward", |bench| bench.iter(|| layer.forward(&x)));
+    g.bench_function("forward_backward", |bench| {
+        bench.iter(|| {
+            let y = layer.forward(&x);
+            layer.backward(&y)
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_gates, bench_moe_layer}
+criterion_main!(benches);

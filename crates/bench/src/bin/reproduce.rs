@@ -1,0 +1,36 @@
+//! Regenerate the (reconstructed) evaluation tables and figures.
+//!
+//! ```text
+//! cargo run -p bagualu-bench --release --bin reproduce -- all
+//! cargo run -p bagualu-bench --release --bin reproduce -- e2 e3
+//! ```
+
+use bagualu_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: reproduce <all | e1 e2 ... e12>");
+        eprintln!("experiments:");
+        for id in experiments::ALL {
+            eprintln!("  {id}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        if !experiments::run(id) {
+            eprintln!("unknown experiment: {id}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! E9 — the headline: sustained mixed-precision performance at full
+//! machine scale (37.44 million cores), per preset and precision.
+
+use crate::table::Table;
+use bagualu::hw::Precision;
+use bagualu::metrics::{format_flops, format_si};
+use bagualu::model::config::ModelConfig;
+use bagualu::perfmodel::{project, PerfInput};
+
+pub fn run() {
+    println!("== E9: sustained performance on the full machine (96,000 nodes) ==\n");
+    let mut t = Table::new(&[
+        "preset", "precision", "step time", "tokens/s", "sustained", "of sustained peak",
+    ]);
+    for (name, cfg) in [
+        ("1.93T", ModelConfig::bagualu_1_93t()),
+        ("14.5T", ModelConfig::bagualu_14_5t()),
+        ("174T", ModelConfig::bagualu_174t()),
+    ] {
+        for (pname, prec) in [("fp32", Precision::FP32), ("half", Precision::Half)] {
+            let p = project(&PerfInput { precision: prec, ..PerfInput::sunway_full(cfg) });
+            t.row(&[
+                name.into(),
+                pname.into(),
+                format!("{:.2} s", p.step_time),
+                format_si(p.tokens_per_sec, "tok/s"),
+                format_flops(p.sustained_flops),
+                format!("{:.1}%", 100.0 * p.efficiency),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check: mixed precision sustains EFLOPS-order useful compute on the\n\
+         brain-scale presets — the \"over 1 EFLOPS mixed precision\" headline of the\n\
+         original system — while FP32 lands around 4x lower. Efficiency declines\n\
+         from 1.93T to 174T as the (flat) gate projection grows with expert count.\n"
+    );
+}

@@ -1,0 +1,51 @@
+//! E12 — capacity-factor sweep: drops vs balance vs effective step time.
+//!
+//! Capacity trades quality (dropped tokens bypass their experts) against
+//! speed (per-expert batch is bounded, so the slowest expert is bounded).
+//! Swept under Zipf(1.0)-skewed tokens for top-2 routing; the step-time
+//! proxy is max-load/capacity-balanced-load.
+
+use crate::table::Table;
+use bagualu::model::embedding::Embedding;
+use bagualu::model::moe::{Gate, GateKind};
+use bagualu::tensor::rng::{Rng, Zipf};
+
+pub fn run() {
+    println!("== E12: capacity-factor sweep (top-2, 64 experts, zipf-1.0 tokens) ==\n");
+    const D: usize = 32;
+    const EXPERTS: usize = 64;
+    const VOCAB: usize = 512;
+    const TOKENS: usize = 4096;
+
+    let mut t = Table::new(&[
+        "capacity factor", "capacity", "drop rate", "imbalance", "rel. step time",
+    ]);
+    for &cf in &[1.0f32, 1.25, 1.5, 2.0, 4.0] {
+        let mut rng = Rng::seed_from(1212);
+        let mut emb = Embedding::new("emb", VOCAB, D, &mut rng);
+        let mut gate = Gate::new("g", D, EXPERTS, GateKind::Top2, cf, 0.01, &mut rng);
+        let zipf = Zipf::new(VOCAB, 1.0);
+        let mut data_rng = Rng::seed_from(1213);
+        let ids: Vec<usize> = (0..TOKENS).map(|_| zipf.sample(&mut data_rng)).collect();
+        let x = emb.forward(&ids);
+        let r = gate.forward(&x);
+        // Step time follows the most loaded expert; normalize by the
+        // perfectly balanced load (n·k/E).
+        let balanced = TOKENS as f64 * 2.0 / EXPERTS as f64;
+        let max_load = *r.load.iter().max().unwrap() as f64;
+        t.row(&[
+            format!("{cf}"),
+            format!("{}", r.capacity),
+            format!("{:.1}%", r.drop_rate() * 100.0),
+            format!("{:.2}", r.imbalance()),
+            format!("{:.2}x", max_load / balanced),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: small capacity ⇒ bounded step time but heavy drops under\n\
+         skew; large capacity ⇒ no drops but the hottest expert dictates a step\n\
+         several times the balanced time. The production sweet spot (~1.25, as in\n\
+         GShard-lineage systems) sits at the knee.\n"
+    );
+}

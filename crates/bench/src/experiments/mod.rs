@@ -1,0 +1,58 @@
+//! One module per experiment (see DESIGN.md's experiment index).
+
+pub mod e01_configs;
+pub mod e02_weak_scaling;
+pub mod e03_alltoall;
+pub mod e04_load_balance;
+pub mod e05_precision;
+pub mod e06_breakdown;
+pub mod e07_memory;
+pub mod e08_convergence;
+pub mod e09_headline;
+pub mod e10_checkpoint;
+pub mod e11_strong_scaling;
+pub mod e12_capacity;
+pub mod e13_simnet;
+pub mod e14_overlap;
+pub mod e15_placement;
+pub mod e16_allreduce;
+pub mod e17_multimodal;
+pub mod e18_two_level_gate;
+pub mod e19_kernel_tiling;
+pub mod e20_energy;
+pub mod e21_virtual_time;
+
+/// All experiment ids, in order.
+pub const ALL: [&str; 21] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+];
+
+/// Run one experiment by id. Returns false for an unknown id.
+pub fn run(id: &str) -> bool {
+    match id {
+        "e1" => e01_configs::run(),
+        "e2" => e02_weak_scaling::run(),
+        "e3" => e03_alltoall::run(),
+        "e4" => e04_load_balance::run(),
+        "e5" => e05_precision::run(),
+        "e6" => e06_breakdown::run(),
+        "e7" => e07_memory::run(),
+        "e8" => e08_convergence::run(),
+        "e9" => e09_headline::run(),
+        "e10" => e10_checkpoint::run(),
+        "e11" => e11_strong_scaling::run(),
+        "e12" => e12_capacity::run(),
+        "e13" => e13_simnet::run(),
+        "e14" => e14_overlap::run(),
+        "e15" => e15_placement::run(),
+        "e16" => e16_allreduce::run(),
+        "e17" => e17_multimodal::run(),
+        "e18" => e18_two_level_gate::run(),
+        "e19" => e19_kernel_tiling::run(),
+        "e20" => e20_energy::run(),
+        "e21" => e21_virtual_time::run(),
+        _ => return false,
+    }
+    true
+}

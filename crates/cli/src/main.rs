@@ -1,0 +1,256 @@
+//! `bagualu` — the command-line face of the reproduction.
+//!
+//! ```text
+//! bagualu info                                # machine + preset tables
+//! bagualu train --ranks 4 --steps 100 --dtype bf16 --csv out.csv
+//! bagualu project --preset 174t --nodes 96000 --precision half
+//! bagualu generate --steps 300 --prompt 3,4,5 --tokens 8
+//! ```
+
+mod args;
+
+use args::Args;
+use bagualu::data::TokenDistribution;
+use bagualu::hw::{MachineConfig, Precision};
+use bagualu::metrics::{format_flops, format_params, format_si};
+use bagualu::model::config::ModelConfig;
+use bagualu::model::param::HasParams;
+use bagualu::model::transformer::Transformer;
+use bagualu::optim::adam::{Adam, AdamConfig};
+use bagualu::parallel::moe_dist::A2aKind;
+use bagualu::perfmodel::{project, PerfInput};
+use bagualu::tensor::rng::Rng;
+use bagualu::tensor::DType;
+use bagualu::trainer::{TrainConfig, Trainer};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let result = match args.command.as_str() {
+        "info" => cmd_info(&args),
+        "train" => cmd_train(&args),
+        "project" => cmd_project(&args),
+        "generate" => cmd_generate(&args),
+        "" | "help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    print_help();
+    std::process::exit(2);
+}
+
+fn print_help() {
+    eprintln!("usage: bagualu <command> [--flags]");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  info      machine model and brain-scale preset tables");
+    eprintln!("  train     run the functional MoDa trainer");
+    eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
+    eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
+    eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
+    eprintln!("  project   performance projection on the simulated machine");
+    eprintln!("            --preset 1.93t|14.5t|174t --nodes N --precision fp32|half");
+    eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
+    eprintln!("  generate  train a tiny model and decode from it");
+    eprintln!("            --steps N --prompt a,b,c --tokens N");
+}
+
+fn preset(name: &str) -> Result<ModelConfig, String> {
+    match name {
+        "tiny" => Ok(ModelConfig::tiny()),
+        "1.93t" => Ok(ModelConfig::bagualu_1_93t()),
+        "14.5t" => Ok(ModelConfig::bagualu_14_5t()),
+        "174t" => Ok(ModelConfig::bagualu_174t()),
+        other => Err(format!("unknown preset: {other} (tiny | 1.93t | 14.5t | 174t)")),
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    args.assert_known(&[])?;
+    let m = MachineConfig::new_generation_sunway();
+    println!("machine: New Generation Sunway (model)");
+    println!("  nodes: {}  supernodes: {}  cores: {}", m.nodes, m.supernodes(), m.total_cores());
+    println!(
+        "  peak: {} fp32, {} half",
+        format_flops(m.peak(Precision::FP32)),
+        format_flops(m.peak(Precision::Half))
+    );
+    println!("\npresets:");
+    for (name, cfg) in [
+        ("1.93t", ModelConfig::bagualu_1_93t()),
+        ("14.5t", ModelConfig::bagualu_14_5t()),
+        ("174t", ModelConfig::bagualu_174t()),
+    ] {
+        println!(
+            "  {name:>6}: {} params ({} experts x {} MoE blocks, d={}, L={})",
+            format_params(cfg.count_params()),
+            cfg.n_experts,
+            cfg.n_moe_blocks(),
+            cfg.d_model,
+            cfg.n_layers
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "ranks", "steps", "batch", "seq", "lr", "dtype", "experts", "gate", "skew",
+        "hierarchical", "zero", "csv", "seed",
+    ])?;
+    use bagualu::model::moe::GateKind;
+    let gate = match args.get("gate", "top2").as_str() {
+        "top1" => GateKind::Top1,
+        "top2" => GateKind::Top2,
+        "balanced" => GateKind::Balanced,
+        "noisy" => GateKind::NoisyTop1,
+        other => return Err(format!("unknown gate: {other}")),
+    };
+    let dtype = match args.get("dtype", "fp32").as_str() {
+        "fp32" => DType::F32,
+        "bf16" => DType::BF16,
+        "fp16" => DType::F16,
+        other => return Err(format!("unknown dtype: {other}")),
+    };
+    let nranks = args.get_parse("ranks", 2usize)?;
+    let skew: f64 = args.get_parse("skew", 0.0f64)?;
+    let zero = args.switch("zero");
+    let cfg = TrainConfig {
+        model: ModelConfig {
+            n_experts: args.get_parse("experts", 4usize)?,
+            gate,
+            ..ModelConfig::tiny()
+        },
+        nranks,
+        batch_per_rank: args.get_parse("batch", 2usize)?,
+        seq: args.get_parse("seq", 8usize)?,
+        steps: args.get_parse("steps", 50usize)?,
+        lr: args.get_parse("lr", 1e-2f32)?,
+        dtype,
+        a2a: if args.switch("hierarchical") {
+            A2aKind::Hierarchical { supernode_size: nranks.max(2) / 2 }
+        } else {
+            A2aKind::Pairwise
+        },
+        clip: if zero { None } else { Some(1.0) },
+        zero_optimizer: zero,
+        seed: args.get_parse("seed", 42u64)?,
+        data: if skew > 0.0 { TokenDistribution::Zipf(skew) } else { TokenDistribution::Uniform },
+        ..Default::default()
+    };
+    println!(
+        "training {} params on {} ranks, {} steps, {} …",
+        cfg.model.count_params(),
+        cfg.nranks,
+        cfg.steps,
+        cfg.dtype
+    );
+    let report = Trainer::new(cfg).run();
+    for (i, l) in report.loss_curve.iter().enumerate() {
+        if i % 10 == 0 || i + 1 == report.loss_curve.len() {
+            println!("  step {i:>4}: loss {l:.4}  imbalance {:.2}", report.imbalance_curve[i]);
+        }
+    }
+    println!(
+        "final loss {:.4} | {} | skipped {}",
+        report.final_loss(),
+        format_si(report.tokens_per_sec, "tok/s"),
+        report.skipped_steps
+    );
+    if let Some(path) = {
+        let p = args.get("csv", "");
+        (!p.is_empty()).then_some(p)
+    } {
+        std::fs::write(&path, report.to_csv()).map_err(|e| e.to_string())?;
+        println!("wrote per-step metrics to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_project(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "preset", "nodes", "precision", "naive", "overlap", "tokens-per-node", "two-level-gate",
+    ])?;
+    let model = preset(&args.get("preset", "14.5t"))?;
+    let nodes = args.get_parse("nodes", 96_000usize)?;
+    let naive = args.switch("naive");
+    let input = PerfInput {
+        precision: match args.get("precision", "half").as_str() {
+            "half" => Precision::Half,
+            "fp32" => Precision::FP32,
+            other => return Err(format!("unknown precision: {other}")),
+        },
+        hierarchical_a2a: !naive,
+        hierarchical_allreduce: !naive,
+        overlap: args.get_parse("overlap", 0.0f64)?,
+        tokens_per_node: args.get_parse("tokens-per-node", 2048usize)?,
+        two_level_gate: args.switch("two-level-gate"),
+        ..PerfInput::sunway_nodes(model, nodes)
+    };
+    let p = project(&input);
+    let b = p.breakdown;
+    println!(
+        "{} params on {} nodes ({} cores):",
+        format_params(model.count_params()),
+        nodes,
+        nodes * 390
+    );
+    println!(
+        "  step {:.3}s = dense {:.3} + gate {:.3} + experts {:.3} + a2a {:.3} + allreduce {:.3}",
+        p.step_time, b.dense_compute, b.gate_compute, b.expert_compute, b.a2a, b.allreduce
+    );
+    println!(
+        "  {} | sustained {} ({:.1}% of sustained peak) | comm {:.0}%",
+        format_si(p.tokens_per_sec, "tok/s"),
+        format_flops(p.sustained_flops),
+        100.0 * p.efficiency,
+        100.0 * b.comm_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.assert_known(&["steps", "prompt", "tokens", "seed"])?;
+    let steps = args.get_parse("steps", 300usize)?;
+    let n: usize = args.get_parse("tokens", 8usize)?;
+    let cfg = ModelConfig { vocab: 32, ..ModelConfig::tiny() };
+    let prompt: Vec<usize> = args
+        .get("prompt", "3,4")
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad prompt token: {s}")))
+        .collect::<Result<_, _>>()?;
+    if prompt.iter().any(|&t| t >= cfg.vocab) {
+        return Err(format!("prompt tokens must be < {}", cfg.vocab));
+    }
+
+    let mut rng = Rng::seed_from(args.get_parse("seed", 7u64)?);
+    let mut model = Transformer::new(cfg, &mut rng);
+    let task = bagualu::data::SyntheticLM::new(cfg.vocab, TokenDistribution::Uniform, 7);
+    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    println!("training {} params for {steps} steps…", model.num_params());
+    for step in 0..steps {
+        let (tokens, targets) = task.batch(4, 8, 0, step);
+        model.train_batch(&tokens, &targets, 4, 8);
+        opt.step(&mut model);
+        model.zero_grad();
+    }
+    let out = model.generate_cached(&prompt, n.min(cfg.max_seq - prompt.len()));
+    println!(
+        "prompt {:?} → {}",
+        prompt,
+        out.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+    );
+    Ok(())
+}

@@ -1,0 +1,637 @@
+//! Collective algorithms over any [`Communicator`].
+//!
+//! Implemented exactly as they would be over MPI point-to-point:
+//!
+//! * binomial-tree broadcast,
+//! * ring reduce-scatter and ring all-gather, composed into the bandwidth-
+//!   optimal ring all-reduce used for data-parallel gradient averaging,
+//! * pairwise-exchange all-to-all(v) — the naive baseline,
+//! * **hierarchical all-to-all(v)** — the two-phase, supernode-aware
+//!   algorithm: bundle by destination local index inside the supernode,
+//!   then exchange aggregated bundles between supernodes. This turns
+//!   `Θ(n)` small cross-supernode messages per rank into `Θ(n/s)` large
+//!   ones, which is the communication contribution this reproduction
+//!   studies (experiments E2/E3).
+
+use crate::shm::Communicator;
+
+/// Element-wise reduction applied by reduce collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// `acc[i] = op(acc[i], other[i])`.
+    pub fn apply(self, acc: &mut [f32], other: &[f32]) {
+        assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.min(*b);
+                }
+            }
+        }
+    }
+}
+
+const TAG_BCAST: u64 = 101;
+const TAG_RING: u64 = 102;
+const TAG_AG: u64 = 103;
+const TAG_A2A: u64 = 104;
+const TAG_H1_HDR: u64 = 105;
+const TAG_H1_DAT: u64 = 106;
+const TAG_H2_HDR: u64 = 107;
+const TAG_H2_DAT: u64 = 108;
+const TAG_A2A_U64: u64 = 109;
+const TAG_RD: u64 = 110;
+
+/// Chunk boundary `i` of a buffer of `len` split across `n` ranks.
+#[inline]
+fn bound(len: usize, n: usize, i: usize) -> usize {
+    len * i / n
+}
+
+// ------------------------------------------------------------------ broadcast
+
+/// Binomial-tree broadcast. `msg` must be `Some` exactly at `root`; every
+/// rank returns the broadcast buffer.
+pub fn broadcast<C: Communicator>(c: &C, root: usize, msg: Option<Vec<f32>>) -> Vec<f32> {
+    let n = c.size();
+    let rank = c.rank();
+    assert_eq!(rank == root, msg.is_some(), "msg must be Some exactly at root");
+    if n == 1 {
+        return msg.unwrap();
+    }
+    let vrank = (rank + n - root) % n;
+    let real = |v: usize| (v + root) % n;
+
+    let mut buf = msg;
+    let mut mask = 1usize;
+    if vrank != 0 {
+        // Receive at the lowest set bit of vrank.
+        while mask < n {
+            if vrank & mask != 0 {
+                buf = Some(c.recv(real(vrank - mask), TAG_BCAST).into_f32());
+                break;
+            }
+            mask <<= 1;
+        }
+    } else {
+        mask = n.next_power_of_two();
+    }
+    let buf = buf.expect("broadcast: no data received");
+    // Relay to lower-order children.
+    mask >>= 1;
+    while mask > 0 {
+        if vrank & mask == 0 && vrank + mask < n && vrank & (mask - 1) == 0 {
+            c.send(real(vrank + mask), TAG_BCAST, buf.clone().into());
+        }
+        mask >>= 1;
+    }
+    buf
+}
+
+// ------------------------------------------------------------------ allreduce
+
+/// Ring all-reduce: reduce-scatter then all-gather, `2(n-1)` steps, each
+/// moving `len/n` elements. Bandwidth-optimal; the data-parallel gradient
+/// path of the trainer.
+pub fn allreduce<C: Communicator>(c: &C, mut data: Vec<f32>, op: ReduceOp) -> Vec<f32> {
+    let n = c.size();
+    if n == 1 {
+        return data;
+    }
+    let rank = c.rank();
+    let len = data.len();
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+
+    // Phase 1: reduce-scatter. After it, rank r owns chunk r fully reduced.
+    for s in 0..n - 1 {
+        let cs = (rank + 2 * n - 1 - s) % n;
+        let cr = (rank + 2 * n - 2 - s) % n;
+        let send_chunk = data[bound(len, n, cs)..bound(len, n, cs + 1)].to_vec();
+        c.send(right, TAG_RING, send_chunk.into());
+        let got = c.recv(left, TAG_RING).into_f32();
+        op.apply(&mut data[bound(len, n, cr)..bound(len, n, cr + 1)], &got);
+    }
+
+    // Phase 2: all-gather of the reduced chunks.
+    for s in 0..n - 1 {
+        let gs = (rank + n - s) % n;
+        let gr = (rank + 2 * n - s - 1) % n;
+        let send_chunk = data[bound(len, n, gs)..bound(len, n, gs + 1)].to_vec();
+        c.send(right, TAG_RING, send_chunk.into());
+        let got = c.recv(left, TAG_RING).into_f32();
+        data[bound(len, n, gr)..bound(len, n, gr + 1)].copy_from_slice(&got);
+    }
+    data
+}
+
+/// Recursive-doubling all-reduce: `⌈log₂ n⌉` rounds in which partners
+/// `vrank ⊕ 2^k` exchange *full* buffers and reduce. Latency-optimal
+/// (`Θ(log n)·α` vs the ring's `Θ(n)·α`) at the price of `log n` full-buffer
+/// transfers — the right algorithm for the small, frequent reductions
+/// (loss scalars, overflow flags, metrics) that pepper a training step.
+///
+/// Non-power-of-two sizes use the standard fold: the first `2·rem` ranks
+/// pair up so `r = 2^⌊log₂ n⌋` virtual ranks run the doubling, then results
+/// are sent back to the folded ranks.
+pub fn allreduce_recursive_doubling<C: Communicator>(
+    c: &C,
+    mut data: Vec<f32>,
+    op: ReduceOp,
+) -> Vec<f32> {
+    let n = c.size();
+    if n == 1 {
+        return data;
+    }
+    let rank = c.rank();
+    let r = n.next_power_of_two() >> if n.is_power_of_two() { 0 } else { 1 };
+    let rem = n - r;
+
+    // Fold phase: even ranks below 2·rem hand their contribution to the odd
+    // neighbour and sit out.
+    let vrank = if rank < 2 * rem {
+        if rank % 2 == 0 {
+            c.send(rank + 1, TAG_RD, data.clone().into());
+            None
+        } else {
+            let got = c.recv(rank - 1, TAG_RD).into_f32();
+            op.apply(&mut data, &got);
+            Some(rank / 2)
+        }
+    } else {
+        Some(rank - rem)
+    };
+
+    if let Some(v) = vrank {
+        let real = |v: usize| if v < rem { 2 * v + 1 } else { v + rem };
+        let mut mask = 1usize;
+        while mask < r {
+            let partner = real(v ^ mask);
+            c.send(partner, TAG_RD, data.clone().into());
+            let got = c.recv(partner, TAG_RD).into_f32();
+            op.apply(&mut data, &got);
+            mask <<= 1;
+        }
+    }
+
+    // Unfold: odd ranks send the final result back to their even partner.
+    if rank < 2 * rem {
+        if rank % 2 == 0 {
+            data = c.recv(rank + 1, TAG_RD).into_f32();
+        } else {
+            c.send(rank - 1, TAG_RD, data.clone().into());
+        }
+    }
+    data
+}
+
+/// Ring reduce-scatter: every rank contributes `data` (same length on all
+/// ranks); rank `r` returns the fully reduced chunk `r` (the `bound(len,n,r)`
+/// to `bound(len,n,r+1)` range).
+pub fn reduce_scatter<C: Communicator>(c: &C, mut data: Vec<f32>, op: ReduceOp) -> Vec<f32> {
+    let n = c.size();
+    let rank = c.rank();
+    let len = data.len();
+    if n == 1 {
+        return data;
+    }
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    for s in 0..n - 1 {
+        let cs = (rank + 2 * n - 1 - s) % n;
+        let cr = (rank + 2 * n - 2 - s) % n;
+        let send_chunk = data[bound(len, n, cs)..bound(len, n, cs + 1)].to_vec();
+        c.send(right, TAG_RING, send_chunk.into());
+        let got = c.recv(left, TAG_RING).into_f32();
+        op.apply(&mut data[bound(len, n, cr)..bound(len, n, cr + 1)], &got);
+    }
+    data[bound(len, n, rank)..bound(len, n, rank + 1)].to_vec()
+}
+
+// ------------------------------------------------------------------ allgather
+
+/// Ring all-gather of variable-length per-rank buffers. Returns one buffer
+/// per rank, indexed by rank.
+pub fn allgather<C: Communicator>(c: &C, local: Vec<f32>) -> Vec<Vec<f32>> {
+    let n = c.size();
+    let rank = c.rank();
+    let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
+    if n == 1 {
+        out[0] = local;
+        return out;
+    }
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    out[rank] = local;
+    for s in 0..n - 1 {
+        let gs = (rank + n - s) % n;
+        let gr = (rank + 2 * n - s - 1) % n;
+        c.send(right, TAG_AG, out[gs].clone().into());
+        out[gr] = c.recv(left, TAG_AG).into_f32();
+    }
+    out
+}
+
+// ------------------------------------------------------------------ all-to-all
+
+/// Pairwise-exchange all-to-all(v). `parts[d]` is the buffer for rank `d`
+/// (lengths may differ). Returns the received buffers indexed by source.
+pub fn alltoallv<C: Communicator>(c: &C, mut parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let n = c.size();
+    assert_eq!(parts.len(), n, "alltoallv: need one part per rank");
+    let rank = c.rank();
+    let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
+    out[rank] = std::mem::take(&mut parts[rank]);
+    for s in 1..n {
+        let to = (rank + s) % n;
+        let from = (rank + n - s) % n;
+        c.send(to, TAG_A2A, std::mem::take(&mut parts[to]).into());
+        out[from] = c.recv(from, TAG_A2A).into_f32();
+    }
+    out
+}
+
+/// All-to-all with equal-sized parts (asserts the invariant, then delegates
+/// to [`alltoallv`]).
+pub fn alltoall<C: Communicator>(c: &C, parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let len0 = parts.first().map(|p| p.len()).unwrap_or(0);
+    assert!(parts.iter().all(|p| p.len() == len0), "alltoall: unequal part sizes");
+    alltoallv(c, parts)
+}
+
+/// Hierarchical (two-phase, supernode-aware) all-to-all(v).
+///
+/// Ranks are grouped into supernodes of `supernode_size` consecutive ranks
+/// (`n` must divide evenly). Phase 1 exchanges *bundles* inside the
+/// supernode, aggregated by destination local index; phase 2 exchanges
+/// aggregated bundles between supernodes among same-local-index ranks.
+/// Every message reaches its destination in exactly two hops, and the
+/// number of cross-supernode messages per rank drops from `n - s` to
+/// `n/s - 1`.
+///
+/// Semantics are identical to [`alltoallv`]: returns received buffers
+/// indexed by source rank.
+pub fn alltoallv_hierarchical<C: Communicator>(
+    c: &C,
+    parts: Vec<Vec<f32>>,
+    supernode_size: usize,
+) -> Vec<Vec<f32>> {
+    let n = c.size();
+    let s = supernode_size;
+    assert!(s > 0 && n % s == 0, "hierarchical a2a: {n} ranks must divide into supernodes of {s}");
+    let big_s = n / s; // number of supernodes
+    if big_s == 1 {
+        return alltoallv(c, parts);
+    }
+    assert_eq!(parts.len(), n);
+    let rank = c.rank();
+    let g = rank / s; // my supernode
+    let l = rank % s; // my local index
+
+    // ---- Phase 1: intra-supernode exchange, bundled by destination local
+    // index. To local peer j send concat(parts[t*s + j] for t in 0..S),
+    // with a u64 header of the S lengths.
+    for j in 0..s {
+        let peer = g * s + j;
+        let mut header = Vec::with_capacity(big_s);
+        let mut data = Vec::new();
+        for t in 0..big_s {
+            let p = &parts[t * s + j];
+            header.push(p.len() as u64);
+            data.extend_from_slice(p);
+        }
+        c.send(peer, TAG_H1_HDR, header.into());
+        c.send(peer, TAG_H1_DAT, data.into());
+    }
+    // Receive the bundle from every local peer (including self).
+    let mut h1: Vec<Vec<u64>> = Vec::with_capacity(s);
+    let mut d1: Vec<Vec<f32>> = Vec::with_capacity(s);
+    for jp in 0..s {
+        let peer = g * s + jp;
+        h1.push(c.recv(peer, TAG_H1_HDR).into_u64());
+        d1.push(c.recv(peer, TAG_H1_DAT).into_f32());
+    }
+
+    // ---- Phase 2: inter-supernode exchange among same-local-index ranks.
+    // To supernode t (rank t*s + l) send, for each local source jp, the
+    // chunk of d1[jp] destined to supernode t.
+    // Precompute chunk offsets in d1[jp].
+    let offsets: Vec<Vec<usize>> = h1
+        .iter()
+        .map(|h| {
+            let mut off = Vec::with_capacity(big_s + 1);
+            let mut acc = 0usize;
+            off.push(0);
+            for &x in h {
+                acc += x as usize;
+                off.push(acc);
+            }
+            off
+        })
+        .collect();
+    for t in 0..big_s {
+        let peer = t * s + l;
+        let mut header = Vec::with_capacity(s);
+        let mut data = Vec::new();
+        for jp in 0..s {
+            let (lo, hi) = (offsets[jp][t], offsets[jp][t + 1]);
+            header.push((hi - lo) as u64);
+            data.extend_from_slice(&d1[jp][lo..hi]);
+        }
+        c.send(peer, TAG_H2_HDR, header.into());
+        c.send(peer, TAG_H2_DAT, data.into());
+    }
+    // Receive one bundle per supernode; unpack by source local index.
+    let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
+    for t in 0..big_s {
+        let peer = t * s + l;
+        let header = c.recv(peer, TAG_H2_HDR).into_u64();
+        let data = c.recv(peer, TAG_H2_DAT).into_f32();
+        let mut off = 0usize;
+        for (jp, &len) in header.iter().enumerate() {
+            let len = len as usize;
+            out[t * s + jp] = data[off..off + len].to_vec();
+            off += len;
+        }
+    }
+    out
+}
+
+/// Pairwise-exchange all-to-all(v) of `u64` metadata (routing tables,
+/// expert ids, counts). Same semantics as [`alltoallv`].
+pub fn alltoallv_u64<C: Communicator>(c: &C, mut parts: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    let n = c.size();
+    assert_eq!(parts.len(), n, "alltoallv_u64: need one part per rank");
+    let rank = c.rank();
+    let mut out: Vec<Vec<u64>> = vec![Vec::new(); n];
+    out[rank] = std::mem::take(&mut parts[rank]);
+    for s in 1..n {
+        let to = (rank + s) % n;
+        let from = (rank + n - s) % n;
+        c.send(to, TAG_A2A_U64, std::mem::take(&mut parts[to]).into());
+        out[from] = c.recv(from, TAG_A2A_U64).into_u64();
+    }
+    out
+}
+
+/// Send `data` from every rank to rank `root`; root returns all buffers in
+/// rank order, others return an empty vec. (Linear gather — used for
+/// metrics collection, not on the training critical path.)
+pub fn gather<C: Communicator>(c: &C, root: usize, data: Vec<f32>) -> Vec<Vec<f32>> {
+    let n = c.size();
+    if c.rank() == root {
+        let mut out = vec![Vec::new(); n];
+        out[root] = data;
+        for r in 0..n {
+            if r != root {
+                out[r] = c.recv(r, TAG_AG).into_f32();
+            }
+        }
+        out
+    } else {
+        c.send(root, TAG_AG, data.into());
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_ranks, run_ranks_map};
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, n / 2, n - 1] {
+                run_ranks(n, |c| {
+                    let msg = (c.rank() == root).then(|| vec![3.5f32, -1.0, root as f32]);
+                    let got = broadcast(&c, root, msg);
+                    assert_eq!(got, vec![3.5, -1.0, root as f32], "n={n} root={root}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_reference() {
+        for n in [1usize, 2, 3, 4, 7, 8] {
+            let len = 23;
+            run_ranks(n, |c| {
+                let data: Vec<f32> = (0..len).map(|i| (c.rank() * len + i) as f32).collect();
+                let out = allreduce(&c, data, ReduceOp::Sum);
+                for (i, &v) in out.iter().enumerate() {
+                    let expect: f32 = (0..n).map(|r| (r * len + i) as f32).sum();
+                    assert_eq!(v, expect, "n={n} i={i}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        run_ranks(5, |c| {
+            let data = vec![c.rank() as f32, -(c.rank() as f32)];
+            let mx = allreduce(&c, data.clone(), ReduceOp::Max);
+            assert_eq!(mx, vec![4.0, 0.0]);
+            let mn = allreduce(&c, data, ReduceOp::Min);
+            assert_eq!(mn, vec![0.0, -4.0]);
+        });
+    }
+
+    #[test]
+    fn recursive_doubling_matches_ring() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 11, 16] {
+            let len = 17;
+            run_ranks(n, |c| {
+                let data: Vec<f32> =
+                    (0..len).map(|i| ((c.rank() * 13 + i * 3) % 7) as f32).collect();
+                let ring = allreduce(&c, data.clone(), ReduceOp::Sum);
+                let rd = allreduce_recursive_doubling(&c, data, ReduceOp::Sum);
+                for (a, b) in ring.iter().zip(&rd) {
+                    assert!((a - b).abs() < 1e-4, "n={n}: {a} vs {b}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_max() {
+        run_ranks(6, |c| {
+            let out =
+                allreduce_recursive_doubling(&c, vec![c.rank() as f32], ReduceOp::Max);
+            assert_eq!(out, vec![5.0]);
+        });
+    }
+
+    #[test]
+    fn allreduce_short_buffer() {
+        // len < n: some chunks are empty; the ring must still work.
+        run_ranks(8, |c| {
+            let out = allreduce(&c, vec![1.0f32, 2.0], ReduceOp::Sum);
+            assert_eq!(out, vec![8.0, 16.0]);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_chunk() {
+        let n = 4;
+        let len = 8;
+        let outs = run_ranks_map(n, |c| {
+            let data: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            reduce_scatter(&c, data, ReduceOp::Sum)
+        });
+        for (r, out) in outs.iter().enumerate() {
+            let lo = len * r / n;
+            let hi = len * (r + 1) / n;
+            let expect: Vec<f32> = (lo..hi).map(|i| (i * n) as f32).collect();
+            assert_eq!(out, &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        run_ranks(5, |c| {
+            let local = vec![c.rank() as f32; c.rank() + 1];
+            let all = allgather(&c, local);
+            for (r, buf) in all.iter().enumerate() {
+                assert_eq!(buf, &vec![r as f32; r + 1]);
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_routes_correctly() {
+        for n in [1usize, 2, 4, 6] {
+            run_ranks(n, |c| {
+                // parts[d] = [rank, d] so the receiver can verify both ends.
+                let parts: Vec<Vec<f32>> =
+                    (0..n).map(|d| vec![c.rank() as f32, d as f32]).collect();
+                let got = alltoallv(&c, parts);
+                for (src, buf) in got.iter().enumerate() {
+                    assert_eq!(buf, &vec![src as f32, c.rank() as f32]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_parts() {
+        run_ranks(4, |c| {
+            // Only send to rank 0.
+            let parts: Vec<Vec<f32>> = (0..4)
+                .map(|d| if d == 0 { vec![c.rank() as f32] } else { Vec::new() })
+                .collect();
+            let got = alltoallv(&c, parts);
+            if c.rank() == 0 {
+                for (src, buf) in got.iter().enumerate() {
+                    assert_eq!(buf, &vec![src as f32]);
+                }
+            } else {
+                assert!(got.iter().all(|b| b.is_empty()));
+            }
+        });
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_alltoallv() {
+        // 8 ranks in supernodes of 4, variable message sizes.
+        let n = 8;
+        run_ranks(n, |c| {
+            let parts: Vec<Vec<f32>> = (0..n)
+                .map(|d| {
+                    let len = (c.rank() + d) % 3; // sizes 0..=2
+                    vec![(c.rank() * 100 + d) as f32; len]
+                })
+                .collect();
+            let flat = alltoallv(&c, parts.clone());
+            let hier = alltoallv_hierarchical(&c, parts, 4);
+            assert_eq!(flat, hier, "rank {}", c.rank());
+        });
+    }
+
+    #[test]
+    fn hierarchical_single_supernode_degenerates() {
+        run_ranks(4, |c| {
+            let parts: Vec<Vec<f32>> = (0..4).map(|d| vec![d as f32]).collect();
+            let got = alltoallv_hierarchical(&c, parts, 4);
+            for buf in got.iter() {
+                assert_eq!(buf, &vec![c.rank() as f32]);
+            }
+        });
+    }
+
+    #[test]
+    fn hierarchical_many_supernodes() {
+        // 12 ranks, supernodes of 2 — exercises S > s.
+        let n = 12;
+        run_ranks(n, |c| {
+            let parts: Vec<Vec<f32>> =
+                (0..n).map(|d| vec![(c.rank() * n + d) as f32]).collect();
+            let got = alltoallv_hierarchical(&c, parts, 2);
+            for (src, buf) in got.iter().enumerate() {
+                assert_eq!(buf, &vec![(src * n + c.rank()) as f32]);
+            }
+        });
+    }
+
+    #[test]
+    fn hierarchical_sends_fewer_cross_messages() {
+        use crate::harness::run_ranks_counted;
+        let n = 16;
+        let mk_parts = |rank: usize| -> Vec<Vec<f32>> { (0..n).map(|_| vec![rank as f32; 4]).collect() };
+        let (_, flat_msgs) = run_ranks_counted(n, |c| {
+            alltoallv(&c, mk_parts(c.rank()));
+        });
+        let (_, hier_msgs) = run_ranks_counted(n, |c| {
+            alltoallv_hierarchical(&c, mk_parts(c.rank()), 4);
+        });
+        // Flat: n*(n-1) = 240 payload messages. Hierarchical: n*(s + S) pairs
+        // × 2 messages (header+data) = 16*8*2 = 256 — but only n*S = 64 of
+        // those transfers cross supernodes vs n*(n-s) = 192 for flat.
+        // The headline metric is cross-supernode *transfers*; message count
+        // sanity-checks the implementation.
+        assert_eq!(flat_msgs, (n * (n - 1)) as u64);
+        assert_eq!(hier_msgs, (n * (4 + 4) * 2) as u64);
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        run_ranks(6, |c| {
+            let out = gather(&c, 2, vec![c.rank() as f32]);
+            if c.rank() == 2 {
+                for (r, buf) in out.iter().enumerate() {
+                    assert_eq!(buf, &vec![r as f32]);
+                }
+            } else {
+                assert!(out.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_op_apply() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.apply(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.apply(&mut a, &[0.0, 10.0, 0.0]);
+        assert_eq!(a, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.apply(&mut a, &[3.0, 3.0, 3.0]);
+        assert_eq!(a, vec![2.0, 3.0, 0.0]);
+    }
+}

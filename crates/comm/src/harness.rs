@@ -1,0 +1,90 @@
+//! Rank thread harness: spawn one thread per rank, join, propagate panics.
+
+use crate::shm::{ShmComm, World};
+
+/// Run `f` on `n` ranks, one OS thread each. Panics in any rank are
+/// propagated to the caller after all threads have been joined.
+pub fn run_ranks<F>(n: usize, f: F)
+where
+    F: Fn(ShmComm) + Send + Sync,
+{
+    run_ranks_map(n, |c| f(c));
+}
+
+/// Like [`run_ranks`] but collects one result per rank, in rank order.
+pub fn run_ranks_map<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(ShmComm) -> R + Send + Sync,
+    R: Send,
+{
+    let world = World::new(n);
+    let comms = world.comms();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| s.spawn(move || f(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Run `f` on `n` ranks and also return the world's traffic counters
+/// `(bytes_sent, messages_sent)` — used by communication-volume experiments.
+pub fn run_ranks_counted<F>(n: usize, f: F) -> (u64, u64)
+where
+    F: Fn(ShmComm) + Send + Sync,
+{
+    let world = World::new(n);
+    let comms = world.comms();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| s.spawn(move || f(c)))
+            .collect();
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+    (world.bytes_sent(), world.messages_sent())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shm::Communicator;
+
+    #[test]
+    fn map_returns_in_rank_order() {
+        let out = run_ranks_map(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn panics_propagate() {
+        run_ranks(4, |c| {
+            if c.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn counted_reports_traffic() {
+        use crate::shm::Communicator;
+        let (bytes, msgs) = run_ranks_counted(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u64; 4].into());
+            } else {
+                c.recv(0, 1);
+            }
+        });
+        assert_eq!(bytes, 32);
+        assert_eq!(msgs, 1);
+    }
+}

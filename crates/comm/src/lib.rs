@@ -1,0 +1,36 @@
+//! Rank-to-rank communication substrate.
+//!
+//! The original system runs one MPI process per SW26010-Pro core group. We
+//! substitute a **shared-memory communicator**: every rank is an OS thread,
+//! point-to-point messages go through per-rank mailboxes (mutex + condvar,
+//! per the project's atomics-and-locks guide), and the collective
+//! *algorithms* — ring reduce-scatter/all-gather, binomial trees, pairwise
+//! and hierarchical all-to-all — are implemented on top of plain
+//! send/receive exactly as they would be over MPI point-to-point. The
+//! algorithms are therefore the object of study; only the transport is
+//! substituted.
+//!
+//! Layers:
+//!
+//! * [`payload`] — typed message payloads (`f32` tensors, `u64` metadata),
+//! * [`shm`] — the mailbox transport, [`ShmComm`], and communicator
+//!   splitting into sub-groups,
+//! * [`collectives`] — the collective algorithms, generic over any
+//!   [`Communicator`],
+//! * [`harness`] — `run_ranks`, which spawns one thread per rank and joins
+//!   them, propagating panics.
+
+pub mod collectives;
+pub mod harness;
+pub mod payload;
+pub mod shm;
+pub mod timed;
+
+pub use collectives::{
+    allgather, allreduce, allreduce_recursive_doubling, alltoall, alltoallv,
+    alltoallv_hierarchical, alltoallv_u64, broadcast, gather, reduce_scatter, ReduceOp,
+};
+pub use harness::run_ranks;
+pub use payload::Payload;
+pub use shm::{Communicator, ShmComm, World};
+pub use timed::{LinkCost, TimedComm, TwoLevelCost};

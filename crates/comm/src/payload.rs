@@ -1,0 +1,79 @@
+//! Typed message payloads.
+//!
+//! Training traffic is overwhelmingly `f32` tensors (gradients, activations)
+//! plus small `u64` metadata (token ids, routing tables, counts). A
+//! two-variant enum keeps the transport monomorphic while preserving type
+//! safety at the receive side.
+
+/// A message body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Tensor data.
+    F32(Vec<f32>),
+    /// Metadata: token ids, expert assignments, counts.
+    U64(Vec<u64>),
+}
+
+impl Payload {
+    /// Unwrap as `f32` data; panics if the message was metadata. Tag
+    /// discipline in the collectives guarantees the variant statically.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            Payload::U64(_) => panic!("expected F32 payload, got U64"),
+        }
+    }
+
+    /// Unwrap as `u64` metadata; panics if the message was tensor data.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            Payload::F32(_) => panic!("expected U64 payload, got F32"),
+        }
+    }
+
+    /// Size in bytes of the payload body (what a wire would carry).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len() * 4,
+            Payload::U64(v) => v.len() * 8,
+        }
+    }
+}
+
+impl From<Vec<f32>> for Payload {
+    fn from(v: Vec<f32>) -> Payload {
+        Payload::F32(v)
+    }
+}
+
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Payload {
+        Payload::U64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_f32() {
+        let p: Payload = vec![1.0f32, 2.0].into();
+        assert_eq!(p.wire_bytes(), 8);
+        assert_eq!(p.into_f32(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn round_trip_u64() {
+        let p: Payload = vec![7u64].into();
+        assert_eq!(p.wire_bytes(), 8);
+        assert_eq!(p.into_u64(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn wrong_variant_panics() {
+        Payload::U64(vec![1]).into_f32();
+    }
+}

@@ -1,0 +1,398 @@
+//! Shared-memory transport: mailboxes, communicators, and splitting.
+//!
+//! One OS thread per rank. Point-to-point semantics mirror MPI:
+//!
+//! * `send` is asynchronous and never blocks (unbounded mailbox),
+//! * `recv(src, tag)` blocks until a matching message arrives,
+//! * messages between a fixed `(sender, tag)` pair are **non-overtaking**
+//!   (FIFO per key), which is what makes tag reuse across consecutive
+//!   collectives safe,
+//! * `split(color)` builds sub-communicators (expert-parallel and
+//!   data-parallel groups), with message isolation via a per-group context
+//!   id baked into the mailbox key.
+
+use crate::payload::Payload;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-to-point communication within a group of ranks.
+pub trait Communicator {
+    /// This rank's index within the group.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the group.
+    fn size(&self) -> usize;
+    /// Asynchronously send `payload` to group rank `dst` under `tag`.
+    fn send(&self, dst: usize, tag: u64, payload: Payload);
+    /// Block until a message from group rank `src` under `tag` arrives.
+    fn recv(&self, src: usize, tag: u64) -> Payload;
+    /// Block until every rank in the group has entered the barrier.
+    fn barrier(&self);
+}
+
+/// Mailbox key: (group context, sender's group rank, tag).
+type Key = (u64, usize, u64);
+
+struct Mailbox {
+    queues: Mutex<HashMap<Key, VecDeque<Payload>>>,
+    arrived: Condvar,
+}
+
+struct BarrierState {
+    inner: Mutex<(usize, u64)>, // (arrived, generation)
+    released: Condvar,
+    size: usize,
+}
+
+impl BarrierState {
+    fn wait(&self) {
+        let mut g = self.inner.lock();
+        let generation = g.1;
+        g.0 += 1;
+        if g.0 == self.size {
+            g.0 = 0;
+            g.1 += 1;
+            self.released.notify_all();
+        } else {
+            while g.1 == generation {
+                self.released.wait(&mut g);
+            }
+        }
+    }
+}
+
+struct Shared {
+    boxes: Vec<Mailbox>,
+    barriers: Mutex<HashMap<u64, Arc<BarrierState>>>,
+    next_ctx: AtomicU64,
+    total_bytes: AtomicU64,
+    total_msgs: AtomicU64,
+}
+
+impl Shared {
+    fn barrier_for(&self, ctx: u64, size: usize) -> Arc<BarrierState> {
+        let mut map = self.barriers.lock();
+        let b = map.entry(ctx).or_insert_with(|| {
+            Arc::new(BarrierState {
+                inner: Mutex::new((0, 0)),
+                released: Condvar::new(),
+                size,
+            })
+        });
+        assert_eq!(b.size, size, "barrier size mismatch for ctx {ctx}");
+        b.clone()
+    }
+}
+
+/// The world: owns the shared mailboxes; hands out one [`ShmComm`] per rank.
+pub struct World {
+    shared: Arc<Shared>,
+    size: usize,
+}
+
+impl World {
+    /// Create a world of `n` ranks.
+    pub fn new(n: usize) -> World {
+        assert!(n > 0, "world must have at least one rank");
+        let boxes = (0..n)
+            .map(|_| Mailbox { queues: Mutex::new(HashMap::new()), arrived: Condvar::new() })
+            .collect();
+        World {
+            shared: Arc::new(Shared {
+                boxes,
+                barriers: Mutex::new(HashMap::new()),
+                next_ctx: AtomicU64::new(1),
+                total_bytes: AtomicU64::new(0),
+                total_msgs: AtomicU64::new(0),
+            }),
+            size: n,
+        }
+    }
+
+    /// One communicator handle per rank, in rank order.
+    pub fn comms(&self) -> Vec<ShmComm> {
+        let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+        (0..self.size)
+            .map(|r| ShmComm {
+                shared: self.shared.clone(),
+                ctx: 0,
+                rank: r,
+                members: members.clone(),
+                split_seq: AtomicU64::new(0),
+            })
+            .collect()
+    }
+
+    /// Total payload bytes sent through this world so far (all groups).
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent through this world so far (all groups).
+    pub fn messages_sent(&self) -> u64 {
+        self.shared.total_msgs.load(Ordering::Relaxed)
+    }
+}
+
+/// Reserved tag bit for internal control traffic (split).
+const CTRL_TAG: u64 = 1 << 63;
+
+/// A rank's handle on a (sub-)communicator.
+pub struct ShmComm {
+    shared: Arc<Shared>,
+    ctx: u64,
+    rank: usize,
+    /// Group rank → world rank.
+    members: Arc<Vec<usize>>,
+    /// Per-handle counter so repeated `split` calls use distinct tags.
+    split_seq: AtomicU64,
+}
+
+impl ShmComm {
+    /// Split into sub-communicators by `color`: ranks sharing a color form a
+    /// new group, ordered by their rank in `self`. Collective — every rank
+    /// of `self` must call it, in the same program order.
+    pub fn split(&self, color: u64) -> ShmComm {
+        let n = self.size();
+        let seq = self.split_seq.fetch_add(1, Ordering::Relaxed);
+        let tag = CTRL_TAG | seq;
+
+        // Gather colors at rank 0, which assigns one fresh context per
+        // distinct color and replies with (ctx, group rank, members).
+        if self.rank == 0 {
+            let mut colors = vec![0u64; n];
+            colors[0] = color;
+            for r in 1..n {
+                colors[r] = self.recv(r, tag).into_u64()[0];
+            }
+            // Deterministic: contexts assigned in order of first appearance.
+            let mut ctx_of: HashMap<u64, u64> = HashMap::new();
+            let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (r, &c) in colors.iter().enumerate() {
+                ctx_of.entry(c).or_insert_with(|| {
+                    self.shared.next_ctx.fetch_add(1, Ordering::Relaxed)
+                });
+                groups.entry(c).or_default().push(r);
+            }
+            let mut my_new = None;
+            for (r, &c) in colors.iter().enumerate() {
+                let grp = &groups[&c];
+                let grank = grp.iter().position(|&x| x == r).unwrap() as u64;
+                // members as world ranks
+                let mut msg = vec![ctx_of[&c], grank, grp.len() as u64];
+                msg.extend(grp.iter().map(|&p| self.members[p] as u64));
+                if r == 0 {
+                    my_new = Some(msg);
+                } else {
+                    self.send(r, tag, msg.into());
+                }
+            }
+            Self::from_split_msg(self, my_new.unwrap())
+        } else {
+            self.send(0, tag, vec![color].into());
+            let msg = self.recv(0, tag).into_u64();
+            Self::from_split_msg(self, msg)
+        }
+    }
+
+    fn from_split_msg(parent: &ShmComm, msg: Vec<u64>) -> ShmComm {
+        let ctx = msg[0];
+        let rank = msg[1] as usize;
+        let len = msg[2] as usize;
+        let members: Vec<usize> = msg[3..3 + len].iter().map(|&x| x as usize).collect();
+        ShmComm {
+            shared: parent.shared.clone(),
+            ctx,
+            rank,
+            members: Arc::new(members),
+            split_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// World rank of a group rank.
+    pub fn world_rank_of(&self, group_rank: usize) -> usize {
+        self.members[group_rank]
+    }
+}
+
+impl Communicator for ShmComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        let world_dst = self.members[dst];
+        self.shared.total_bytes.fetch_add(payload.wire_bytes() as u64, Ordering::Relaxed);
+        self.shared.total_msgs.fetch_add(1, Ordering::Relaxed);
+        let mbox = &self.shared.boxes[world_dst];
+        let mut queues = mbox.queues.lock();
+        queues.entry((self.ctx, self.rank, tag)).or_default().push_back(payload);
+        mbox.arrived.notify_all();
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        let world_me = self.members[self.rank];
+        let mbox = &self.shared.boxes[world_me];
+        let key = (self.ctx, src, tag);
+        let mut queues = mbox.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&key) {
+                if let Some(p) = q.pop_front() {
+                    return p;
+                }
+            }
+            mbox.arrived.wait(&mut queues);
+        }
+    }
+
+    fn barrier(&self) {
+        let b = self.shared.barrier_for(self.ctx, self.size());
+        b.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_ranks;
+
+    #[test]
+    fn ping_pong() {
+        run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f32, 2.0].into());
+                let back = c.recv(1, 8).into_f32();
+                assert_eq!(back, vec![3.0]);
+            } else {
+                let msg = c.recv(0, 7).into_f32();
+                assert_eq!(msg, vec![1.0, 2.0]);
+                c.send(0, 8, vec![3.0f32].into());
+            }
+        });
+    }
+
+    #[test]
+    fn messages_are_fifo_per_sender_tag() {
+        run_ranks(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100 {
+                    c.send(1, 1, vec![i as f32].into());
+                }
+            } else {
+                for i in 0..100 {
+                    assert_eq!(c.recv(0, 1).into_f32(), vec![i as f32]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tags_do_not_cross_talk() {
+        run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 2, vec![2.0f32].into());
+                c.send(1, 1, vec![1.0f32].into());
+            } else {
+                // Receive in the opposite order of sending.
+                assert_eq!(c.recv(0, 1).into_f32(), vec![1.0]);
+                assert_eq!(c.recv(0, 2).into_f32(), vec![2.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_works() {
+        run_ranks(1, |c| {
+            c.send(0, 5, vec![42u64].into());
+            assert_eq!(c.recv(0, 5).into_u64(), vec![42]);
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all 8 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        run_ranks(4, |c| {
+            for _ in 0..50 {
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn split_forms_consistent_groups() {
+        run_ranks(8, |c| {
+            // Even/odd split.
+            let sub = c.split((c.rank() % 2) as u64);
+            assert_eq!(sub.size(), 4);
+            assert_eq!(sub.rank(), c.rank() / 2);
+            // Message within the subgroup: ring neighbor exchange.
+            let right = (sub.rank() + 1) % sub.size();
+            let left = (sub.rank() + sub.size() - 1) % sub.size();
+            sub.send(right, 3, vec![c.rank() as f32].into());
+            let got = sub.recv(left, 3).into_f32();
+            // Left neighbor in the subgroup has world rank = mine - 2 (mod 8,
+            // same parity).
+            let expect = ((c.rank() + 8 - 2) % 8) as f32;
+            assert_eq!(got, vec![expect]);
+        });
+    }
+
+    #[test]
+    fn split_groups_are_isolated() {
+        run_ranks(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64);
+            // Same tag in both groups; contexts must keep them apart.
+            let peer = 1 - sub.rank();
+            sub.send(peer, 9, vec![c.rank() as f32].into());
+            let got = sub.recv(peer, 9).into_f32()[0] as usize;
+            assert_eq!(got % 2, c.rank() % 2, "crossed group boundary!");
+        });
+    }
+
+    #[test]
+    fn nested_split_works() {
+        run_ranks(8, |c| {
+            let half = c.split((c.rank() / 4) as u64); // two groups of 4
+            let pair = half.split((half.rank() / 2) as u64); // four groups of 2
+            assert_eq!(pair.size(), 2);
+            pair.send(1 - pair.rank(), 1, vec![c.rank() as u64].into());
+            let got = pair.recv(1 - pair.rank(), 1).into_u64()[0] as usize;
+            // Partner differs by exactly 1 in world rank.
+            assert_eq!(got ^ c.rank(), 1);
+        });
+    }
+
+    #[test]
+    fn world_counts_traffic() {
+        let world = World::new(2);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            let (c0, c1) = {
+                let mut it = comms.into_iter();
+                (it.next().unwrap(), it.next().unwrap())
+            };
+            s.spawn(move || c0.send(1, 1, vec![0.0f32; 256].into()));
+            s.spawn(move || {
+                c1.recv(0, 1);
+            });
+        });
+        assert_eq!(world.bytes_sent(), 1024);
+        assert_eq!(world.messages_sent(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Virtual-time accounting over any communicator.
+//!
+//! Functional runs execute on OS threads whose wall-clock says nothing
+//! about the target machine. [`TimedComm`] wraps a communicator and
+//! charges every message the α–β cost it would have on a configured
+//! topology (per-rank virtual clocks, receiver waits for sender), so a
+//! *functional* training step also yields the *simulated* communication
+//! time it would spend on the machine — per rank, per collective family.
+//!
+//! The α–β constants come in through [`LinkCost`], a trait the caller
+//! implements (in practice from `bagualu_hw::NetworkParams`; this crate
+//! stays independent of the hardware crate).
+
+use crate::payload::Payload;
+use crate::shm::Communicator;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cost of moving `bytes` between two ranks, seconds.
+pub trait LinkCost: Send + Sync {
+    fn cost(&self, from: usize, to: usize, bytes: usize) -> f64;
+}
+
+/// Simple two-level α–β cost: ranks in the same `supernode_size` block use
+/// the intra constants, others the inter constants.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLevelCost {
+    pub supernode_size: usize,
+    pub alpha_intra: f64,
+    pub beta_intra: f64, // seconds per byte
+    pub alpha_inter: f64,
+    pub beta_inter: f64,
+}
+
+impl TwoLevelCost {
+    /// Constants mirroring `bagualu_hw::NetworkParams::sunway()`.
+    pub fn sunway_like(supernode_size: usize) -> TwoLevelCost {
+        TwoLevelCost {
+            supernode_size,
+            alpha_intra: 2.5e-6,
+            beta_intra: 1.0 / 16.0e9,
+            alpha_inter: 4.5e-6,
+            beta_inter: 1.0 / 4.0e9,
+        }
+    }
+}
+
+impl LinkCost for TwoLevelCost {
+    fn cost(&self, from: usize, to: usize, bytes: usize) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let same = from / self.supernode_size == to / self.supernode_size;
+        if same {
+            self.alpha_intra + bytes as f64 * self.beta_intra
+        } else {
+            self.alpha_inter + bytes as f64 * self.beta_inter
+        }
+    }
+}
+
+/// Shared virtual clocks, one per rank.
+struct Clocks {
+    now: Mutex<Vec<f64>>,
+}
+
+/// A communicator that forwards to `inner` while accumulating virtual
+/// communication time on per-rank clocks.
+///
+/// Timing rule (a standard LogP-style approximation): a message from `s`
+/// to `r` arrives at `max(clock_s, clock_r) + cost(s, r, bytes)`; the
+/// receive advances the receiver's clock to the arrival time. Sends are
+/// asynchronous and do not advance the sender.
+pub struct TimedComm<C: Communicator, L: LinkCost> {
+    inner: C,
+    cost: Arc<L>,
+    clocks: Arc<Clocks>,
+}
+
+impl<C: Communicator, L: LinkCost> TimedComm<C, L> {
+    /// Wrap a full set of communicators (one per rank) with shared clocks.
+    pub fn wrap_all(comms: Vec<C>, cost: L) -> Vec<TimedComm<C, L>> {
+        let n = comms.len();
+        let clocks = Arc::new(Clocks { now: Mutex::new(vec![0.0; n]) });
+        let cost = Arc::new(cost);
+        comms
+            .into_iter()
+            .map(|inner| TimedComm { inner, cost: cost.clone(), clocks: clocks.clone() })
+            .collect()
+    }
+
+    /// This rank's virtual communication time so far, seconds.
+    pub fn virtual_time(&self) -> f64 {
+        self.clocks.now.lock()[self.inner.rank()]
+    }
+
+    /// Maximum virtual time across all ranks (the collective's makespan).
+    pub fn virtual_makespan(&self) -> f64 {
+        self.clocks.now.lock().iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        // Stamp the virtual send time into the message path: the receiver
+        // will fold it in when it receives. We piggyback by advancing the
+        // receiver-side bookkeeping at receive time instead, which needs the
+        // sender's clock; capture it now into a side-channel message.
+        let bytes = payload.wire_bytes();
+        {
+            let clocks = self.clocks.now.lock();
+            let send_time = clocks[self.inner.rank()];
+            drop(clocks);
+            // Header carries (send_time_bits, bytes) for the timing fold.
+            self.inner.send(
+                dst,
+                tag ^ TIME_TAG_XOR,
+                vec![send_time.to_bits(), bytes as u64].into(),
+            );
+        }
+        self.inner.send(dst, tag, payload);
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        let hdr = self.inner.recv(src, tag ^ TIME_TAG_XOR).into_u64();
+        let payload = self.inner.recv(src, tag);
+        let send_time = f64::from_bits(hdr[0]);
+        let bytes = hdr[1] as usize;
+        let me = self.inner.rank();
+        let world_src = src;
+        let mut clocks = self.clocks.now.lock();
+        let arrival =
+            send_time.max(clocks[me]) + self.cost.cost(world_src, me, bytes);
+        clocks[me] = arrival;
+        payload
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier();
+        // A barrier synchronizes virtual clocks to the slowest rank.
+        let mut clocks = self.clocks.now.lock();
+        let max = clocks.iter().cloned().fold(0.0, f64::max);
+        clocks.iter_mut().for_each(|c| *c = max);
+    }
+}
+
+/// Tag-space split for the timing headers (flips a high bit that the
+/// collectives' tag constants never use).
+const TIME_TAG_XOR: u64 = 1 << 62;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{allreduce, alltoallv, alltoallv_hierarchical, ReduceOp};
+    use crate::shm::World;
+
+    fn run_timed<F, R>(n: usize, sn: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&TimedComm<crate::shm::ShmComm, TwoLevelCost>) -> R + Send + Sync,
+        R: Send,
+    {
+        let world = World::new(n);
+        let comms = TimedComm::wrap_all(world.comms(), TwoLevelCost::sunway_like(sn));
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = comms.iter().map(|c| s.spawn(move || f(c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn point_to_point_charges_alpha_beta() {
+        let times = run_timed(2, 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![0.0f32; 1000].into());
+                0.0
+            } else {
+                c.recv(0, 5).into_f32();
+                c.virtual_time()
+            }
+        });
+        let cost = TwoLevelCost::sunway_like(2);
+        let expect = cost.alpha_intra + 4000.0 * cost.beta_intra;
+        assert!((times[1] - expect).abs() < 1e-12, "{} vs {expect}", times[1]);
+    }
+
+    #[test]
+    fn cross_supernode_costs_more() {
+        let t_near = run_timed(4, 4, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0f32; 1 << 12].into());
+            } else if c.rank() == 1 {
+                c.recv(0, 1);
+                return c.virtual_time();
+            }
+            0.0
+        })[1];
+        let t_far = run_timed(4, 2, |c| {
+            // supernodes of 2: rank 0 → rank 3 crosses.
+            if c.rank() == 0 {
+                c.send(3, 1, vec![0.0f32; 1 << 12].into());
+            } else if c.rank() == 3 {
+                c.recv(0, 1);
+                return c.virtual_time();
+            }
+            0.0
+        })[3];
+        assert!(t_far > t_near * 2.0, "{t_far} vs {t_near}");
+    }
+
+    #[test]
+    fn collectives_run_and_accumulate_makespan() {
+        let makespans = run_timed(8, 4, |c| {
+            let out = allreduce(c, vec![c.rank() as f32; 64], ReduceOp::Sum);
+            assert_eq!(out[0], 28.0);
+            c.barrier();
+            c.virtual_makespan()
+        });
+        // Every rank agrees after the barrier, and time passed.
+        assert!(makespans[0] > 0.0);
+        for m in &makespans {
+            assert!((m - makespans[0]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hierarchical_a2a_beats_pairwise_in_virtual_time() {
+        // At 16 ranks with tiny messages, fewer cross-supernode messages
+        // must show up as less virtual time — the functional counterpart of
+        // the E3 projection, measured on the real algorithms.
+        let n = 16;
+        let mk = |rank: usize| -> Vec<Vec<f32>> { (0..n).map(|_| vec![rank as f32; 8]).collect() };
+        let flat = run_timed(n, 4, |c| {
+            alltoallv(c, mk(c.rank()));
+            c.barrier();
+            c.virtual_makespan()
+        })[0];
+        let hier = run_timed(n, 4, |c| {
+            alltoallv_hierarchical(c, mk(c.rank()), 4);
+            c.barrier();
+            c.virtual_makespan()
+        })[0];
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat pairwise {flat} in virtual time"
+        );
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let t = run_timed(2, 2, |c| {
+            c.send(c.rank(), 9, vec![0.0f32; 1 << 16].into());
+            c.recv(c.rank(), 9);
+            c.virtual_time()
+        });
+        assert_eq!(t[0], 0.0);
+    }
+}

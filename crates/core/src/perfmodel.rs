@@ -1,0 +1,312 @@
+//! End-to-end performance projection to the full machine.
+//!
+//! The functional trainer cannot run on 37 million cores; this model
+//! charges one training step its component costs using the roofline
+//! (compute) and α–β collective (communication) models, at any machine
+//! size. It regenerates the scaling tables and figures: weak/strong
+//! scaling, the pairwise-vs-hierarchical all-to-all ablation, per-step
+//! time breakdowns, and the sustained mixed-precision FLOPS headline.
+//!
+//! Conventions: the projection uses one aggregated rank per node (the six
+//! core groups of an SW26010-Pro act as one roofline unit), `tokens_per_
+//! node` tokens of micro-batch per node per step, and charges forward +
+//! backward as 3× forward FLOPs. Communication and compute are not
+//! overlapped — the conservative (and at these message sizes, realistic)
+//! assumption.
+
+use bagualu_hw::{MachineConfig, Precision};
+use bagualu_model::config::ModelConfig;
+use bagualu_model::ffn::FeedForward;
+use bagualu_net::cost::CollectiveCost;
+
+/// Inputs of one projection.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfInput {
+    pub model: ModelConfig,
+    pub machine: MachineConfig,
+    /// Micro-batch tokens per node per step.
+    pub tokens_per_node: usize,
+    /// Arithmetic precision of the dense/expert kernels.
+    pub precision: Precision,
+    /// Use the two-phase hierarchical all-to-all (vs pairwise).
+    pub hierarchical_a2a: bool,
+    /// Use the hierarchical all-reduce (vs flat ring).
+    pub hierarchical_allreduce: bool,
+    /// Max/mean expert-load imbalance; multiplies expert compute (step time
+    /// is set by the slowest expert shard).
+    pub imbalance: f64,
+    /// Bytes per gradient element in the dense all-reduce (4 = FP32 reduce).
+    pub grad_bytes: f64,
+    /// Fraction of communication hidden behind compute (0 = fully serial,
+    /// 1 = perfectly overlapped, bounded by the available compute time).
+    pub overlap: f64,
+    /// Charge the two-level router's gate FLOPs (`d·(√E + E/√E)`) instead
+    /// of the flat gate's `d·E` — the ablation of experiment E18.
+    pub two_level_gate: bool,
+}
+
+impl PerfInput {
+    /// BaGuaLu-like defaults on the full machine: half precision, both
+    /// hierarchical collectives, balanced routing, FP32 gradient reduce.
+    pub fn sunway_full(model: ModelConfig) -> PerfInput {
+        PerfInput {
+            model,
+            machine: MachineConfig::new_generation_sunway(),
+            tokens_per_node: 2048,
+            precision: Precision::Half,
+            hierarchical_a2a: true,
+            hierarchical_allreduce: true,
+            imbalance: 1.0,
+            grad_bytes: 4.0,
+            overlap: 0.0,
+            two_level_gate: false,
+        }
+    }
+
+    /// Same, on a subset of nodes.
+    pub fn sunway_nodes(model: ModelConfig, nodes: usize) -> PerfInput {
+        PerfInput {
+            machine: MachineConfig::sunway_subset(nodes),
+            ..PerfInput::sunway_full(model)
+        }
+    }
+}
+
+/// Per-step wall-time decomposition, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepBreakdown {
+    /// Attention + dense FFN + LM head compute.
+    pub dense_compute: f64,
+    /// Gate projection compute (grows with expert count).
+    pub gate_compute: f64,
+    /// Expert FFN compute (constant per token; scaled by imbalance).
+    pub expert_compute: f64,
+    /// All four all-to-alls per MoE layer.
+    pub a2a: f64,
+    /// Dense-gradient all-reduce.
+    pub allreduce: f64,
+}
+
+impl StepBreakdown {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.dense_compute + self.gate_compute + self.expert_compute + self.a2a + self.allreduce
+    }
+
+    /// Fraction of the step spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        (self.a2a + self.allreduce) / self.total()
+    }
+}
+
+/// Result of one projection.
+#[derive(Debug, Clone, Copy)]
+pub struct Projection {
+    pub breakdown: StepBreakdown,
+    /// Seconds per training step.
+    pub step_time: f64,
+    /// Tokens processed machine-wide per step.
+    pub global_tokens: f64,
+    /// Training throughput, tokens/second.
+    pub tokens_per_sec: f64,
+    /// Useful model FLOPs sustained per second (the paper-style headline).
+    pub sustained_flops: f64,
+    /// Sustained as a fraction of the machine's GEMM-sustained peak.
+    pub efficiency: f64,
+}
+
+/// Per-token *forward* FLOPs, decomposed. Train charges 3×.
+struct FlopsPerToken {
+    dense: f64,
+    gate: f64,
+    expert: f64,
+}
+
+fn flops_per_token(m: &ModelConfig, two_level_gate: bool) -> FlopsPerToken {
+    let d = m.d_model as f64;
+    let expert_p = FeedForward::param_count(m.d_model, m.d_ff) as f64;
+    let attn_p = (m.d_model * 3 * m.d_model + 3 * m.d_model + m.d_model * m.d_model + m.d_model)
+        as f64;
+    let mut dense = 0.0;
+    let mut gate = 0.0;
+    let mut expert = 0.0;
+    for i in 0..m.n_layers {
+        dense += 2.0 * attn_p + 2.0 * m.max_seq as f64 * d; // proj + scores at avg context
+        if m.is_moe_block(i) {
+            gate += if two_level_gate {
+                // Two-stage routing at the FLOPs-optimal group count √E.
+                let g = (m.n_experts as f64).sqrt().max(1.0);
+                2.0 * d * (g + m.n_experts as f64 / g)
+            } else {
+                2.0 * d * m.n_experts as f64
+            };
+            expert += 2.0 * expert_p * m.gate.k() as f64;
+        } else {
+            dense += 2.0 * expert_p;
+        }
+    }
+    dense += 2.0 * d * m.vocab as f64; // LM head
+    FlopsPerToken { dense, gate, expert }
+}
+
+/// Project one training step.
+pub fn project(input: &PerfInput) -> Projection {
+    let m = &input.model;
+    let mach = &input.machine;
+    let nodes = mach.nodes;
+    let b = input.tokens_per_node as f64;
+    let fl = flops_per_token(m, input.two_level_gate);
+
+    // ---- Compute, per node (one roofline unit per node).
+    let sustained = mach.processor.peak(input.precision) * mach.gemm_efficiency;
+    let dense_compute = 3.0 * fl.dense * b / sustained;
+    let gate_compute = 3.0 * fl.gate * b / sustained;
+    let expert_compute = 3.0 * fl.expert * b * input.imbalance / sustained;
+
+    // ---- All-to-all: per MoE layer, 2 exchanges forward + 2 backward.
+    // Per-pair payload: this node's B·k token vectors spread over all nodes.
+    let cc = CollectiveCost::new(*mach);
+    let elt = match input.precision {
+        Precision::Half => 2.0,
+        Precision::FP32 => 4.0,
+        Precision::FP64 => 8.0,
+    };
+    let bytes_per_pair =
+        ((b * m.gate.k() as f64 * m.d_model as f64 * elt) / nodes as f64).ceil() as usize;
+    let one_a2a = if input.hierarchical_a2a {
+        cc.alltoall_hierarchical(nodes, bytes_per_pair.max(1))
+    } else {
+        cc.alltoall_pairwise(nodes, bytes_per_pair.max(1))
+    };
+    let a2a = one_a2a * 4.0 * m.n_moe_blocks() as f64;
+
+    // ---- Dense gradient all-reduce, once per step.
+    let dense_grad_bytes = (m.dense_params() as f64 * input.grad_bytes) as usize;
+    let allreduce = if nodes > 1 {
+        if input.hierarchical_allreduce {
+            cc.allreduce_hierarchical(nodes, dense_grad_bytes)
+        } else {
+            cc.allreduce_ring(nodes, dense_grad_bytes)
+        }
+    } else {
+        0.0
+    };
+
+    let breakdown =
+        StepBreakdown { dense_compute, gate_compute, expert_compute, a2a, allreduce };
+    // Overlap hides up to `overlap · comm` behind compute, bounded by the
+    // compute actually available to hide it behind.
+    let compute = dense_compute + gate_compute + expert_compute;
+    let comm = a2a + allreduce;
+    let hidden = (input.overlap.clamp(0.0, 1.0) * comm).min(compute);
+    let step_time = breakdown.total() - hidden;
+    let global_tokens = b * nodes as f64;
+    let useful_flops = 3.0 * (fl.dense + fl.gate + fl.expert) * global_tokens;
+    let sustained_flops = useful_flops / step_time;
+    Projection {
+        breakdown,
+        step_time,
+        global_tokens,
+        tokens_per_sec: global_tokens / step_time,
+        sustained_flops,
+        efficiency: sustained_flops / (mach.sustained(input.precision) * 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PerfInput {
+        PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
+    }
+
+    #[test]
+    fn hierarchical_a2a_beats_pairwise_at_full_scale() {
+        let hier = project(&base());
+        let flat = project(&PerfInput { hierarchical_a2a: false, ..base() });
+        assert!(
+            hier.breakdown.a2a < flat.breakdown.a2a / 5.0,
+            "hier {}s vs flat {}s",
+            hier.breakdown.a2a,
+            flat.breakdown.a2a
+        );
+        assert!(hier.tokens_per_sec > flat.tokens_per_sec * 1.5);
+    }
+
+    #[test]
+    fn half_precision_raises_throughput() {
+        let half = project(&base());
+        let full = project(&PerfInput { precision: Precision::FP32, ..base() });
+        assert!(half.tokens_per_sec > full.tokens_per_sec * 1.5);
+    }
+
+    #[test]
+    fn sustained_flops_is_eflops_scale_at_full_machine() {
+        let p = project(&base());
+        // Headline shape: ~1 EFLOPS-order sustained mixed precision.
+        assert!(
+            p.sustained_flops > 2e17 && p.sustained_flops < 6e18,
+            "sustained = {:.3e}",
+            p.sustained_flops
+        );
+        assert!(p.efficiency > 0.05 && p.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn imbalance_slows_the_step() {
+        let balanced = project(&base());
+        let skewed = project(&PerfInput { imbalance: 4.0, ..base() });
+        assert!(skewed.step_time > balanced.step_time);
+        assert!(
+            (skewed.breakdown.expert_compute / balanced.breakdown.expert_compute - 4.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn weak_scaling_is_near_linear_with_hierarchical_collectives() {
+        // Throughput per node should stay within 2× from 1k to 96k nodes.
+        let small = project(&PerfInput::sunway_nodes(ModelConfig::bagualu_14_5t(), 1024));
+        let big = project(&base());
+        let per_node_small = small.tokens_per_sec / 1024.0;
+        let per_node_big = big.tokens_per_sec / 96_000.0;
+        let eff = per_node_big / per_node_small;
+        assert!(eff > 0.5, "weak-scaling efficiency collapsed: {eff}");
+    }
+
+    #[test]
+    fn single_node_has_no_communication() {
+        let p = project(&PerfInput::sunway_nodes(ModelConfig::tiny(), 1));
+        assert_eq!(p.breakdown.allreduce, 0.0);
+        // One node = one "supernode": a2a degenerates to self-exchange cost 0.
+        assert_eq!(p.breakdown.a2a, 0.0);
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let serial = project(&base());
+        let overlapped = project(&PerfInput { overlap: 1.0, ..base() });
+        assert!(overlapped.step_time < serial.step_time);
+        // Perfect overlap: step = max(compute, comm) when comm ≤ compute,
+        // otherwise compute disappears entirely behind comm.
+        let b = serial.breakdown;
+        let compute = b.dense_compute + b.gate_compute + b.expert_compute;
+        let comm = b.a2a + b.allreduce;
+        let expect = compute.max(comm);
+        assert!((overlapped.step_time - expect).abs() < 1e-9);
+        // Half overlap sits between.
+        let half = project(&PerfInput { overlap: 0.5, ..base() });
+        assert!(half.step_time < serial.step_time && half.step_time > overlapped.step_time);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = project(&base());
+        let b = p.breakdown;
+        let sum =
+            b.dense_compute + b.gate_compute + b.expert_compute + b.a2a + b.allreduce;
+        assert!((sum - p.step_time).abs() < 1e-12);
+        assert!(b.comm_fraction() > 0.0 && b.comm_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte-level byte-pair-encoding tokenizer.
+//!
+//! The synthetic tasks route integer tokens directly; this tokenizer closes
+//! the loop to *text*: train merges on a corpus, encode strings into ids a
+//! [`crate::model::config::ModelConfig`]-sized vocabulary can consume, and
+//! decode generations back to UTF-8. Byte-level base vocabulary (256)
+//! guarantees any input round-trips exactly.
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct Bpe {
+    /// Merge rules in priority order: `(left_id, right_id) → new_id`.
+    merges: Vec<(u32, u32)>,
+    /// Byte expansion of every token id (`0..256` are single bytes).
+    vocab: Vec<Vec<u8>>,
+}
+
+impl Bpe {
+    /// Train on `corpus` until the vocabulary reaches `vocab_size`
+    /// (≥ 256) or no pair repeats. Deterministic: ties break toward the
+    /// pair that appears first in the corpus.
+    pub fn train(corpus: &str, vocab_size: usize) -> Bpe {
+        assert!(vocab_size >= 256, "byte-level BPE needs vocab ≥ 256");
+        let mut ids: Vec<u32> = corpus.bytes().map(|b| b as u32).collect();
+        let mut vocab: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+        let mut merges = Vec::new();
+
+        while vocab.len() < vocab_size {
+            // Count adjacent pairs, remembering first-occurrence order.
+            let mut counts: std::collections::HashMap<(u32, u32), (usize, usize)> =
+                std::collections::HashMap::new();
+            for (i, w) in ids.windows(2).enumerate() {
+                let e = counts.entry((w[0], w[1])).or_insert((0, i));
+                e.0 += 1;
+            }
+            let Some((&pair, &(count, _))) = counts
+                .iter()
+                .max_by_key(|(_, &(c, first))| (c, std::cmp::Reverse(first)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing repeats; further merges don't compress
+            }
+            let new_id = vocab.len() as u32;
+            let mut bytes = vocab[pair.0 as usize].clone();
+            bytes.extend_from_slice(&vocab[pair.1 as usize]);
+            vocab.push(bytes);
+            merges.push(pair);
+            ids = Self::merge_pass(&ids, pair, new_id);
+        }
+        Bpe { merges, vocab }
+    }
+
+    fn merge_pass(ids: &[u32], pair: (u32, u32), new_id: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            if i + 1 < ids.len() && ids[i] == pair.0 && ids[i + 1] == pair.1 {
+                out.push(new_id);
+                i += 2;
+            } else {
+                out.push(ids[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Vocabulary size (256 + learned merges).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encode text by replaying the merge rules in training order.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        let mut ids: Vec<u32> = text.bytes().map(|b| b as u32).collect();
+        for (rank, &pair) in self.merges.iter().enumerate() {
+            let new_id = (256 + rank) as u32;
+            ids = Self::merge_pass(&ids, pair, new_id);
+        }
+        ids.into_iter().map(|i| i as usize).collect()
+    }
+
+    /// Decode token ids back to text (lossy only if the bytes are not
+    /// valid UTF-8 at token boundaries, which byte-level merges preserve
+    /// for any text they were trained on round-tripping through encode).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut bytes = Vec::new();
+        for &id in ids {
+            bytes.extend_from_slice(&self.vocab[id]);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Compression ratio on a text: bytes per token.
+    pub fn bytes_per_token(&self, text: &str) -> f64 {
+        let n = self.encode(text).len();
+        if n == 0 {
+            0.0
+        } else {
+            text.len() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str =
+        "the quick brown fox jumps over the lazy dog; the quick brown fox again \
+         and again the quick brown fox, the the the quick quick brown";
+
+    #[test]
+    fn round_trips_exactly() {
+        let bpe = Bpe::train(CORPUS, 300);
+        for text in [CORPUS, "the fox", "completely unseen zebra text!", "日本語 bytes"] {
+            let ids = bpe.encode(text);
+            assert_eq!(bpe.decode(&ids), text);
+        }
+    }
+
+    #[test]
+    fn training_learns_compressive_merges() {
+        let bpe = Bpe::train(CORPUS, 300);
+        assert!(bpe.vocab_size() > 256, "no merges learned");
+        // Seen-distribution text compresses well below 1 token/byte.
+        let bpt = bpe.bytes_per_token("the quick brown fox");
+        assert!(bpt > 1.5, "bytes/token {bpt}");
+        // Unseen random-ish text compresses less.
+        let bpt_unseen = bpe.bytes_per_token("zxqj vwpk mntr");
+        assert!(bpt_unseen < bpt);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train(CORPUS, 280);
+        let b = Bpe::train(CORPUS, 280);
+        assert_eq!(a.encode(CORPUS), b.encode(CORPUS));
+        assert_eq!(a.vocab_size(), b.vocab_size());
+    }
+
+    #[test]
+    fn base_vocab_needs_no_training() {
+        let bpe = Bpe::train("", 256);
+        assert_eq!(bpe.vocab_size(), 256);
+        let ids = bpe.encode("abc");
+        assert_eq!(ids, vec![97, 98, 99]);
+        assert_eq!(bpe.decode(&ids), "abc");
+    }
+
+    #[test]
+    fn stops_when_nothing_repeats() {
+        let bpe = Bpe::train("abcdefg", 10_000);
+        // Pairs all unique → no merges beyond bytes.
+        assert_eq!(bpe.vocab_size(), 256);
+    }
+
+    #[test]
+    fn ids_fit_model_vocab() {
+        let bpe = Bpe::train(CORPUS, 300);
+        let ids = bpe.encode(CORPUS);
+        assert!(ids.iter().all(|&i| i < bpe.vocab_size()));
+    }
+}

@@ -1,0 +1,152 @@
+//! Roofline kernel-time estimation.
+//!
+//! At 37-million-core scale we cannot execute the training step functionally;
+//! the performance-projection experiments instead charge each kernel the
+//! classic roofline time — the maximum of its compute time at the sustained
+//! arithmetic rate and its memory time at DRAM bandwidth — plus a fixed
+//! launch overhead. The same accounting the original system's performance
+//! section relies on.
+
+use crate::machine::MachineConfig;
+use crate::processor::Precision;
+
+/// Cost summary of one kernel invocation on one core group.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelCost {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved between DRAM and the core group.
+    pub bytes: f64,
+    /// Estimated wall time, seconds.
+    pub time: f64,
+}
+
+impl KernelCost {
+    /// Aggregate two kernel costs executed back to back.
+    pub fn then(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            time: self.time + other.time,
+        }
+    }
+}
+
+/// Roofline evaluator for one core group of a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Roofline {
+    /// Sustained FLOP/s for compute-bound kernels at each precision.
+    sustained_fp32: f64,
+    sustained_half: f64,
+    sustained_fp64: f64,
+    /// DRAM bytes/s available to the core group.
+    mem_bw: f64,
+    /// Fixed kernel launch/synchronization overhead, seconds.
+    pub launch_overhead: f64,
+}
+
+impl Roofline {
+    /// Build from a machine config (per core group — the unit a rank owns).
+    pub fn per_core_group(m: &MachineConfig) -> Roofline {
+        let cg = m.processor.cg;
+        Roofline {
+            sustained_fp32: cg.peak_fp32 * m.gemm_efficiency,
+            sustained_half: cg.peak_half * m.gemm_efficiency,
+            sustained_fp64: cg.peak_fp64 * m.gemm_efficiency,
+            mem_bw: cg.mem_bw,
+            launch_overhead: 5.0e-6,
+        }
+    }
+
+    /// Sustained rate for a precision, FLOP/s.
+    pub fn sustained(&self, p: Precision) -> f64 {
+        match p {
+            Precision::FP64 => self.sustained_fp64,
+            Precision::FP32 => self.sustained_fp32,
+            Precision::Half => self.sustained_half,
+        }
+    }
+
+    /// Roofline time for a kernel with the given work and traffic.
+    pub fn kernel(&self, flops: f64, bytes: f64, p: Precision) -> KernelCost {
+        let t_compute = flops / self.sustained(p);
+        let t_memory = bytes / self.mem_bw;
+        KernelCost { flops, bytes, time: self.launch_overhead + t_compute.max(t_memory) }
+    }
+
+    /// Cost of a GEMM `[m,k]·[k,n]` at precision `p`: `2mkn` FLOPs and the
+    /// streaming traffic of both operands plus the output.
+    pub fn gemm(&self, m: usize, k: usize, n: usize, p: Precision) -> KernelCost {
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let elt = match p {
+            Precision::Half => 2.0,
+            Precision::FP32 => 4.0,
+            Precision::FP64 => 8.0,
+        };
+        let bytes = elt * (m * k + k * n + m * n) as f64;
+        self.kernel(flops, bytes, p)
+    }
+
+    /// Cost of an element-wise pass over `n` elements (memory bound by
+    /// construction: read + write).
+    pub fn elementwise(&self, n: usize, p: Precision) -> KernelCost {
+        let elt = match p {
+            Precision::Half => 2.0,
+            Precision::FP32 => 4.0,
+            Precision::FP64 => 8.0,
+        };
+        self.kernel(n as f64, 2.0 * elt * n as f64, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl() -> Roofline {
+        Roofline::per_core_group(&MachineConfig::new_generation_sunway())
+    }
+
+    #[test]
+    fn big_gemm_is_compute_bound() {
+        let r = rl();
+        let c = r.gemm(4096, 4096, 4096, Precision::FP32);
+        let t_compute = c.flops / r.sustained(Precision::FP32);
+        // Within 10% of pure compute time (launch overhead is negligible).
+        assert!((c.time - t_compute) / t_compute < 0.1, "time {} vs {}", c.time, t_compute);
+    }
+
+    #[test]
+    fn elementwise_is_memory_bound() {
+        let r = rl();
+        let c = r.elementwise(1 << 24, Precision::FP32);
+        let t_mem = c.bytes / 51.2e9;
+        assert!((c.time - r.launch_overhead - t_mem).abs() / t_mem < 1e-6);
+    }
+
+    #[test]
+    fn half_precision_gemm_is_faster() {
+        let r = rl();
+        let full = r.gemm(2048, 2048, 2048, Precision::FP32);
+        let half = r.gemm(2048, 2048, 2048, Precision::Half);
+        assert!(full.time / half.time > 3.0, "{} vs {}", full.time, half.time);
+    }
+
+    #[test]
+    fn tiny_kernel_pays_launch_overhead() {
+        let r = rl();
+        let c = r.gemm(4, 4, 4, Precision::FP32);
+        assert!(c.time >= r.launch_overhead);
+        assert!(c.time < 2.0 * r.launch_overhead);
+    }
+
+    #[test]
+    fn then_accumulates() {
+        let r = rl();
+        let a = r.gemm(128, 128, 128, Precision::FP32);
+        let b = r.elementwise(1024, Precision::FP32);
+        let c = a.then(b);
+        assert!((c.time - (a.time + b.time)).abs() < 1e-12);
+        assert!((c.flops - (a.flops + b.flops)).abs() < 1.0);
+    }
+}

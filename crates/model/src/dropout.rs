@@ -1,0 +1,124 @@
+//! Inverted dropout with a deterministic per-layer noise stream.
+//!
+//! Training-mode forward zeroes each activation with probability `p` and
+//! scales survivors by `1/(1-p)` (inverted dropout, so evaluation needs no
+//! rescale). The mask is cached for the backward pass. Determinism comes
+//! from an owned seeded RNG — the same construction seed replays the same
+//! noise, keeping multi-rank replicas in lockstep when they share seeds.
+
+use bagualu_tensor::rng::Rng;
+use bagualu_tensor::Tensor;
+
+/// One dropout layer.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    /// Training mode; evaluation passes activations through untouched.
+    pub training: bool,
+    rng: Rng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, training: true, rng: Rng::seed_from(seed), mask: None }
+    }
+
+    /// Forward; caches the mask when training with `p > 0`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(x.shape());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.uniform() < self.p { 0.0 } else { scale };
+        }
+        let mut y = x.clone();
+        y.mul_assign(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Backward: the same mask gates the gradient.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self.mask.take() {
+            None => dy.clone(),
+            Some(mask) => {
+                let mut dx = dy.clone();
+                dx.mul_assign(&mask);
+                dx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagualu_tensor::rng::Rng as TRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.training = false;
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert!(d.forward(&x).approx_eq(&x, 0.0));
+        assert!(d.backward(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn keeps_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[50_000]);
+        let y = d.forward(&x);
+        // Inverted dropout: E[y] = x.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Survivors are exactly 1/(1-p).
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5);
+        }
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = dropped as f64 / y.len() as f64;
+        assert!((rate - 0.3).abs() < 0.01, "drop rate {rate}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let mut rng = TRng::seed_from(4);
+        let x = Tensor::randn(&[64], 1.0, &mut rng);
+        let y = d.forward(&x);
+        let dy = Tensor::ones(&[64]);
+        let dx = d.backward(&dy);
+        // Wherever the output was zeroed the gradient must be zero, and
+        // elsewhere it is 1/(1-p).
+        for (yy, gg) in y.as_slice().iter().zip(dx.as_slice()) {
+            if *yy == 0.0 {
+                assert_eq!(*gg, 0.0);
+            } else {
+                assert!((gg - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.5, seed);
+            d.forward(&Tensor::ones(&[32])).into_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_one() {
+        Dropout::new(1.0, 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! The MoE router: expert selection, capacity limiting, balance loss.
+
+use crate::param::{HasParams, Param};
+use bagualu_tensor::ops::{matmul, matmul_nt, matmul_tn, softmax_rows};
+use bagualu_tensor::rng::Rng;
+use bagualu_tensor::Tensor;
+
+/// Expert-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Switch-style: each token goes to its single highest-probability
+    /// expert.
+    Top1,
+    /// GShard-style: each token goes to its two highest-probability experts.
+    Top2,
+    /// Balance-aware greedy: each token goes to its highest-probability
+    /// expert *among those still under capacity* — trades routing fidelity
+    /// for a balanced dispatch, eliminating drops whenever `cf ≥ 1`.
+    Balanced,
+    /// Noisy top-1: Gaussian jitter (scale [`Gate::noise_std`]) is added to
+    /// the logits before selection, spreading near-tie tokens across
+    /// experts; the combine weight is the *clean* router probability.
+    NoisyTop1,
+}
+
+impl GateKind {
+    /// Experts chosen per token.
+    pub fn k(self) -> usize {
+        match self {
+            GateKind::Top1 | GateKind::Balanced | GateKind::NoisyTop1 => 1,
+            GateKind::Top2 => 2,
+        }
+    }
+}
+
+/// One token→expert assignment with its combine weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    pub token: usize,
+    pub expert: usize,
+    /// Combine weight (the router probability of the chosen expert).
+    pub weight: f32,
+}
+
+/// The dispatch plan produced by a gate forward pass.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// Surviving (post-capacity) assignments, in token order.
+    pub assignments: Vec<Assignment>,
+    /// Post-capacity tokens per expert.
+    pub load: Vec<usize>,
+    /// Pre-capacity first-choice counts per expert (for balance metrics).
+    pub raw_load: Vec<usize>,
+    /// Assignments discarded because their expert was full.
+    pub dropped: usize,
+    /// Per-expert capacity that was applied.
+    pub capacity: usize,
+    /// Switch-style auxiliary balance loss (already weighted).
+    pub aux_loss: f32,
+}
+
+impl Routing {
+    /// Max-over-mean load imbalance (1.0 = perfectly balanced). Empty loads
+    /// return 1.0.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.load.len() as f64;
+        let max = *self.load.iter().max().unwrap() as f64;
+        max / mean
+    }
+
+    /// Fraction of pre-capacity assignments that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let kept = self.assignments.len();
+        let total = kept + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+/// The router network.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Routing weights `[d_model, n_experts]`.
+    pub wg: Param,
+    pub kind: GateKind,
+    /// Capacity factor `cf`: per-expert capacity is `ceil(cf·n·k/E)`.
+    pub capacity_factor: f32,
+    /// Weight of the auxiliary balance loss added to the training loss.
+    pub aux_weight: f32,
+    /// Logit jitter scale for [`GateKind::NoisyTop1`].
+    pub noise_std: f32,
+    /// Private noise stream (deterministic per construction seed).
+    noise_rng: Rng,
+    cache: Option<GateCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GateCache {
+    x: Tensor,
+    probs: Tensor,
+    /// First-choice fraction per expert (fᵉ in the switch loss).
+    frac: Vec<f32>,
+}
+
+impl Gate {
+    pub fn new(
+        name: &str,
+        d_model: usize,
+        n_experts: usize,
+        kind: GateKind,
+        capacity_factor: f32,
+        aux_weight: f32,
+        rng: &mut Rng,
+    ) -> Gate {
+        assert!(n_experts > 0);
+        assert!(capacity_factor > 0.0);
+        Gate {
+            wg: Param::new(format!("{name}.wg"), Tensor::xavier(d_model, n_experts, rng)),
+            kind,
+            capacity_factor,
+            aux_weight,
+            noise_std: 1.0,
+            noise_rng: Rng::seed_from(rng.next_u64()),
+            cache: None,
+        }
+    }
+
+    pub fn n_experts(&self) -> usize {
+        self.wg.value.cols()
+    }
+
+    /// Capacity for `n` tokens.
+    pub fn capacity(&self, n: usize) -> usize {
+        let e = self.n_experts();
+        ((self.capacity_factor as f64 * n as f64 * self.kind.k() as f64 / e as f64).ceil()
+            as usize)
+            .max(1)
+    }
+
+    /// Route a batch `[n, d]`; returns the dispatch plan.
+    pub fn forward(&mut self, x: &Tensor) -> Routing {
+        let n = x.rows();
+        let e = self.n_experts();
+        let logits = matmul(x, &self.wg.value);
+        let probs = softmax_rows(&logits);
+        let capacity = self.capacity(n);
+
+        let mut assignments = Vec::with_capacity(n * self.kind.k());
+        let mut load = vec![0usize; e];
+        let mut raw_load = vec![0usize; e];
+        let mut dropped = 0usize;
+
+        match self.kind {
+            GateKind::Top1 => {
+                for t in 0..n {
+                    let row = probs.row(t);
+                    let (best, &w) = argmax(row);
+                    raw_load[best] += 1;
+                    if load[best] < capacity {
+                        load[best] += 1;
+                        assignments.push(Assignment { token: t, expert: best, weight: w });
+                    } else {
+                        dropped += 1;
+                    }
+                }
+            }
+            GateKind::Top2 => {
+                for t in 0..n {
+                    let row = probs.row(t);
+                    let (e1, e2) = top2(row);
+                    raw_load[e1] += 1;
+                    for &ex in &[e1, e2] {
+                        if load[ex] < capacity {
+                            load[ex] += 1;
+                            assignments.push(Assignment { token: t, expert: ex, weight: row[ex] });
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+            GateKind::NoisyTop1 => {
+                for t in 0..n {
+                    let row = probs.row(t);
+                    // Select on jittered logits; selection noise is treated
+                    // as a constant of the backward pass (standard noisy
+                    // top-k practice). ln(p) + noise preserves the softmax
+                    // ordering semantics of logit-space jitter.
+                    let mut best = 0usize;
+                    let mut best_v = f32::NEG_INFINITY;
+                    for (ex, &p) in row.iter().enumerate() {
+                        let v = p.max(1e-30).ln() + self.noise_std * self.noise_rng.normal();
+                        if v > best_v {
+                            best_v = v;
+                            best = ex;
+                        }
+                    }
+                    raw_load[best] += 1;
+                    if load[best] < capacity {
+                        load[best] += 1;
+                        assignments.push(Assignment { token: t, expert: best, weight: row[best] });
+                    } else {
+                        dropped += 1;
+                    }
+                }
+            }
+            GateKind::Balanced => {
+                for t in 0..n {
+                    let row = probs.row(t);
+                    // First choice feeds the balance statistics even here.
+                    let (best, _) = argmax(row);
+                    raw_load[best] += 1;
+                    // Greedy: best expert with spare capacity.
+                    let mut chosen = None;
+                    let mut best_p = f32::NEG_INFINITY;
+                    for (ex, &p) in row.iter().enumerate() {
+                        if load[ex] < capacity && p > best_p {
+                            best_p = p;
+                            chosen = Some(ex);
+                        }
+                    }
+                    match chosen {
+                        Some(ex) => {
+                            load[ex] += 1;
+                            assignments.push(Assignment { token: t, expert: ex, weight: row[ex] });
+                        }
+                        None => dropped += 1, // only possible when cf·n·k < n
+                    }
+                }
+            }
+        }
+
+        // Switch-style auxiliary loss: E · Σₑ fₑ · P̄ₑ, where fₑ is the
+        // first-choice token fraction and P̄ₑ the mean router probability.
+        let frac: Vec<f32> =
+            raw_load.iter().map(|&c| if n == 0 { 0.0 } else { c as f32 / n as f32 }).collect();
+        let mut aux = 0.0f32;
+        if n > 0 {
+            for ex in 0..e {
+                let mean_p: f32 =
+                    (0..n).map(|t| probs.at(t, ex)).sum::<f32>() / n as f32;
+                aux += frac[ex] * mean_p;
+            }
+            aux *= e as f32 * self.aux_weight;
+        }
+
+        self.cache = Some(GateCache { x: x.clone(), probs, frac });
+        Routing { assignments, load, raw_load, dropped, capacity, aux_loss: aux }
+    }
+
+    /// Backward. `dweights[i]` is `∂L/∂assignments[i].weight` — supplied by
+    /// the MoE layer as `⟨dy_token, expert_out⟩`. Adds the auxiliary-loss
+    /// gradient, pushes everything through the softmax and the routing
+    /// projection, accumulates `dWg`, and returns the gate's contribution
+    /// to `dx`.
+    pub fn backward(&mut self, routing: &Routing, dweights: &[f32]) -> Tensor {
+        let cache = self.cache.take().expect("Gate::backward before forward");
+        let n = cache.x.rows();
+        let e = self.n_experts();
+        assert_eq!(dweights.len(), routing.assignments.len());
+
+        // ∂L/∂probs.
+        let mut dprobs = Tensor::zeros(&[n, e]);
+        for (a, &g) in routing.assignments.iter().zip(dweights) {
+            let cur = dprobs.at(a.token, a.expert);
+            dprobs.set(a.token, a.expert, cur + g);
+        }
+        // Auxiliary loss: ∂aux/∂p[t,e] = aux_weight · E · fₑ / n (fₑ is
+        // treated as a constant of the argmax, per the switch formulation).
+        if n > 0 && self.aux_weight != 0.0 {
+            let scale = self.aux_weight * e as f32 / n as f32;
+            for t in 0..n {
+                for ex in 0..e {
+                    let cur = dprobs.at(t, ex);
+                    dprobs.set(t, ex, cur + scale * cache.frac[ex]);
+                }
+            }
+        }
+
+        // Softmax backward per row: dl = p ⊙ (dp − ⟨dp, p⟩).
+        let mut dlogits = dprobs;
+        for t in 0..n {
+            let prow = cache.probs.row(t);
+            let drow = dlogits.row_mut(t);
+            let dot: f32 = drow.iter().zip(prow).map(|(a, b)| a * b).sum();
+            for (dj, &pj) in drow.iter_mut().zip(prow) {
+                *dj = pj * (*dj - dot);
+            }
+        }
+
+        self.wg.grad.add_assign(&matmul_tn(&cache.x, &dlogits));
+        matmul_nt(&dlogits, &self.wg.value)
+    }
+}
+
+impl HasParams for Gate {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wg);
+    }
+}
+
+/// Index and value of the row maximum (first of ties).
+fn argmax(row: &[f32]) -> (usize, &f32) {
+    let mut bi = 0;
+    for i in 1..row.len() {
+        if row[i] > row[bi] {
+            bi = i;
+        }
+    }
+    (bi, &row[bi])
+}
+
+/// Indices of the two largest entries (first of ties), `len ≥ 2`.
+fn top2(row: &[f32]) -> (usize, usize) {
+    assert!(row.len() >= 2, "top2 needs at least two experts");
+    let (mut a, mut b) = if row[0] >= row[1] { (0, 1) } else { (1, 0) };
+    for (i, &v) in row.iter().enumerate().skip(2) {
+        if v > row[a] {
+            b = a;
+            a = i;
+        } else if v > row[b] {
+            b = i;
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(kind: GateKind, e: usize, cf: f32) -> Gate {
+        let mut rng = Rng::seed_from(61);
+        Gate::new("g", 8, e, kind, cf, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn top1_assigns_every_token_under_loose_capacity() {
+        let mut rng = Rng::seed_from(62);
+        let mut g = gate(GateKind::Top1, 4, 8.0);
+        let x = Tensor::randn(&[16, 8], 1.0, &mut rng);
+        let r = g.forward(&x);
+        assert_eq!(r.assignments.len(), 16);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.load.iter().sum::<usize>(), 16);
+        // Every weight is a probability.
+        for a in &r.assignments {
+            assert!(a.weight > 0.0 && a.weight <= 1.0);
+        }
+    }
+
+    #[test]
+    fn top2_assigns_two_experts_per_token() {
+        let mut rng = Rng::seed_from(63);
+        let mut g = gate(GateKind::Top2, 6, 8.0);
+        let x = Tensor::randn(&[10, 8], 1.0, &mut rng);
+        let r = g.forward(&x);
+        assert_eq!(r.assignments.len(), 20);
+        // The two experts of a token differ.
+        for t in 0..10 {
+            let pair: Vec<_> = r.assignments.iter().filter(|a| a.token == t).collect();
+            assert_eq!(pair.len(), 2);
+            assert_ne!(pair[0].expert, pair[1].expert);
+            // Chosen in descending probability order.
+            assert!(pair[0].weight >= pair[1].weight);
+        }
+    }
+
+    #[test]
+    fn capacity_limits_and_drops() {
+        let mut g = gate(GateKind::Top1, 4, 1.0);
+        // Force every token towards expert 0 by biasing the router weights.
+        g.wg.value = Tensor::zeros(&[8, 4]);
+        for i in 0..8 {
+            g.wg.value.set(i, 0, 5.0);
+        }
+        let x = Tensor::ones(&[12, 8]);
+        let r = g.forward(&x);
+        // capacity = ceil(1.0 · 12 / 4) = 3 → 3 kept, 9 dropped.
+        assert_eq!(r.capacity, 3);
+        assert_eq!(r.load[0], 3);
+        assert_eq!(r.dropped, 9);
+        assert!(r.drop_rate() > 0.7);
+    }
+
+    #[test]
+    fn balanced_gate_never_drops_with_cf_1() {
+        let mut rng = Rng::seed_from(65);
+        let mut g = gate(GateKind::Balanced, 4, 1.0);
+        // Same skewed router as above.
+        g.wg.value = Tensor::zeros(&[8, 4]);
+        for i in 0..8 {
+            g.wg.value.set(i, 0, 5.0);
+        }
+        let x = Tensor::randn(&[12, 8], 0.1, &mut rng).map(|v| v + 1.0);
+        let r = g.forward(&x);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.assignments.len(), 12);
+        // Load is perfectly balanced at capacity.
+        assert!(r.load.iter().all(|&l| l <= r.capacity));
+        assert!((r.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aux_loss_is_higher_when_skewed() {
+        let mut rng = Rng::seed_from(66);
+        let x = Tensor::randn(&[32, 8], 1.0, &mut rng);
+        // Balanced router.
+        let mut g1 = gate(GateKind::Top1, 4, 8.0);
+        let r1 = g1.forward(&x);
+        // Skewed router.
+        let mut g2 = gate(GateKind::Top1, 4, 8.0);
+        g2.wg.value = Tensor::zeros(&[8, 4]);
+        for i in 0..8 {
+            g2.wg.value.set(i, 0, 5.0);
+        }
+        let r2 = g2.forward(&x);
+        assert!(r2.aux_loss > r1.aux_loss, "{} vs {}", r2.aux_loss, r1.aux_loss);
+    }
+
+    #[test]
+    fn gate_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(67);
+        let mut g = Gate::new("g", 6, 3, GateKind::Top1, 8.0, 0.0, &mut rng);
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+
+        // Toy loss: L = Σ weightᵢ² / 2 over assignments → dweightᵢ = weightᵢ.
+        let r = g.forward(&x);
+        let dweights: Vec<f32> = r.assignments.iter().map(|a| a.weight).collect();
+        let dx = g.backward(&r, &dweights);
+
+        let loss = |g: &mut Gate, x: &Tensor| -> f32 {
+            let r = g.forward(&x.clone());
+            0.5 * r.assignments.iter().map(|a| a.weight * a.weight).sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        // Wg entry. (Perturbations small enough not to flip the argmax.)
+        let orig = g.wg.value.at(2, 1);
+        g.wg.value.set(2, 1, orig + eps);
+        let lp = loss(&mut g, &x);
+        g.wg.value.set(2, 1, orig - eps);
+        let lm = loss(&mut g, &x);
+        g.wg.value.set(2, 1, orig);
+        let fd = (lp - lm) / (2.0 * eps);
+        let an = g.wg.grad.at(2, 1);
+        assert!((fd - an).abs() < 3e-2 * (1.0 + fd.abs()), "wg: fd={fd} an={an}");
+
+        // Input entry.
+        let mut x2 = x.clone();
+        let o = x2.at(1, 3);
+        x2.set(1, 3, o + eps);
+        let lp = loss(&mut g, &x2);
+        x2.set(1, 3, o - eps);
+        let lm = loss(&mut g, &x2);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - dx.at(1, 3)).abs() < 3e-2 * (1.0 + fd.abs()), "x: fd={fd} an={}", dx.at(1, 3));
+    }
+
+    #[test]
+    fn top2_helper() {
+        assert_eq!(top2(&[0.1, 0.5, 0.4]), (1, 2));
+        assert_eq!(top2(&[0.9, 0.05, 0.05]), (0, 1));
+        assert_eq!(top2(&[0.25, 0.25, 0.5, 0.0]), (2, 0));
+    }
+
+    #[test]
+    fn noisy_top1_spreads_near_ties() {
+        // All tokens identical ⇒ plain top-1 sends everything to one expert;
+        // noisy top-1 must spread them.
+        let x = Tensor::ones(&[256, 8]);
+        let mut plain = gate(GateKind::Top1, 4, 8.0);
+        plain.wg.value = Tensor::zeros(&[8, 4]); // uniform logits: pure tie
+        let rp = plain.forward(&x);
+        assert_eq!(rp.raw_load.iter().filter(|&&c| c > 0).count(), 1);
+
+        let mut noisy = gate(GateKind::NoisyTop1, 4, 8.0);
+        noisy.wg.value = Tensor::zeros(&[8, 4]);
+        let rn = noisy.forward(&x);
+        let used = rn.raw_load.iter().filter(|&&c| c > 0).count();
+        assert_eq!(used, 4, "noise must break the tie across all experts");
+        assert!(rn.imbalance() < 1.5, "imbalance {}", rn.imbalance());
+        // Weights are still the clean probabilities (uniform = 0.25 here).
+        for a in &rn.assignments {
+            assert!((a.weight - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noisy_top1_is_deterministic_per_seed() {
+        let x = Tensor::ones(&[32, 8]);
+        let route = |seed: u64| {
+            let mut rng = Rng::seed_from(seed);
+            let mut g = Gate::new("g", 8, 4, GateKind::NoisyTop1, 8.0, 0.0, &mut rng);
+            g.forward(&x).assignments.iter().map(|a| a.expert).collect::<Vec<_>>()
+        };
+        assert_eq!(route(5), route(5));
+        assert_ne!(route(5), route(6));
+    }
+
+    #[test]
+    fn capacity_formula() {
+        let g = gate(GateKind::Top1, 8, 1.25);
+        assert_eq!(g.capacity(64), 10); // ceil(1.25·64/8)
+        let g2 = gate(GateKind::Top2, 8, 1.0);
+        assert_eq!(g2.capacity(64), 16); // ceil(1.0·64·2/8)
+        assert!(g.capacity(0) >= 1);
+    }
+
+    #[test]
+    fn empty_batch_routes_nothing() {
+        let mut g = gate(GateKind::Top1, 4, 1.0);
+        let r = g.forward(&Tensor::zeros(&[0, 8]));
+        assert!(r.assignments.is_empty());
+        assert_eq!(r.aux_loss, 0.0);
+        assert_eq!(r.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Adafactor: sublinear-memory adaptive optimization.
+//!
+//! Adam's 8 B/parameter of moment state (plus the 4 B master) is the
+//! largest single line in the brain-scale memory budget (experiment E7).
+//! Adafactor (Shazeer & Stern, 2018) replaces the full second-moment
+//! matrix of an `n×m` parameter with its **row and column means** — `n+m`
+//! state instead of `n·m` — reconstructing `v̂_ij ≈ R_i·C_j / mean(R)`.
+//! This implementation keeps the memory-relevant core of the method:
+//!
+//! * factored second moments for 2-D parameters, full vector for 1-D,
+//! * time-dependent decay `β₂(t) = 1 − t^{−0.8}`,
+//! * update-RMS clipping at `d = 1.0`,
+//! * no first moment (the default — and the memory point).
+
+use bagualu_model::param::HasParams;
+
+/// Adafactor state for one parameter.
+enum FactorState {
+    /// 2-D: EMA of squared-gradient row means and column means.
+    Factored { rows: Vec<f32>, cols: Vec<f32> },
+    /// 1-D (or degenerate): full EMA of squared gradients.
+    Full(Vec<f32>),
+}
+
+/// The optimizer.
+pub struct Adafactor {
+    pub lr: f32,
+    /// Update clipping threshold (RMS of the scaled update).
+    pub clip_threshold: f32,
+    pub eps: f32,
+    states: Vec<FactorState>,
+    t: i32,
+}
+
+impl Adafactor {
+    pub fn new(lr: f32) -> Adafactor {
+        Adafactor { lr, clip_threshold: 1.0, eps: 1e-30, states: Vec::new(), t: 0 }
+    }
+
+    /// Bytes of optimizer state currently held.
+    pub fn state_bytes(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| match s {
+                FactorState::Factored { rows, cols } => 4 * (rows.len() + cols.len()),
+                FactorState::Full(v) => 4 * v.len(),
+            })
+            .sum()
+    }
+
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// One update from accumulated gradients.
+    pub fn step(&mut self, model: &mut dyn HasParams) {
+        self.t += 1;
+        let beta2 = 1.0 - (self.t as f32).powf(-0.8);
+        let states = &mut self.states;
+        let (lr, clip, eps) = (self.lr, self.clip_threshold, self.eps);
+        let mut i = 0usize;
+        model.visit_params(&mut |p| {
+            let shape = p.value.shape().to_vec();
+            if states.len() == i {
+                states.push(if shape.len() == 2 && shape[0] > 1 && shape[1] > 1 {
+                    FactorState::Factored {
+                        rows: vec![0.0; shape[0]],
+                        cols: vec![0.0; shape[1]],
+                    }
+                } else {
+                    FactorState::Full(vec![0.0; p.value.len()])
+                });
+            }
+            let grad = p.grad.as_slice().to_vec();
+            let n_el = grad.len() as f32;
+            // Build the per-element adaptive denominator.
+            let mut update: Vec<f32> = match &mut states[i] {
+                FactorState::Factored { rows, cols } => {
+                    let (n, m) = (shape[0], shape[1]);
+                    // Update row/col EMAs of g² (+eps for stability).
+                    for r in 0..n {
+                        let mean: f32 =
+                            grad[r * m..(r + 1) * m].iter().map(|g| g * g + eps).sum::<f32>()
+                                / m as f32;
+                        rows[r] = beta2 * rows[r] + (1.0 - beta2) * mean;
+                    }
+                    for c in 0..m {
+                        let mut s = 0.0f32;
+                        for r in 0..n {
+                            let g = grad[r * m + c];
+                            s += g * g + eps;
+                        }
+                        cols[c] = beta2 * cols[c] + (1.0 - beta2) * s / n as f32;
+                    }
+                    let row_mean: f32 = rows.iter().sum::<f32>() / n as f32;
+                    let mut u = Vec::with_capacity(grad.len());
+                    for r in 0..n {
+                        for c in 0..m {
+                            let v = rows[r] * cols[c] / row_mean.max(eps);
+                            u.push(grad[r * m + c] / v.sqrt().max(1e-12));
+                        }
+                    }
+                    u
+                }
+                FactorState::Full(v) => {
+                    for (vv, g) in v.iter_mut().zip(&grad) {
+                        *vv = beta2 * *vv + (1.0 - beta2) * (g * g + eps);
+                    }
+                    grad.iter().zip(v.iter()).map(|(g, vv)| g / vv.sqrt().max(1e-12)).collect()
+                }
+            };
+            // RMS clipping of the scaled update.
+            let rms = (update.iter().map(|u| u * u).sum::<f32>() / n_el).sqrt();
+            if rms > clip {
+                let s = clip / rms;
+                update.iter_mut().for_each(|u| *u *= s);
+            }
+            for (th, u) in p.value.as_mut_slice().iter_mut().zip(&update) {
+                *th -= lr * u;
+            }
+            i += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagualu_model::param::Param;
+    use bagualu_tensor::Tensor;
+
+    struct One {
+        p: Param,
+    }
+
+    impl HasParams for One {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    fn descends_a_quadratic_matrix() {
+        let mut m = One {
+            p: Param::new("w", Tensor::from_vec(vec![3.0, -2.0, 1.5, -0.5, 2.5, -1.0], &[2, 3])),
+        };
+        let mut opt = Adafactor::new(0.05);
+        for _ in 0..300 {
+            m.p.grad = m.p.value.clone(); // L = ½‖W‖²
+            opt.step(&mut m);
+        }
+        assert!(m.p.value.norm() < 0.2, "norm {}", m.p.value.norm());
+    }
+
+    #[test]
+    fn factored_state_is_sublinear() {
+        let mut m = One { p: Param::new("w", Tensor::zeros(&[64, 128])) };
+        let mut opt = Adafactor::new(0.01);
+        m.p.grad = Tensor::ones(&[64, 128]);
+        opt.step(&mut m);
+        // 64 + 128 floats, not 64·128.
+        assert_eq!(opt.state_bytes(), 4 * (64 + 128));
+        // Adam would hold 2 × 64 × 128 floats.
+        assert!(opt.state_bytes() < 2 * 4 * 64 * 128 / 40);
+    }
+
+    #[test]
+    fn vectors_use_full_state() {
+        let mut m = One { p: Param::new("b", Tensor::zeros(&[100])) };
+        let mut opt = Adafactor::new(0.01);
+        m.p.grad = Tensor::ones(&[100]);
+        opt.step(&mut m);
+        assert_eq!(opt.state_bytes(), 400);
+    }
+
+    #[test]
+    fn update_rms_is_clipped() {
+        // A huge first gradient: after normalization the update RMS is ~1
+        // (clipped), so the parameter moves by about lr per coordinate.
+        let mut m = One { p: Param::new("w", Tensor::zeros(&[4, 4])) };
+        let mut opt = Adafactor::new(0.1);
+        m.p.grad = Tensor::full(&[4, 4], 1.0e6);
+        opt.step(&mut m);
+        for &v in m.p.value.as_slice() {
+            assert!(v.abs() <= 0.1 + 1e-5, "moved {v}");
+            assert!(v.abs() > 0.05, "barely moved {v}");
+        }
+        assert!(!m.p.value.has_non_finite());
+    }
+
+    #[test]
+    fn trains_a_small_model_comparably_to_adam() {
+        use bagualu_model::config::ModelConfig;
+        use bagualu_model::transformer::Transformer;
+        use bagualu_tensor::rng::Rng;
+        let cfg = ModelConfig::tiny();
+        let mut rng = Rng::seed_from(11);
+        let mut model = Transformer::new(cfg, &mut rng);
+        let mut opt = Adafactor::new(0.05);
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 7) % cfg.vocab).collect();
+        let targets: Vec<usize> = (0..16).map(|i| (i * 7 + 3) % cfg.vocab).collect();
+        let first = model.train_batch(&tokens, &targets, 2, 8);
+        for _ in 0..60 {
+            opt.step(&mut model);
+            model.zero_grad();
+            model.train_batch(&tokens, &targets, 2, 8);
+        }
+        let last = model.train_batch(&tokens, &targets, 2, 8);
+        assert!(
+            last.ce_loss < first.ce_loss * 0.3,
+            "adafactor failed to learn: {} -> {}",
+            first.ce_loss,
+            last.ce_loss
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Global gradient-norm clipping.
+
+use bagualu_model::param::HasParams;
+
+/// Scale all gradients so the global L2 norm does not exceed `max_norm`.
+/// Returns the pre-clip norm. Non-finite norms leave gradients untouched
+/// (the loss scaler handles that case by skipping the step).
+pub fn clip_grad_norm(model: &mut dyn HasParams, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    model.visit_params(&mut |p| sq += p.grad.sq_norm() as f64);
+    let norm = (sq.sqrt()) as f32;
+    if norm.is_finite() && norm > max_norm {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| p.grad.scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagualu_model::param::Param;
+    use bagualu_tensor::Tensor;
+
+    struct Two {
+        a: Param,
+        b: Param,
+    }
+
+    impl HasParams for Two {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn with_grads(ga: Vec<f32>, gb: Vec<f32>) -> Two {
+        let mut t = Two {
+            a: Param::new("a", Tensor::zeros(&[ga.len()])),
+            b: Param::new("b", Tensor::zeros(&[gb.len()])),
+        };
+        let (la, lb) = (ga.len(), gb.len());
+        t.a.grad = Tensor::from_vec(ga, &[la]);
+        t.b.grad = Tensor::from_vec(gb, &[lb]);
+        t
+    }
+
+    #[test]
+    fn clips_to_max_norm() {
+        let mut t = with_grads(vec![3.0], vec![4.0]); // norm 5
+        let pre = clip_grad_norm(&mut t, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post =
+            (t.a.grad.sq_norm() + t.b.grad.sq_norm()).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+        // Direction is preserved.
+        assert!((t.a.grad.as_slice()[0] / t.b.grad.as_slice()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn small_gradients_untouched() {
+        let mut t = with_grads(vec![0.1], vec![0.2]);
+        clip_grad_norm(&mut t, 10.0);
+        assert_eq!(t.a.grad.as_slice(), &[0.1]);
+        assert_eq!(t.b.grad.as_slice(), &[0.2]);
+    }
+
+    #[test]
+    fn non_finite_norm_leaves_grads_alone() {
+        let mut t = with_grads(vec![f32::INFINITY], vec![1.0]);
+        let pre = clip_grad_norm(&mut t, 1.0);
+        assert!(!pre.is_finite());
+        assert_eq!(t.b.grad.as_slice(), &[1.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Optimizers and mixed-precision machinery.
+//!
+//! BaGuaLu's headline throughput comes from half-precision arithmetic, which
+//! only trains stably with the standard mixed-precision recipe: **FP32
+//! master weights**, a **dynamic loss scaler** that keeps FP16 gradients out
+//! of the underflow region and backs off on overflow, and an FP32 optimizer
+//! (Adam) whose state never leaves full precision. This crate implements
+//! that recipe over any [`bagualu_model::param::HasParams`] model:
+//!
+//! * [`Sgd`], [`Adam`] — plain FP32 optimizers,
+//! * [`clip_grad_norm`] — global gradient-norm clipping,
+//! * [`LossScaler`] — dynamic loss scaling (grow on a streak of good steps,
+//!   halve on overflow),
+//! * [`MixedPrecision`] — the master-weight wrapper: working parameters are
+//!   round-tripped through the configured half format after every update,
+//!   gradients are unscaled and checked for overflow before the FP32 step.
+
+pub mod adafactor;
+pub mod adam;
+pub mod clip;
+pub mod mixed;
+pub mod scaler;
+pub mod schedule;
+pub mod sgd;
+
+pub use adafactor::Adafactor;
+pub use adam::{Adam, AdamConfig};
+pub use clip::clip_grad_norm;
+pub use mixed::{MixedPrecision, StepOutcome};
+pub use scaler::LossScaler;
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;

@@ -1,0 +1,120 @@
+//! Learning-rate schedules.
+//!
+//! Brain-scale pretraining is schedule-sensitive: a warmup ramp keeps the
+//! gate from collapsing onto a few experts while the router is random, and
+//! a decay tail stabilizes the end of training. All schedules are pure
+//! functions of the step index, so every rank computes the identical rate
+//! with no communication.
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed rate.
+    Constant(f32),
+    /// Linear ramp from 0 to `peak` over `warmup`, then flat.
+    Warmup { peak: f32, warmup: usize },
+    /// Linear ramp, then cosine decay to `floor` at `total`.
+    WarmupCosine { peak: f32, warmup: usize, total: usize, floor: f32 },
+    /// Linear ramp, then linear decay to `floor` at `total`.
+    WarmupLinear { peak: f32, warmup: usize, total: usize, floor: f32 },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::Warmup { peak, warmup } => warmup_ramp(step, peak, warmup),
+            LrSchedule::WarmupCosine { peak, warmup, total, floor } => {
+                if step < warmup {
+                    warmup_ramp(step, peak, warmup)
+                } else {
+                    let t = progress(step, warmup, total);
+                    floor + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+                }
+            }
+            LrSchedule::WarmupLinear { peak, warmup, total, floor } => {
+                if step < warmup {
+                    warmup_ramp(step, peak, warmup)
+                } else {
+                    let t = progress(step, warmup, total);
+                    peak + (floor - peak) * t
+                }
+            }
+        }
+    }
+}
+
+fn warmup_ramp(step: usize, peak: f32, warmup: usize) -> f32 {
+    if warmup == 0 {
+        peak
+    } else {
+        peak * ((step + 1) as f32 / warmup as f32).min(1.0)
+    }
+}
+
+/// Fraction of the decay phase completed, clamped to [0, 1].
+fn progress(step: usize, warmup: usize, total: usize) -> f32 {
+    if total <= warmup {
+        return 1.0;
+    }
+    ((step - warmup) as f32 / (total - warmup) as f32).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_to_peak() {
+        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 10, total: 110, floor: 0.1 };
+        assert_eq!(s.at(9), 1.0);
+        // Midpoint of decay: halfway between peak and floor.
+        assert!((s.at(60) - 0.55).abs() < 0.01);
+        assert!((s.at(110) - 0.1).abs() < 1e-6);
+        assert!((s.at(10_000) - 0.1).abs() < 1e-6); // clamped
+    }
+
+    #[test]
+    fn linear_decays_to_floor() {
+        let s = LrSchedule::WarmupLinear { peak: 1.0, warmup: 0, total: 100, floor: 0.0 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(50) - 0.5).abs() < 1e-6);
+        assert!(s.at(100).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_is_monotone_through_phases() {
+        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 20, total: 200, floor: 0.0 };
+        for step in 0..19 {
+            assert!(s.at(step) <= s.at(step + 1) + 1e-7, "warmup must not decrease");
+        }
+        for step in 20..199 {
+            assert!(s.at(step) + 1e-7 >= s.at(step + 1), "decay must not increase");
+        }
+    }
+
+    #[test]
+    fn zero_warmup_is_safe() {
+        let s = LrSchedule::Warmup { peak: 0.5, warmup: 0 };
+        assert_eq!(s.at(0), 0.5);
+        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 0, total: 0, floor: 0.2 };
+        assert_eq!(s.at(0), 0.2); // degenerate: everything is the floor
+    }
+}

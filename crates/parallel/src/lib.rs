@@ -1,0 +1,36 @@
+//! MoDa hybrid parallelism — the core contribution of the reproduced system.
+//!
+//! **MoDa** combines **Da**ta parallelism and **Mo**E expert parallelism in
+//! one process group:
+//!
+//! * every rank holds a full replica of the *dense* parameters (embeddings,
+//!   attention, layer norms, gates, LM head) and trains them data-parallel —
+//!   each rank consumes a different micro-batch and gradients are averaged
+//!   with a ring all-reduce;
+//! * the *experts* of each MoE layer are **sharded**, never replicated:
+//!   expert `e` lives only on rank `e mod R`. Tokens are routed by the
+//!   (replicated) gate and physically exchanged with an **all-to-all** —
+//!   pairwise or hierarchical, the choice this reproduction ablates.
+//!
+//! Parameter count therefore scales with `R × experts-per-rank` while
+//! per-rank compute and memory stay flat — this is what makes 174-trillion-
+//! parameter training fit on 96,000 nodes.
+//!
+//! Modules:
+//!
+//! * [`moe_dist`] — the distributed MoE layer (dispatch → expert compute →
+//!   combine, with the exact mirror in backward),
+//! * [`model_dist`] — the distributed transformer assembled from replicated
+//!   dense layers and distributed MoE layers,
+//! * [`sync`] — gradient synchronization (dense all-reduce averaging,
+//!   expert gradient rescaling) and replica-consistency checks.
+
+pub mod model_dist;
+pub mod moe_dist;
+pub mod sync;
+pub mod zero;
+
+pub use model_dist::{DistBlock, DistFfn, DistTransformer};
+pub use moe_dist::{A2aKind, DistMoELayer};
+pub use sync::{check_replica_consistency, sync_grads};
+pub use zero::ZeroAdam;

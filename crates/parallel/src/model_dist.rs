@@ -1,0 +1,264 @@
+//! The distributed transformer: replicated dense layers + sharded experts.
+//!
+//! Construction goes through a *local* [`Transformer`] so that a
+//! single-rank run and an `R`-rank run start from bit-identical weights —
+//! the semantic-equivalence tests rely on this, and it mirrors how the real
+//! system deterministically seeds every rank.
+
+use crate::moe_dist::{A2aKind, DistMoELayer};
+use bagualu_comm::shm::Communicator;
+use bagualu_model::attention::MultiHeadAttention;
+use bagualu_model::config::ModelConfig;
+use bagualu_model::embedding::Embedding;
+use bagualu_model::ffn::FeedForward;
+use bagualu_model::layernorm::LayerNorm;
+use bagualu_model::linear::Linear;
+use bagualu_model::loss::cross_entropy;
+use bagualu_model::param::{HasParams, Param};
+use bagualu_model::transformer::{BlockFfn, StepStats, Transformer};
+use bagualu_tensor::rng::Rng;
+use bagualu_tensor::Tensor;
+
+/// FFN of a distributed block.
+#[derive(Debug, Clone)]
+pub enum DistFfn {
+    Dense(FeedForward),
+    MoE(DistMoELayer),
+}
+
+/// One decoder block of the distributed model.
+#[derive(Debug, Clone)]
+pub struct DistBlock {
+    pub ln1: LayerNorm,
+    pub attn: MultiHeadAttention,
+    pub ln2: LayerNorm,
+    pub ffn: DistFfn,
+}
+
+impl DistBlock {
+    pub fn forward<C: Communicator>(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        comm: &C,
+    ) -> Tensor {
+        let a = self.ln1.forward(x);
+        let a = self.attn.forward(&a, batch, seq);
+        let mut h = x.clone();
+        h.add_assign(&a);
+
+        let f = self.ln2.forward(&h);
+        let f = match &mut self.ffn {
+            DistFfn::Dense(ffn) => ffn.forward(&f),
+            DistFfn::MoE(moe) => moe.forward(&f, comm),
+        };
+        let mut y = h;
+        y.add_assign(&f);
+        y
+    }
+
+    pub fn backward<C: Communicator>(&mut self, dy: &Tensor, comm: &C) -> Tensor {
+        let df = match &mut self.ffn {
+            DistFfn::Dense(ffn) => ffn.backward(dy),
+            DistFfn::MoE(moe) => moe.backward(dy, comm),
+        };
+        let mut dh = self.ln2.backward(&df);
+        dh.add_assign(dy);
+
+        let da = self.attn.backward(&dh);
+        let mut dx = self.ln1.backward(&da);
+        dx.add_assign(&dh);
+        dx
+    }
+
+    pub fn aux_loss(&self) -> f32 {
+        match &self.ffn {
+            DistFfn::Dense(_) => 0.0,
+            DistFfn::MoE(moe) => moe.last_aux_loss(),
+        }
+    }
+}
+
+/// The MoDa-parallel transformer held by one rank.
+#[derive(Debug, Clone)]
+pub struct DistTransformer {
+    pub cfg: ModelConfig,
+    pub rank: usize,
+    pub nranks: usize,
+    pub tok: Embedding,
+    pub pos: Embedding,
+    pub blocks: Vec<DistBlock>,
+    pub ln_f: LayerNorm,
+    pub head: Linear,
+}
+
+impl DistTransformer {
+    /// Shard a fully materialized local model: dense layers are cloned
+    /// (replicated), experts are taken for `expert % nranks == rank`.
+    pub fn from_local(local: &Transformer, rank: usize, nranks: usize, a2a: A2aKind) -> DistTransformer {
+        assert!(rank < nranks);
+        let blocks = local
+            .blocks
+            .iter()
+            .map(|b| {
+                let ffn = match &b.ffn {
+                    BlockFfn::Dense(f) => DistFfn::Dense(f.clone()),
+                    BlockFfn::MoE(m) => {
+                        let n_experts = m.n_experts();
+                        let shard: Vec<FeedForward> = (0..n_experts)
+                            .filter(|e| e % nranks == rank)
+                            .map(|e| m.experts[e].clone())
+                            .collect();
+                        DistFfn::MoE(DistMoELayer::new(
+                            m.router
+                                .as_flat()
+                                .expect("MoDa runtime requires the flat gate; the two-level \
+                                         router is a single-rank feature")
+                                .clone(),
+                            n_experts,
+                            shard,
+                            rank,
+                            nranks,
+                            a2a,
+                        ))
+                    }
+                };
+                DistBlock {
+                    ln1: b.ln1.clone(),
+                    attn: b.attn.clone(),
+                    ln2: b.ln2.clone(),
+                    ffn,
+                }
+            })
+            .collect();
+        let mut dist = DistTransformer {
+            cfg: local.cfg,
+            rank,
+            nranks,
+            tok: local.tok.clone(),
+            pos: local.pos.clone(),
+            blocks,
+            ln_f: local.ln_f.clone(),
+            head: local.head.clone(),
+        };
+        // A freshly sharded model starts with clean gradient accumulators,
+        // whatever state the source model was in.
+        dist.zero_grad();
+        dist
+    }
+
+    /// Build directly from a seed (all ranks derive identical dense weights
+    /// and consistent expert shards).
+    pub fn new(cfg: ModelConfig, seed: u64, rank: usize, nranks: usize, a2a: A2aKind) -> DistTransformer {
+        let mut rng = Rng::seed_from(seed);
+        let local = Transformer::new(cfg, &mut rng);
+        Self::from_local(&local, rank, nranks, a2a)
+    }
+
+    /// Number of experts this rank owns per MoE block.
+    pub fn local_experts_per_block(&self) -> usize {
+        self.blocks
+            .iter()
+            .find_map(|b| match &b.ffn {
+                DistFfn::MoE(m) => Some(m.local_experts.len()),
+                DistFfn::Dense(_) => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Forward over this rank's micro-batch. Collective.
+    pub fn forward<C: Communicator>(
+        &mut self,
+        tokens: &[usize],
+        batch: usize,
+        seq: usize,
+        comm: &C,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), batch * seq);
+        assert!(seq <= self.cfg.max_seq);
+        let mut x = self.tok.forward(tokens);
+        if !self.cfg.rope {
+            let pos_ids: Vec<usize> = (0..batch * seq).map(|i| i % seq).collect();
+            x.add_assign(&self.pos.forward(&pos_ids));
+        }
+        for b in &mut self.blocks {
+            x = b.forward(&x, batch, seq, comm);
+        }
+        let x = self.ln_f.forward(&x);
+        self.head.forward(&x)
+    }
+
+    /// Backward from `dlogits`. Collective.
+    pub fn backward<C: Communicator>(&mut self, dlogits: &Tensor, comm: &C) {
+        let dx = self.head.backward(dlogits);
+        let mut dx = self.ln_f.backward(&dx);
+        for b in self.blocks.iter_mut().rev() {
+            dx = b.backward(&dx, comm);
+        }
+        self.tok.backward(&dx);
+        if !self.cfg.rope {
+            self.pos.backward(&dx);
+        }
+    }
+
+    /// Sum of auxiliary balance losses (this rank's local view).
+    pub fn aux_loss(&self) -> f32 {
+        self.blocks.iter().map(|b| b.aux_loss()).sum()
+    }
+
+    /// One forward + loss + backward over this rank's micro-batch.
+    /// Gradients are left unsynchronized — call
+    /// [`crate::sync::sync_grads`] before the optimizer step.
+    pub fn train_batch<C: Communicator>(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+        batch: usize,
+        seq: usize,
+        comm: &C,
+    ) -> StepStats {
+        let logits = self.forward(tokens, batch, seq, comm);
+        let (ce, dlogits) = cross_entropy(&logits, targets);
+        let aux = self.aux_loss();
+        self.backward(&dlogits, comm);
+        StepStats { ce_loss: ce, aux_loss: aux, tokens: tokens.len() }
+    }
+
+    /// Visit the replicated (dense) parameters only — the set the
+    /// data-parallel all-reduce covers. Order is identical on every rank.
+    pub fn visit_dense_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok.visit_params(f);
+        if !self.cfg.rope {
+            self.pos.visit_params(f);
+        }
+        for b in &mut self.blocks {
+            b.ln1.visit_params(f);
+            b.attn.visit_params(f);
+            b.ln2.visit_params(f);
+            match &mut b.ffn {
+                DistFfn::Dense(ffn) => ffn.visit_params(f),
+                DistFfn::MoE(moe) => moe.visit_gate_params(f),
+            }
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    /// Visit the sharded expert parameters only.
+    pub fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for b in &mut self.blocks {
+            if let DistFfn::MoE(moe) = &mut b.ffn {
+                moe.visit_expert_params(f);
+            }
+        }
+    }
+}
+
+impl HasParams for DistTransformer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Dense first, then experts — a deterministic global order.
+        self.visit_dense_params(f);
+        self.visit_expert_params(f);
+    }
+}

@@ -1,0 +1,275 @@
+//! The distributed MoE layer: gate locally, exchange tokens with an
+//! all-to-all, run the locally-resident experts, exchange results back.
+//!
+//! Expert placement: global expert `e` lives on rank `e mod R` at local
+//! slot `e div R`. The backward pass mirrors the forward exchanges exactly
+//! (the dispatch plan is cached), so each expert runs one forward and one
+//! backward per step regardless of how many ranks fed it.
+
+use bagualu_comm::collectives::{alltoallv, alltoallv_hierarchical, alltoallv_u64};
+use bagualu_comm::shm::Communicator;
+use bagualu_model::ffn::FeedForward;
+use bagualu_model::moe::gate::{Gate, Routing};
+use bagualu_model::param::{HasParams, Param};
+use bagualu_tensor::Tensor;
+
+/// Which all-to-all algorithm moves the tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum A2aKind {
+    /// Naive pairwise exchange (the baseline).
+    Pairwise,
+    /// Two-phase supernode-aware exchange (the optimized algorithm);
+    /// `supernode_size` ranks form one supernode.
+    Hierarchical { supernode_size: usize },
+}
+
+impl A2aKind {
+    fn run<C: Communicator>(self, comm: &C, parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        match self {
+            A2aKind::Pairwise => alltoallv(comm, parts),
+            A2aKind::Hierarchical { supernode_size } => {
+                alltoallv_hierarchical(comm, parts, supernode_size)
+            }
+        }
+    }
+}
+
+/// A mixture-of-experts layer whose experts are sharded across ranks.
+#[derive(Debug, Clone)]
+pub struct DistMoELayer {
+    /// The (replicated, data-parallel) router.
+    pub gate: Gate,
+    /// Global expert count.
+    pub n_experts: usize,
+    /// Experts resident on this rank: slot `l` holds global expert
+    /// `l·R + rank`.
+    pub local_experts: Vec<FeedForward>,
+    pub rank: usize,
+    pub nranks: usize,
+    pub a2a: A2aKind,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    routing: Routing,
+    /// Per destination rank: assignment indices, in send order.
+    send_idx: Vec<Vec<usize>>,
+    /// Per local expert slot: origin `(src_rank, position_in_src_batch)` of
+    /// each row it processed, in row order.
+    origin: Vec<Vec<(usize, usize)>>,
+    /// Tokens received from each source rank in the forward dispatch.
+    recv_counts: Vec<usize>,
+    /// Expert outputs as seen by this (source) rank, one row per assignment.
+    assign_out: Tensor,
+    x_shape: Vec<usize>,
+}
+
+impl DistMoELayer {
+    /// Wrap a gate and this rank's expert shard. `local_experts[l]` must be
+    /// global expert `l·nranks + rank`.
+    pub fn new(
+        gate: Gate,
+        n_experts: usize,
+        local_experts: Vec<FeedForward>,
+        rank: usize,
+        nranks: usize,
+        a2a: A2aKind,
+    ) -> DistMoELayer {
+        assert_eq!(gate.n_experts(), n_experts);
+        let expected = (0..n_experts).filter(|e| e % nranks == rank).count();
+        assert_eq!(local_experts.len(), expected, "wrong expert shard size");
+        DistMoELayer { gate, n_experts, local_experts, rank, nranks, a2a, cache: None }
+    }
+
+    /// Owner rank of a global expert.
+    pub fn owner(&self, expert: usize) -> usize {
+        expert % self.nranks
+    }
+
+    /// Routing statistics of the last forward (this rank's local view).
+    pub fn last_routing(&self) -> Option<&Routing> {
+        self.cache.as_ref().map(|c| &c.routing)
+    }
+
+    /// Auxiliary balance loss of the last forward.
+    pub fn last_aux_loss(&self) -> f32 {
+        self.cache.as_ref().map(|c| c.routing.aux_loss).unwrap_or(0.0)
+    }
+
+    /// Forward over this rank's `[n_local, d]` micro-batch. Collective:
+    /// every rank must call it in the same program position.
+    pub fn forward<C: Communicator>(&mut self, x: &Tensor, comm: &C) -> Tensor {
+        let d = x.cols();
+        let r = comm.size();
+        assert_eq!(r, self.nranks);
+        let routing = self.gate.forward(x);
+
+        // ---- Dispatch: bucket assignments by owner rank.
+        let mut send_idx: Vec<Vec<usize>> = vec![Vec::new(); r];
+        for (i, a) in routing.assignments.iter().enumerate() {
+            send_idx[self.owner(a.expert)].push(i);
+        }
+        let hdr_parts: Vec<Vec<u64>> = send_idx
+            .iter()
+            .map(|idxs| idxs.iter().map(|&i| routing.assignments[i].expert as u64).collect())
+            .collect();
+        let data_parts: Vec<Vec<f32>> = send_idx
+            .iter()
+            .map(|idxs| {
+                let mut buf = Vec::with_capacity(idxs.len() * d);
+                for &i in idxs {
+                    buf.extend_from_slice(x.row(routing.assignments[i].token));
+                }
+                buf
+            })
+            .collect();
+        let hdrs = alltoallv_u64(comm, hdr_parts);
+        let datas = self.a2a.run(comm, data_parts);
+
+        // ---- Group received tokens by local expert slot.
+        let n_slots = self.local_experts.len();
+        let mut slot_inputs: Vec<Vec<f32>> = vec![Vec::new(); n_slots];
+        let mut origin: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_slots];
+        let mut recv_counts = vec![0usize; r];
+        for src in 0..r {
+            let hdr = &hdrs[src];
+            let data = &datas[src];
+            assert_eq!(data.len(), hdr.len() * d, "dispatch data/header mismatch");
+            recv_counts[src] = hdr.len();
+            for (pos, &e) in hdr.iter().enumerate() {
+                let e = e as usize;
+                assert_eq!(self.owner(e), self.rank, "token for expert {e} misrouted");
+                let slot = e / r;
+                slot_inputs[slot].extend_from_slice(&data[pos * d..(pos + 1) * d]);
+                origin[slot].push((src, pos));
+            }
+        }
+
+        // ---- Expert compute.
+        let mut slot_outputs = Vec::with_capacity(n_slots);
+        for (slot, input) in slot_inputs.into_iter().enumerate() {
+            let rows = origin[slot].len();
+            let xe = Tensor::from_vec(input, &[rows, d]);
+            slot_outputs.push(self.local_experts[slot].forward(&xe));
+        }
+
+        // ---- Combine: return results to their source ranks, in the
+        // position order of the original dispatch.
+        let mut reply: Vec<Vec<f32>> =
+            (0..r).map(|src| vec![0.0f32; recv_counts[src] * d]).collect();
+        for (slot, orig) in origin.iter().enumerate() {
+            for (row, &(src, pos)) in orig.iter().enumerate() {
+                reply[src][pos * d..(pos + 1) * d]
+                    .copy_from_slice(slot_outputs[slot].row(row));
+            }
+        }
+        let replies = self.a2a.run(comm, reply);
+
+        let n_assign = routing.assignments.len();
+        let mut assign_out = Tensor::zeros(&[n_assign, d]);
+        let mut y = Tensor::zeros(x.shape());
+        for (dest, idxs) in send_idx.iter().enumerate() {
+            for (j, &ai) in idxs.iter().enumerate() {
+                let a = routing.assignments[ai];
+                let out_row = &replies[dest][j * d..(j + 1) * d];
+                assign_out.row_mut(ai).copy_from_slice(out_row);
+                let dst = y.row_mut(a.token);
+                for (o, &v) in dst.iter_mut().zip(out_row) {
+                    *o += a.weight * v;
+                }
+            }
+        }
+
+        self.cache =
+            Some(Cache { routing, send_idx, origin, recv_counts, assign_out, x_shape: x.shape().to_vec() });
+        y
+    }
+
+    /// Backward over this rank's `[n_local, d]` upstream gradient.
+    /// Collective, mirroring the forward exchanges.
+    pub fn backward<C: Communicator>(&mut self, dy: &Tensor, comm: &C) -> Tensor {
+        let cache = self.cache.take().expect("DistMoELayer::backward before forward");
+        let d = dy.cols();
+        let r = comm.size();
+        assert_eq!(dy.shape(), &cache.x_shape[..]);
+        let routing = &cache.routing;
+
+        // ---- Combine-backward: dweights stay local; dY rows travel to the
+        // expert owners along the cached dispatch plan.
+        let mut dweights = vec![0.0f32; routing.assignments.len()];
+        let dsend: Vec<Vec<f32>> = cache
+            .send_idx
+            .iter()
+            .map(|idxs| {
+                let mut buf = Vec::with_capacity(idxs.len() * d);
+                for &ai in idxs {
+                    let a = routing.assignments[ai];
+                    let dyr = dy.row(a.token);
+                    dweights[ai] =
+                        dyr.iter().zip(cache.assign_out.row(ai)).map(|(g, v)| g * v).sum();
+                    buf.extend(dyr.iter().map(|&g| a.weight * g));
+                }
+                buf
+            })
+            .collect();
+        let dys = self.a2a.run(comm, dsend);
+
+        // ---- Expert backward, rows in forward order.
+        let mut dreply: Vec<Vec<f32>> =
+            (0..r).map(|src| vec![0.0f32; cache.recv_counts[src] * d]).collect();
+        for (slot, orig) in cache.origin.iter().enumerate() {
+            let mut dye = Tensor::zeros(&[orig.len(), d]);
+            for (row, &(src, pos)) in orig.iter().enumerate() {
+                dye.row_mut(row).copy_from_slice(&dys[src][pos * d..(pos + 1) * d]);
+            }
+            let dxe = self.local_experts[slot].backward(&dye);
+            for (row, &(src, pos)) in orig.iter().enumerate() {
+                dreply[src][pos * d..(pos + 1) * d].copy_from_slice(dxe.row(row));
+            }
+        }
+        let dxs = self.a2a.run(comm, dreply);
+
+        // ---- Scatter input gradients back to tokens (weights already
+        // folded in on the way out).
+        let mut dx = Tensor::zeros(dy.shape());
+        for (dest, idxs) in cache.send_idx.iter().enumerate() {
+            for (j, &ai) in idxs.iter().enumerate() {
+                let a = routing.assignments[ai];
+                let src_row = &dxs[dest][j * d..(j + 1) * d];
+                let dst = dx.row_mut(a.token);
+                for (o, &g) in dst.iter_mut().zip(src_row) {
+                    *o += g;
+                }
+            }
+        }
+
+        // ---- Gate path (local).
+        let dx_gate = self.gate.backward(routing, &dweights);
+        dx.add_assign(&dx_gate);
+        dx
+    }
+
+    /// Visit only the expert parameters (sharded — excluded from the dense
+    /// all-reduce, rescaled instead).
+    pub fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for e in &mut self.local_experts {
+            e.visit_params(f);
+        }
+    }
+
+    /// Visit only the gate parameters (replicated — part of the dense
+    /// all-reduce).
+    pub fn visit_gate_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+    }
+}
+
+impl HasParams for DistMoELayer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+        for e in &mut self.local_experts {
+            e.visit_params(f);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Gradient synchronization for MoDa parallelism.
+//!
+//! After each rank's local backward:
+//!
+//! * **dense gradients** (replicated parameters) are averaged with a ring
+//!   all-reduce — standard data parallelism;
+//! * **expert gradients** are *not* communicated (each expert lives on one
+//!   rank only) but are rescaled by `1/R`, because each rank's loss is the
+//!   mean over its `1/R`-sized micro-batch while an expert accumulates
+//!   contributions from all ranks' tokens.
+//!
+//! With both rules, an `R`-rank step is numerically equivalent to a
+//! single-rank step over the concatenated global batch (up to all-reduce
+//! summation order) — the property the integration tests pin down.
+
+use crate::model_dist::DistTransformer;
+use bagualu_comm::collectives::{allreduce, ReduceOp};
+use bagualu_comm::shm::Communicator;
+
+/// Synchronize gradients across the data-parallel group. Returns the number
+/// of dense gradient scalars reduced (for communication-volume accounting).
+pub fn sync_grads<C: Communicator>(model: &mut DistTransformer, comm: &C) -> usize {
+    let r = comm.size() as f32;
+
+    // Flatten dense grads in the deterministic visit order.
+    let mut flat = Vec::new();
+    model.visit_dense_params(&mut |p| flat.extend_from_slice(p.grad.as_slice()));
+    let count = flat.len();
+
+    let mut reduced = allreduce(comm, flat, ReduceOp::Sum);
+    let inv = 1.0 / r;
+    for g in &mut reduced {
+        *g *= inv;
+    }
+
+    let mut off = 0usize;
+    model.visit_dense_params(&mut |p| {
+        let n = p.grad.len();
+        p.grad.as_mut_slice().copy_from_slice(&reduced[off..off + n]);
+        off += n;
+    });
+
+    // Experts: rescale only.
+    model.visit_expert_params(&mut |p| p.grad.scale(1.0 / r));
+    count
+}
+
+/// Debug/validation helper: confirm every rank holds identical dense
+/// parameter *values* (they must, since updates are deterministic on
+/// identical gradients). Returns the maximum absolute divergence from the
+/// rank-0 replica.
+pub fn check_replica_consistency<C: Communicator>(
+    model: &mut DistTransformer,
+    comm: &C,
+) -> f32 {
+    let mut flat = Vec::new();
+    model.visit_dense_params(&mut |p| flat.extend_from_slice(p.value.as_slice()));
+    // Max-reduce |x_r − x_0|: broadcast rank 0's copy, compare locally, then
+    // max-allreduce the scalar.
+    let reference = bagualu_comm::collectives::broadcast(
+        comm,
+        0,
+        (comm.rank() == 0).then(|| flat.clone()),
+    );
+    let local_max = flat
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let out = allreduce(comm, vec![local_max], ReduceOp::Max);
+    out[0]
+}

@@ -1,0 +1,34 @@
+//! Dense tensor kernels for the BaGuaLu reproduction.
+//!
+//! This crate is the compute substrate that stands in for the hand-tuned
+//! SW26010-Pro CPE kernels (SWDNN) used by the original system. It provides:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` tensor with the small
+//!   set of shapes deep-learning training needs (vectors, matrices, batched
+//!   matrices),
+//! * blocked, [rayon]-parallel matrix multiplication in the `NN`/`NT`/`TN`
+//!   layouts used by forward and backward passes,
+//! * fused element-wise and reduction kernels (GELU, softmax, layer-norm
+//!   statistics, …),
+//! * bit-exact software [`F16`](dtype::F16) and [`BF16`](dtype::BF16) types so
+//!   that mixed-precision *numerics* (rounding, underflow, loss-scale
+//!   dynamics) can be reproduced without half-precision hardware.
+//!
+//! Master storage is always `f32`; half precision is modelled by *round-trip
+//! quantization* (`f32 → half → f32`) applied at the points where the real
+//! system would store or communicate half-precision values. This keeps the
+//! kernels simple while making the numerics faithful.
+
+pub mod dtype;
+pub mod ops;
+pub mod rng;
+pub mod tensor;
+
+pub use dtype::{DType, BF16, F16};
+pub use tensor::Tensor;
+
+/// Commonly used items, for glob import in downstream crates.
+pub mod prelude {
+    pub use crate::dtype::{DType, BF16, F16};
+    pub use crate::tensor::Tensor;
+}

@@ -1,0 +1,98 @@
+//! Fused element-wise activation kernels and their backward passes.
+
+use crate::tensor::Tensor;
+
+/// GELU activation (tanh approximation, as used by GPT-style pretrained
+/// models): `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`] with respect to its input.
+#[inline]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Element-wise GELU.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+/// Backward of GELU: `dX = dY ⊙ gelu'(X)` where `X` is the forward input.
+pub fn gelu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(dy.shape(), x.shape());
+    let mut out = dy.clone();
+    for (g, &xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *g *= gelu_grad_scalar(xi);
+    }
+    out
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward of ReLU.
+pub fn relu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(dy.shape(), x.shape());
+    let mut out = dy.clone();
+    for (g, &xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        if xi <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_known_points() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        // GELU(x) → x for large positive x, → 0 for large negative x.
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_scalar(-10.0).abs() < 1e-4);
+        // Tabulated value: gelu(1.0) ≈ 0.8412 (tanh approximation).
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        // GELU is slightly negative around x ≈ -0.75.
+        assert!(gelu_scalar(-0.75) < 0.0);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let fd = (gelu_scalar(x + eps) - gelu_scalar(x - eps)) / (2.0 * eps);
+            let an = gelu_grad_scalar(x);
+            assert!((fd - an).abs() < 2e-3, "x={x}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+        let dy = Tensor::ones(&[3]);
+        assert_eq!(relu_backward(&dy, &x).as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_backward_shapes_and_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let dy = Tensor::from_vec(vec![2.0, 3.0], &[2]);
+        let dx = gelu_backward(&dy, &x);
+        assert!((dx.as_slice()[0] - 2.0 * gelu_grad_scalar(0.0)).abs() < 1e-6);
+        assert!((dx.as_slice()[1] - 3.0 * gelu_grad_scalar(1.0)).abs() < 1e-6);
+    }
+}

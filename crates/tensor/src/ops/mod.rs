@@ -1,0 +1,13 @@
+//! Compute kernels over [`crate::Tensor`].
+//!
+//! These are the substitute for the hand-written SW26010-Pro CPE kernels:
+//! blocked for cache locality and parallelized across cores with rayon, per
+//! the project's HPC coding guides.
+
+pub mod elementwise;
+pub mod matmul;
+pub mod softmax;
+
+pub use elementwise::{gelu, gelu_backward, relu, relu_backward};
+pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use softmax::{log_softmax_rows, softmax_rows, softmax_rows_inplace};

@@ -1,0 +1,93 @@
+//! Numerically stable row-wise softmax kernels.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a 2-D tensor, in place. Uses the max-subtraction
+/// trick so half-precision-scale logits cannot overflow the exponentials.
+pub fn softmax_rows_inplace(x: &mut Tensor) {
+    let c = x.cols();
+    for row in x.as_mut_slice().chunks_exact_mut(c) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise softmax, returning a new tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise log-softmax, returning a new tensor. More accurate than taking
+/// `ln` of [`softmax_rows`] for cross-entropy losses.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let c = x.cols();
+    let mut out = x.clone();
+    for row in out.as_mut_slice().chunks_exact_mut(c) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        assert!(softmax_rows(&x).approx_eq(&softmax_rows(&y), 1e-6));
+    }
+
+    #[test]
+    fn stable_under_huge_logits() {
+        let x = Tensor::from_vec(vec![1e4, 1e4 + 1.0], &[1, 2]);
+        let s = softmax_rows(&x);
+        assert!(!s.has_non_finite());
+        assert!((s.at(0, 0) + s.at(0, 1) - 1.0).abs() < 1e-6);
+        assert!(s.at(0, 1) > s.at(0, 0));
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.5, 0.0], &[2, 2]);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for i in 0..x.len() {
+            assert!((ls.as_slice()[i] - s.as_slice()[i].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let x = Tensor::zeros(&[1, 4]);
+        let s = softmax_rows(&x);
+        for &p in s.as_slice() {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+}

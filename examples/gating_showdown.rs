@@ -1,0 +1,81 @@
+//! Gate-policy showdown: train the same model with top-1, top-2, and
+//! balance-aware greedy routing on skewed data, and watch loss, expert
+//! imbalance, and token drops evolve together.
+//!
+//! ```text
+//! cargo run -p bagualu --release --example gating_showdown
+//! ```
+
+use bagualu::data::TokenDistribution;
+use bagualu::model::config::ModelConfig;
+use bagualu::model::moe::GateKind;
+use bagualu::trainer::{TrainConfig, Trainer, TrainReport};
+
+const STEPS: usize = 120;
+
+fn train(gate: GateKind) -> TrainReport {
+    let model = ModelConfig {
+        n_experts: 8,
+        gate,
+        capacity_factor: 1.25, // tight capacity: routing quality matters
+        ..ModelConfig::tiny()
+    };
+    Trainer::new(TrainConfig {
+        model,
+        nranks: 2,
+        batch_per_rank: 4,
+        seq: 8,
+        steps: STEPS,
+        lr: 1e-2,
+        seed: 5,
+        data: TokenDistribution::Zipf(1.0),
+        ..Default::default()
+    })
+    .run()
+}
+
+fn main() {
+    println!("training 3 gate policies on zipf-1.0 data (8 experts, cf 1.25)…\n");
+    let runs = [
+        ("top-1 (switch)", train(GateKind::Top1)),
+        ("top-2 (gshard)", train(GateKind::Top2)),
+        ("balanced greedy", train(GateKind::Balanced)),
+    ];
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>10}",
+        "gate", "first loss", "final loss", "avg imbalance", "avg drops"
+    );
+    for (name, r) in &runs {
+        let imb: f64 = r.imbalance_curve.iter().sum::<f64>() / STEPS as f64;
+        let drops: f64 = r.drop_curve.iter().sum::<f64>() / STEPS as f64;
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>12.2} {:>9.1}%",
+            name,
+            r.loss_curve[0],
+            r.final_loss(),
+            imb,
+            drops * 100.0
+        );
+    }
+
+    println!("\nloss trajectories (every 20 steps):");
+    print!("{:>6}", "step");
+    for (name, _) in &runs {
+        print!(" {name:>16}");
+    }
+    println!();
+    for s in (0..STEPS).step_by(20).chain([STEPS - 1]) {
+        print!("{s:>6}");
+        for (_, r) in &runs {
+            print!(" {:>16.4}", r.loss_curve[s]);
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading: under skew, top-1/top-2 drop tokens at tight capacity while the\n\
+         balance-aware gate keeps every token flowing — the imbalance and drop\n\
+         columns show the trade the system-level gating design is making."
+    );
+}

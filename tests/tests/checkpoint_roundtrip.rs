@@ -1,0 +1,125 @@
+//! Checkpoint format round-trip properties over arbitrary parameter sets.
+
+use bagualu::checkpoint::{load_params, load_params_sharded, save_params, save_params_sharded};
+use bagualu::model::param::{HasParams, Param};
+use bagualu::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A bag of arbitrary parameters standing in for any model.
+struct Bag {
+    params: Vec<Param>,
+}
+
+impl HasParams for Bag {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in &mut self.params {
+            f(p);
+        }
+    }
+}
+
+fn bag_from(spec: &[(String, Vec<usize>, f32)]) -> Bag {
+    Bag {
+        params: spec
+            .iter()
+            .map(|(name, shape, fill)| {
+                let n: usize = shape.iter().product();
+                let data: Vec<f32> = (0..n).map(|i| fill + i as f32 * 0.25).collect();
+                Param::new(name.clone(), Tensor::from_vec(data, shape))
+            })
+            .collect(),
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = Vec<(String, Vec<usize>, f32)>> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,8}(\\.[a-z]{1,8}){0,2}",
+            proptest::collection::vec(1usize..8, 1..3),
+            -100.0f32..100.0,
+        ),
+        1..12,
+    )
+    .prop_map(|mut v| {
+        // Unique names (duplicates would legitimately collide in the map).
+        for (i, (name, _, _)) in v.iter_mut().enumerate() {
+            name.push_str(&format!(".{i}"));
+        }
+        v
+    })
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bagualu-ckpt-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn monolithic_round_trip(spec in arb_spec()) {
+        let dir = tmp("mono");
+        let path = dir.join("bag.bglu");
+        let mut a = bag_from(&spec);
+        save_params(&path, &mut a).unwrap();
+
+        // Same structure, different values.
+        let zero_spec: Vec<_> =
+            spec.iter().map(|(n, s, _)| (n.clone(), s.clone(), 0.0f32)).collect();
+        let mut b = bag_from(&zero_spec);
+        load_params(&path, &mut b).unwrap();
+        for (pa, pb) in a.params.iter().zip(&b.params) {
+            prop_assert!(pb.value.approx_eq(&pa.value, 0.0));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sharded_round_trip(spec in arb_spec(), shards in 1usize..6) {
+        let dir = tmp("shard");
+        let mut a = bag_from(&spec);
+        save_params_sharded(&dir, &mut a, shards).unwrap();
+        let zero_spec: Vec<_> =
+            spec.iter().map(|(n, s, _)| (n.clone(), s.clone(), 0.0f32)).collect();
+        let mut b = bag_from(&zero_spec);
+        load_params_sharded(&dir, &mut b, shards).unwrap();
+        for (pa, pb) in a.params.iter().zip(&b.params) {
+            prop_assert!(pb.value.approx_eq(&pa.value, 0.0));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn missing_parameter_is_an_error() {
+    let dir = tmp("missing");
+    let path = dir.join("bag.bglu");
+    let mut small = bag_from(&[("only".into(), vec![2], 1.0)]);
+    save_params(&path, &mut small).unwrap();
+    let mut bigger = bag_from(&[
+        ("only".into(), vec![2], 0.0),
+        ("extra".into(), vec![3], 0.0),
+    ]);
+    let err = load_params(&path, &mut bigger).unwrap_err();
+    assert!(err.to_string().contains("extra"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn truncated_file_is_an_error() {
+    let dir = tmp("trunc");
+    let path = dir.join("bag.bglu");
+    let mut a = bag_from(&[("p".into(), vec![64], 1.0)]);
+    save_params(&path, &mut a).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(load_params(&path, &mut a).is_err());
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the collective algorithms: for arbitrary rank
+//! counts, buffer lengths, and payload shapes, every algorithm must match
+//! its mathematical definition, and the hierarchical all-to-all must be
+//! semantically identical to the pairwise one.
+
+use bagualu_comm::collectives::{
+    allgather, allreduce, alltoallv, alltoallv_hierarchical, broadcast, reduce_scatter, ReduceOp,
+};
+use bagualu_comm::harness::{run_ranks, run_ranks_map};
+use bagualu_comm::shm::Communicator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allreduce_sum_matches_definition(n in 1usize..9, len in 0usize..40, seed in 0u64..1000) {
+        run_ranks(n, |c| {
+            // Deterministic pseudo-data per (rank, index).
+            let data: Vec<f32> = (0..len)
+                .map(|i| ((c.rank() * 31 + i * 7 + seed as usize) % 13) as f32 - 6.0)
+                .collect();
+            let out = allreduce(&c, data, ReduceOp::Sum);
+            for (i, &v) in out.iter().enumerate() {
+                let expect: f32 = (0..n)
+                    .map(|r| ((r * 31 + i * 7 + seed as usize) % 13) as f32 - 6.0)
+                    .sum();
+                assert!((v - expect).abs() < 1e-4, "i={} v={} expect={}", i, v, expect);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_max_matches_definition(n in 1usize..9, len in 1usize..20) {
+        run_ranks(n, |c| {
+            let data: Vec<f32> = (0..len).map(|i| (c.rank() * len + i) as f32).collect();
+            let out = allreduce(&c, data, ReduceOp::Max);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, ((n - 1) * len + i) as f32);
+            }
+        });
+    }
+
+    #[test]
+    fn hierarchical_alltoall_equals_pairwise(
+        supernodes in 1usize..5,
+        sn_size in 1usize..5,
+        max_len in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = supernodes * sn_size;
+        run_ranks(n, |c| {
+            let parts: Vec<Vec<f32>> = (0..n)
+                .map(|d| {
+                    let len = (c.rank() + d + seed as usize) % max_len;
+                    (0..len).map(|i| (c.rank() * 1000 + d * 10 + i) as f32).collect()
+                })
+                .collect();
+            let flat = alltoallv(&c, parts.clone());
+            let hier = alltoallv_hierarchical(&c, parts, sn_size);
+            assert_eq!(flat, hier);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_is_allreduce(n in 1usize..8, len in 1usize..50) {
+        run_ranks(n, |c| {
+            let data: Vec<f32> = (0..len).map(|i| (c.rank() + i) as f32).collect();
+            let full = allreduce(&c, data.clone(), ReduceOp::Sum);
+            let chunk = reduce_scatter(&c, data, ReduceOp::Sum);
+            let gathered = allgather(&c, chunk);
+            let recomposed: Vec<f32> = gathered.into_iter().flatten().collect();
+            assert_eq!(full, recomposed);
+        });
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(n in 1usize..10, root_sel in 0usize..10, len in 0usize..30) {
+        let root = root_sel % n;
+        run_ranks(n, |c| {
+            let msg = (c.rank() == root).then(|| (0..len).map(|i| i as f32 * 0.5).collect());
+            let got = broadcast(&c, root, msg);
+            assert_eq!(got.len(), len);
+            for (i, &v) in got.iter().enumerate() {
+                assert_eq!(v, i as f32 * 0.5);
+            }
+        });
+    }
+}
+
+#[test]
+fn alltoallv_total_volume_is_conserved() {
+    // Whatever is sent is received, exactly once.
+    let n = 6;
+    let sums = run_ranks_map(n, |c| {
+        let parts: Vec<Vec<f32>> =
+            (0..n).map(|d| vec![1.0f32; (c.rank() + d) % 4]).collect();
+        let sent: usize = parts.iter().map(|p| p.len()).sum();
+        let got = alltoallv(&c, parts);
+        let received: usize = got.iter().map(|p| p.len()).sum();
+        (sent, received)
+    });
+    let total_sent: usize = sums.iter().map(|(s, _)| s).sum();
+    let total_recv: usize = sums.iter().map(|(_, r)| r).sum();
+    assert_eq!(total_sent, total_recv);
+}

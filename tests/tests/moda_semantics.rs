@@ -1,0 +1,137 @@
+//! Cross-crate semantic tests of MoDa parallelism: for randomized shapes,
+//! rank counts, and all-to-all algorithms, the distributed model must
+//! reproduce the single-rank oracle.
+
+use bagualu_comm::harness::run_ranks;
+use bagualu_comm::shm::Communicator;
+use bagualu_model::config::ModelConfig;
+use bagualu_model::moe::GateKind;
+use bagualu_model::transformer::Transformer;
+use bagualu_parallel::model_dist::DistTransformer;
+use bagualu_parallel::moe_dist::A2aKind;
+use bagualu_tensor::rng::Rng;
+use proptest::prelude::*;
+
+fn cfg(n_experts: usize, gate: GateKind) -> ModelConfig {
+    ModelConfig {
+        vocab: 23,
+        d_model: 8,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 16,
+        max_seq: 6,
+        n_experts,
+        moe_every: 2,
+        gate,
+        capacity_factor: 64.0, // loose: local/global capacities both slack
+        aux_weight: 0.0,
+        router_groups: 0,
+        rope: false,
+        tie_embeddings: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dist_forward_matches_local(
+        nranks in 1usize..5,
+        experts_per_rank in 1usize..3,
+        gate_sel in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let gate = [GateKind::Top1, GateKind::Top2, GateKind::Balanced][gate_sel];
+        // Top-2 routing requires at least two experts by definition.
+        prop_assume!(gate != GateKind::Top2 || nranks * experts_per_rank >= 2);
+        let cfg = cfg(nranks * experts_per_rank, gate);
+        let per_rank = 2usize;
+        let seq = 4usize;
+        let mut data_rng = Rng::seed_from(seed);
+        let tokens: Vec<usize> =
+            (0..nranks * per_rank * seq).map(|_| data_rng.below(cfg.vocab)).collect();
+
+        let mut rng = Rng::seed_from(seed ^ 0xABCD);
+        let mut local = Transformer::new(cfg, &mut rng);
+        let expect = local.forward(&tokens, nranks * per_rank, seq);
+
+        let (tokens_ref, local_ref, expect_ref) = (&tokens, &local, &expect);
+        run_ranks(nranks, move |c| {
+            let mut dist =
+                DistTransformer::from_local(local_ref, c.rank(), nranks, A2aKind::Pairwise);
+            let lo = c.rank() * per_rank * seq;
+            let shard = tokens_ref[lo..lo + per_rank * seq].to_vec();
+            let logits = dist.forward(&shard, per_rank, seq, &c);
+            let want = expect_ref.slice_rows(lo, lo + per_rank * seq);
+            assert!(logits.approx_eq(&want, 1e-3), "rank {} diverged", c.rank());
+        });
+    }
+
+    #[test]
+    fn hierarchical_matches_local_too(
+        supernode in 1usize..4,
+        sn_count in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let nranks = supernode * sn_count;
+        let cfg = cfg(nranks * 2, GateKind::Top2);
+        let per_rank = 1usize;
+        let seq = 4usize;
+        let mut data_rng = Rng::seed_from(seed);
+        let tokens: Vec<usize> =
+            (0..nranks * per_rank * seq).map(|_| data_rng.below(cfg.vocab)).collect();
+
+        let mut rng = Rng::seed_from(seed ^ 0x1234);
+        let mut local = Transformer::new(cfg, &mut rng);
+        let expect = local.forward(&tokens, nranks * per_rank, seq);
+
+        let (tokens_ref, local_ref, expect_ref) = (&tokens, &local, &expect);
+        run_ranks(nranks, move |c| {
+            let mut dist = DistTransformer::from_local(
+                local_ref,
+                c.rank(),
+                nranks,
+                A2aKind::Hierarchical { supernode_size: supernode },
+            );
+            let lo = c.rank() * per_rank * seq;
+            let shard = tokens_ref[lo..lo + per_rank * seq].to_vec();
+            let logits = dist.forward(&shard, per_rank, seq, &c);
+            let want = expect_ref.slice_rows(lo, lo + per_rank * seq);
+            assert!(logits.approx_eq(&want, 1e-3), "rank {} diverged", c.rank());
+        });
+    }
+}
+
+#[test]
+fn param_count_formula_matches_real_models_across_configs() {
+    let mut rng = Rng::seed_from(77);
+    for n_experts in [0usize, 2, 4] {
+        for moe_every in [1usize, 2] {
+            for n_layers in [1usize, 2, 4] {
+                let cfg = ModelConfig {
+                    vocab: 17,
+                    d_model: 8,
+                    n_heads: 2,
+                    n_layers,
+                    d_ff: 12,
+                    max_seq: 8,
+                    n_experts,
+                    moe_every,
+                    gate: GateKind::Top1,
+                    capacity_factor: 1.25,
+                    aux_weight: 0.01,
+                    router_groups: 0,
+                    rope: false,
+                    tie_embeddings: false,
+                };
+                use bagualu_model::param::HasParams;
+                let mut m = Transformer::new(cfg, &mut rng);
+                assert_eq!(
+                    m.num_params() as u128,
+                    cfg.count_params(),
+                    "mismatch for experts={n_experts} every={moe_every} layers={n_layers}"
+                );
+            }
+        }
+    }
+}
