@@ -49,5 +49,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_checkpoint}
+criterion_group! {name = benches; config = quick(); targets = bench_checkpoint}
 criterion_main!(benches);

@@ -32,8 +32,9 @@ fn bench_alltoall(c: &mut Criterion) {
         bench.iter(|| {
             run_ranks(nranks, |c| {
                 use bagualu::comm::shm::Communicator;
-                let parts: Vec<Vec<f32>> =
-                    (0..nranks).map(|_| vec![c.rank() as f32; per_pair]).collect();
+                let parts: Vec<Vec<f32>> = (0..nranks)
+                    .map(|_| vec![c.rank() as f32; per_pair])
+                    .collect();
                 alltoallv(&c, parts);
             });
         })
@@ -42,8 +43,9 @@ fn bench_alltoall(c: &mut Criterion) {
         bench.iter(|| {
             run_ranks(nranks, |c| {
                 use bagualu::comm::shm::Communicator;
-                let parts: Vec<Vec<f32>> =
-                    (0..nranks).map(|_| vec![c.rank() as f32; per_pair]).collect();
+                let parts: Vec<Vec<f32>> = (0..nranks)
+                    .map(|_| vec![c.rank() as f32; per_pair])
+                    .collect();
                 alltoallv_hierarchical(&c, parts, 4);
             });
         })
@@ -58,5 +60,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_allreduce, bench_alltoall}
+criterion_group! {name = benches; config = quick(); targets = bench_allreduce, bench_alltoall}
 criterion_main!(benches);

@@ -58,5 +58,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_matmul, bench_elementwise, bench_half_conversion}
+criterion_group! {name = benches; config = quick(); targets = bench_matmul, bench_elementwise, bench_half_conversion}
 criterion_main!(benches);

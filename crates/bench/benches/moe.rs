@@ -28,8 +28,7 @@ fn bench_gates(c: &mut Criterion) {
 
 fn bench_moe_layer(c: &mut Criterion) {
     let mut rng = Rng::seed_from(2);
-    let mut layer =
-        MoELayer::new("m", D, 4 * D, EXPERTS, GateKind::Top2, 1.25, 0.01, &mut rng);
+    let mut layer = MoELayer::new("m", D, 4 * D, EXPERTS, GateKind::Top2, 1.25, 0.01, &mut rng);
     let x = Tensor::randn(&[TOKENS, D], 1.0, &mut rng);
     let mut g = c.benchmark_group("moe_layer_1k_tokens");
     g.throughput(Throughput::Elements(TOKENS as u64));
@@ -50,5 +49,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_gates, bench_moe_layer}
+criterion_group! {name = benches; config = quick(); targets = bench_gates, bench_moe_layer}
 criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! End-to-end training-step benchmarks: local model and the distributed
 //! MoDa step (4 ranks), pairwise vs hierarchical all-to-all.
 
+use bagualu::comm::harness::run_ranks;
 use bagualu::model::config::ModelConfig;
 use bagualu::model::param::HasParams;
 use bagualu::model::transformer::Transformer;
 use bagualu::parallel::model_dist::DistTransformer;
 use bagualu::parallel::moe_dist::A2aKind;
 use bagualu::parallel::sync::sync_grads;
-use bagualu::comm::harness::run_ranks;
 use bagualu::tensor::rng::Rng;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -57,8 +57,7 @@ fn bench_dist_step(c: &mut Criterion) {
                     let mut model = DistTransformer::new(cfg, 7, comm.rank(), 4, a2a);
                     let tokens: Vec<usize> =
                         (0..4 * 16).map(|i| (i + comm.rank()) % cfg.vocab).collect();
-                    let targets: Vec<usize> =
-                        (0..4 * 16).map(|i| (i + 1) % cfg.vocab).collect();
+                    let targets: Vec<usize> = (0..4 * 16).map(|i| (i + 1) % cfg.vocab).collect();
                     model.train_batch(&tokens, &targets, 4, 16, &comm);
                     sync_grads(&mut model, &comm);
                 });
@@ -75,5 +74,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_local_step, bench_dist_step}
+criterion_group! {name = benches; config = quick(); targets = bench_local_step, bench_dist_step}
 criterion_main!(benches);

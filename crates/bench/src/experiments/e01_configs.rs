@@ -13,19 +13,40 @@ pub fn run() {
     t.row(&["nodes".into(), format!("{}", m.nodes)]);
     t.row(&["supernode size".into(), format!("{}", m.supernode_size)]);
     t.row(&["supernodes".into(), format!("{}", m.supernodes())]);
-    t.row(&["core groups/node".into(), format!("{}", m.processor.core_groups)]);
+    t.row(&[
+        "core groups/node".into(),
+        format!("{}", m.processor.core_groups),
+    ]);
     t.row(&["cores/node".into(), format!("{}", m.processor.cores())]);
     t.row(&["total cores".into(), format!("{}", m.total_cores())]);
     t.row(&["peak FP32".into(), format_flops(m.peak(Precision::FP32))]);
-    t.row(&["peak FP16/BF16".into(), format_flops(m.peak(Precision::Half))]);
-    t.row(&["memory/node".into(), format!("{} GiB", m.processor.mem_capacity >> 30)]);
-    t.row(&["intra-supernode bw/node".into(), format_si(m.network.intra_bw, "B/s")]);
-    t.row(&["inter-supernode bw/node".into(), format_si(m.network.inter_bw, "B/s")]);
+    t.row(&[
+        "peak FP16/BF16".into(),
+        format_flops(m.peak(Precision::Half)),
+    ]);
+    t.row(&[
+        "memory/node".into(),
+        format!("{} GiB", m.processor.mem_capacity >> 30),
+    ]);
+    t.row(&[
+        "intra-supernode bw/node".into(),
+        format_si(m.network.intra_bw, "B/s"),
+    ]);
+    t.row(&[
+        "inter-supernode bw/node".into(),
+        format_si(m.network.inter_bw, "B/s"),
+    ]);
     t.print();
 
     println!("\n== E1: model presets and parameter counts ==\n");
     let mut t = Table::new(&[
-        "preset", "d_model", "layers", "moe blocks", "experts", "total params", "dense",
+        "preset",
+        "d_model",
+        "layers",
+        "moe blocks",
+        "experts",
+        "total params",
+        "dense",
         "experts(params)",
     ]);
     for (name, cfg) in [

@@ -12,7 +12,10 @@ use bagualu::perfmodel::{project, PerfInput};
 
 /// The preset family used for scaling: experts grow with the machine.
 pub fn model_for_nodes(nodes: usize) -> ModelConfig {
-    ModelConfig { n_experts: nodes * 9 / 8, ..ModelConfig::bagualu_174t() }
+    ModelConfig {
+        n_experts: nodes * 9 / 8,
+        ..ModelConfig::bagualu_174t()
+    }
 }
 
 pub fn run() {
@@ -20,7 +23,11 @@ pub fn run() {
     let node_counts = [256usize, 1024, 4096, 16384, 49152, 96_000];
 
     let mut t = Table::new(&[
-        "nodes", "params", "tok/s (hier)", "tok/s (pairwise)", "hier speedup",
+        "nodes",
+        "params",
+        "tok/s (hier)",
+        "tok/s (pairwise)",
+        "hier speedup",
         "per-node eff",
     ]);
     let mut base_per_node = None;

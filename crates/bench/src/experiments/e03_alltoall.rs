@@ -17,8 +17,9 @@ fn time_functional(nranks: usize, supernode: usize, floats_per_pair: usize, hier
     let reps = 5;
     let times = run_ranks_map(nranks, |c| {
         use bagualu::comm::shm::Communicator;
-        let parts: Vec<Vec<f32>> =
-            (0..nranks).map(|d| vec![d as f32; floats_per_pair]).collect();
+        let parts: Vec<Vec<f32>> = (0..nranks)
+            .map(|d| vec![d as f32; floats_per_pair])
+            .collect();
         // Warm up once, then time.
         let _ = if hier {
             alltoallv_hierarchical(&c, parts.clone(), supernode)
@@ -60,9 +61,7 @@ pub fn run() {
     );
 
     println!("== E3b: projected all-to-all time on the Sunway topology ==\n");
-    let mut t = Table::new(&[
-        "nodes", "bytes/pair", "pairwise", "hierarchical", "speedup",
-    ]);
+    let mut t = Table::new(&["nodes", "bytes/pair", "pairwise", "hierarchical", "speedup"]);
     for &nodes in &[1024usize, 8192, 96_000] {
         let cc = CollectiveCost::new(MachineConfig::sunway_subset(nodes));
         for &bytes in &[64usize, 1024, 16 * 1024, 256 * 1024] {

@@ -32,15 +32,15 @@ fn routing_for(kind: GateKind, skew: f64, cf: f32) -> (f64, f64, f64) {
 }
 
 pub fn run() {
-    println!(
-        "== E4: expert load balance (64 experts, 4096 tokens, capacity factor 1.25) ==\n"
-    );
+    println!("== E4: expert load balance (64 experts, 4096 tokens, capacity factor 1.25) ==\n");
     let mut t = Table::new(&[
-        "token skew", "gate", "imbalance (max/mean)", "drop rate", "hottest expert share",
+        "token skew",
+        "gate",
+        "imbalance (max/mean)",
+        "drop rate",
+        "hottest expert share",
     ]);
-    for &(skew, label) in
-        &[(0.0, "uniform"), (0.8, "zipf 0.8"), (1.2, "zipf 1.2")]
-    {
+    for &(skew, label) in &[(0.0, "uniform"), (0.8, "zipf 0.8"), (1.2, "zipf 1.2")] {
         for (kind, name) in [
             (GateKind::Top1, "top-1 (switch)"),
             (GateKind::Top2, "top-2 (gshard)"),

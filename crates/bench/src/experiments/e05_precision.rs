@@ -7,9 +7,9 @@
 
 use crate::table::Table;
 use bagualu::data::TokenDistribution;
+use bagualu::model::config::ModelConfig;
 use bagualu::tensor::DType;
 use bagualu::trainer::{TrainConfig, Trainer};
-use bagualu::model::config::ModelConfig;
 
 fn run_one(dtype: DType, disable_scaling: bool) -> (f32, f32, u64) {
     let cfg = TrainConfig {
@@ -26,13 +26,21 @@ fn run_one(dtype: DType, disable_scaling: bool) -> (f32, f32, u64) {
         ..Default::default()
     };
     let report = Trainer::new(cfg).run();
-    (report.loss_curve[0], report.final_loss(), report.skipped_steps)
+    (
+        report.loss_curve[0],
+        report.final_loss(),
+        report.skipped_steps,
+    )
 }
 
 pub fn run() {
     println!("== E5: precision ablation (tiny MoE LM, 120 steps, 2 ranks) ==\n");
     let mut t = Table::new(&[
-        "regime", "first loss", "final loss", "improvement", "skipped steps",
+        "regime",
+        "first loss",
+        "final loss",
+        "improvement",
+        "skipped steps",
     ]);
     for (label, dtype, disable) in [
         ("fp32", DType::F32, false),

@@ -7,11 +7,20 @@ use bagualu::perfmodel::{project, PerfInput};
 pub fn run() {
     println!("== E6: step-time breakdown, 14.5T preset, hierarchical collectives ==\n");
     let mut t = Table::new(&[
-        "nodes", "dense (s)", "gate (s)", "experts (s)", "a2a (s)", "allreduce (s)",
-        "total (s)", "comm %",
+        "nodes",
+        "dense (s)",
+        "gate (s)",
+        "experts (s)",
+        "a2a (s)",
+        "allreduce (s)",
+        "total (s)",
+        "comm %",
     ]);
     for &nodes in &[1024usize, 8192, 49152, 96_000] {
-        let p = project(&PerfInput::sunway_nodes(ModelConfig::bagualu_14_5t(), nodes));
+        let p = project(&PerfInput::sunway_nodes(
+            ModelConfig::bagualu_14_5t(),
+            nodes,
+        ));
         let b = p.breakdown;
         t.row(&[
             format!("{nodes}"),

@@ -21,8 +21,13 @@ pub fn run() {
     let act = |m: &ModelConfig| 2.0 * 2048.0 * m.d_model as f64 * m.n_layers as f64;
 
     let mut t = Table::new(&[
-        "preset", "params", "dense opt", "params+grads (GiB)", "optimizer (GiB)",
-        "total (GiB)", "fits 96 GiB",
+        "preset",
+        "params",
+        "dense opt",
+        "params+grads (GiB)",
+        "optimizer (GiB)",
+        "total (GiB)",
+        "fits 96 GiB",
     ]);
     for (name, cfg) in [
         ("1.93T", ModelConfig::bagualu_1_93t()),
@@ -42,11 +47,19 @@ pub fn run() {
             t.row(&[
                 name.into(),
                 format_params(cfg.count_params()),
-                if sharded { "sharded".into() } else { "replicated".into() },
+                if sharded {
+                    "sharded".into()
+                } else {
+                    "replicated".into()
+                },
                 format!("{:.1}", (b.params + b.grads) / (1u64 << 30) as f64),
                 format!("{:.1}", b.optimizer / (1u64 << 30) as f64),
                 format!("{total:.1}"),
-                if total <= budget_gib { "yes".into() } else { "NO".into() },
+                if total <= budget_gib {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -60,8 +73,16 @@ pub fn run() {
     // Dense-sharded baseline comparison at per-node granularity.
     for (name, bytes, note) in [
         ("Adam + fp32 master", 12.0, "m + v + master"),
-        ("Adafactor + fp32 master", 4.05, "row/col factored 2nd moment"),
-        ("Adafactor, no master", 0.05, "bf16 weights updated in place"),
+        (
+            "Adafactor + fp32 master",
+            4.05,
+            "row/col factored 2nd moment",
+        ),
+        (
+            "Adafactor, no master",
+            0.05,
+            "bf16 weights updated in place",
+        ),
     ] {
         t.row(&[
             name.into(),

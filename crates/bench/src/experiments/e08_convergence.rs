@@ -9,7 +9,7 @@
 use crate::table::Table;
 use bagualu::data::TokenDistribution;
 use bagualu::model::config::ModelConfig;
-use bagualu::trainer::{TrainConfig, Trainer, TrainReport};
+use bagualu::trainer::{TrainConfig, TrainReport, Trainer};
 
 fn train(model: ModelConfig, steps: usize) -> TrainReport {
     Trainer::new(TrainConfig {

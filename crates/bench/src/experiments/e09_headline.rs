@@ -10,7 +10,12 @@ use bagualu::perfmodel::{project, PerfInput};
 pub fn run() {
     println!("== E9: sustained performance on the full machine (96,000 nodes) ==\n");
     let mut t = Table::new(&[
-        "preset", "precision", "step time", "tokens/s", "sustained", "of sustained peak",
+        "preset",
+        "precision",
+        "step time",
+        "tokens/s",
+        "sustained",
+        "of sustained peak",
     ]);
     for (name, cfg) in [
         ("1.93T", ModelConfig::bagualu_1_93t()),
@@ -18,7 +23,10 @@ pub fn run() {
         ("174T", ModelConfig::bagualu_174t()),
     ] {
         for (pname, prec) in [("fp32", Precision::FP32), ("half", Precision::Half)] {
-            let p = project(&PerfInput { precision: prec, ..PerfInput::sunway_full(cfg) });
+            let p = project(&PerfInput {
+                precision: prec,
+                ..PerfInput::sunway_full(cfg)
+            });
             t.row(&[
                 name.into(),
                 pname.into(),

@@ -1,8 +1,8 @@
 //! E10 — checkpoint save/load throughput, monolithic vs sharded.
 
 use crate::table::Table;
-use bagualu::checkpoint::{load_params, save_params, save_params_sharded};
 use bagualu::checkpoint::load_params_sharded;
+use bagualu::checkpoint::{load_params, save_params, save_params_sharded};
 use bagualu::metrics::format_bytes;
 use bagualu::model::config::ModelConfig;
 use bagualu::model::param::HasParams;

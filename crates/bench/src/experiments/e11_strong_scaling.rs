@@ -14,7 +14,12 @@ pub fn run() {
     println!("== E11: strong scaling, 1.93T preset, 16M-token global batch ==\n");
     let global_tokens: usize = 16 * 1024 * 1024;
     let mut t = Table::new(&[
-        "nodes", "tokens/node", "step time", "tokens/s", "speedup", "efficiency",
+        "nodes",
+        "tokens/node",
+        "step time",
+        "tokens/s",
+        "speedup",
+        "efficiency",
     ]);
     let mut base: Option<(usize, f64)> = None;
     for &nodes in &[2048usize, 8192, 24576, 49152, 96_000] {

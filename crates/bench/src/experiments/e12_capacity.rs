@@ -18,7 +18,11 @@ pub fn run() {
     const TOKENS: usize = 4096;
 
     let mut t = Table::new(&[
-        "capacity factor", "capacity", "drop rate", "imbalance", "rel. step time",
+        "capacity factor",
+        "capacity",
+        "drop rate",
+        "imbalance",
+        "rel. step time",
     ]);
     for &cf in &[1.0f32, 1.25, 1.5, 2.0, 4.0] {
         let mut rng = Rng::seed_from(1212);

@@ -24,7 +24,12 @@ fn sim_pairwise_rounds(machine: MachineConfig, bytes: usize) -> f64 {
     let mut t = 0.0f64;
     for s in 1..NODES {
         let round: Vec<Message> = (0..NODES)
-            .map(|src| Message { src, dst: (src + s) % NODES, bytes, release: t })
+            .map(|src| Message {
+                src,
+                dst: (src + s) % NODES,
+                bytes,
+                release: t,
+            })
             .collect();
         t = net.makespan(&round);
     }
@@ -40,7 +45,12 @@ fn sim_pairwise_blast(machine: MachineConfig, bytes: usize) -> f64 {
     for src in 0..NODES {
         for s in 1..NODES {
             let dst = (src + s) % NODES;
-            msgs.push(Message { src, dst, bytes, release: 0.0 });
+            msgs.push(Message {
+                src,
+                dst,
+                bytes,
+                release: 0.0,
+            });
         }
     }
     net.makespan(&msgs)
@@ -59,7 +69,12 @@ fn sim_hierarchical(machine: MachineConfig, bytes: usize) -> f64 {
         for j in 0..s {
             let dst = g * s + j;
             if dst != src {
-                phase1.push(Message { src, dst, bytes: sn * bytes, release: 0.0 });
+                phase1.push(Message {
+                    src,
+                    dst,
+                    bytes: sn * bytes,
+                    release: 0.0,
+                });
             }
         }
     }
@@ -70,7 +85,12 @@ fn sim_hierarchical(machine: MachineConfig, bytes: usize) -> f64 {
         let (g, l) = (src / s, src % s);
         for t in 0..sn {
             if t != g {
-                phase2.push(Message { src, dst: t * s + l, bytes: s * bytes, release: t1 });
+                phase2.push(Message {
+                    src,
+                    dst: t * s + l,
+                    bytes: s * bytes,
+                    release: t1,
+                });
             }
         }
     }
@@ -82,7 +102,11 @@ pub fn run() {
     let machine = MachineConfig::sunway_subset(NODES);
     let cc = CollectiveCost::new(machine);
     let mut t = Table::new(&[
-        "bytes/pair", "algorithm", "cost model", "event sim", "sim/model",
+        "bytes/pair",
+        "algorithm",
+        "cost model",
+        "event sim",
+        "sim/model",
     ]);
     for &bytes in &[1024usize, 16 * 1024, 128 * 1024] {
         let model = cc.alltoall_pairwise(NODES, bytes);

@@ -9,12 +9,18 @@
 use crate::table::Table;
 use bagualu::metrics::{format_flops, format_si};
 use bagualu::model::config::ModelConfig;
+use bagualu::model::moe::GateKind;
 use bagualu::perfmodel::{project, PerfInput};
+use bagualu::trainer::{TrainConfig, Trainer};
 
 pub fn run() {
     println!("== E14: communication/compute overlap, 14.5T preset, 96,000 nodes ==\n");
     let mut t = Table::new(&[
-        "overlap", "step time", "tokens/s", "sustained", "gain vs serial",
+        "overlap",
+        "step time",
+        "tokens/s",
+        "sustained",
+        "gain vs serial",
     ]);
     let serial = project(&PerfInput::sunway_full(ModelConfig::bagualu_14_5t()));
     for &ov in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
@@ -58,5 +64,60 @@ pub fn run() {
          scale, so perfect overlap roughly halves the step; with naive\n\
          collectives comm exceeds compute so even perfect overlap cannot save\n\
          the step — algorithms first, scheduling second.\n"
+    );
+
+    // ---- measured functional overlap -------------------------------------
+    //
+    // The rows above are *analytic*: `overlap` is a knob fed to the
+    // projection. This section actually runs the functional trainer with
+    // the bucketed nonblocking all-reduce and reports what fraction of ring
+    // steps completed while backward compute was still executing — the
+    // measured counterpart of that knob, on the shared-memory transport.
+    println!("— measured functional overlap (4 ranks, bucketed nonblocking ring) —\n");
+    let model = ModelConfig {
+        vocab: 64,
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 4,
+        d_ff: 128,
+        max_seq: 16,
+        n_experts: 4,
+        moe_every: 2,
+        gate: GateKind::Top2,
+        capacity_factor: 2.0,
+        aux_weight: 0.01,
+        router_groups: 0,
+        rope: false,
+        tie_embeddings: false,
+    };
+    let mut t = Table::new(&["bucket", "measured overlap", "allreduce traffic"]);
+    for &bucket_bytes in &[4usize << 10, 16 << 10, 64 << 10] {
+        let report = Trainer::new(TrainConfig {
+            model,
+            nranks: 4,
+            batch_per_rank: 2,
+            seq: 16,
+            steps: 4,
+            bucket_bytes,
+            overlap: true,
+            ..TrainConfig::default()
+        })
+        .run();
+        let traffic = report
+            .comm_stats
+            .map(|s| s.family(bagualu::comm::CommFamily::Allreduce).bytes)
+            .unwrap_or(0);
+        t.row(&[
+            format!("{} KiB", bucket_bytes >> 10),
+            format!("{:.0}%", report.overlap_fraction * 100.0),
+            format_si(traffic as f64, "B"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nMeasured overlap is the fraction of ring all-reduce steps already\n\
+         complete when backward returns. Smaller buckets launch earlier and\n\
+         hide more; the tail bucket is always exposed, so 100% is\n\
+         unreachable by construction. Compare with the analytic sweep above.\n"
     );
 }

@@ -23,7 +23,11 @@ pub fn run() {
     let baseline_frac = machine.supernode_size as f64 / machine.nodes as f64;
 
     let mut t = Table::new(&[
-        "local fraction", "placement", "one a2a", "per step (48 a2a)", "speedup",
+        "local fraction",
+        "placement",
+        "one a2a",
+        "per step (48 a2a)",
+        "speedup",
     ]);
     let base_time = cc.alltoall_with_locality(machine.nodes, volume, baseline_frac);
     for (frac, label) in [

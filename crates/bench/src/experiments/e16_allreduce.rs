@@ -25,7 +25,11 @@ pub fn run() {
     let cc = CollectiveCost::new(MachineConfig::new_generation_sunway());
     let n = 96_000;
     let mut t = Table::new(&[
-        "payload", "flat ring", "recursive doubling", "hierarchical", "winner",
+        "payload",
+        "flat ring",
+        "recursive doubling",
+        "hierarchical",
+        "winner",
     ]);
     for &(bytes, label) in &[
         (4usize, "4 B (flag)"),
@@ -44,13 +48,7 @@ pub fn run() {
         } else {
             "ring"
         };
-        t.row(&[
-            label.into(),
-            fmt(ring),
-            fmt(rd),
-            fmt(hier),
-            winner.into(),
-        ]);
+        t.row(&[label.into(), fmt(ring), fmt(rd), fmt(hier), winner.into()]);
     }
     t.print();
     println!(

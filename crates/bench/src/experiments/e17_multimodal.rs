@@ -18,10 +18,14 @@ use bagualu::tensor::rng::Rng;
 
 const EXPERTS: usize = 8;
 
-fn modality_shares(model: &mut Transformer, task: &MultimodalLM, steps: usize) -> Vec<(f64, usize)> {
+fn modality_shares(
+    model: &mut Transformer,
+    task: &MultimodalLM,
+    steps: usize,
+) -> Vec<(f64, usize)> {
     // Probe several batches; count image tokens per expert.
-    let mut img = vec![0usize; EXPERTS];
-    let mut tot = vec![0usize; EXPERTS];
+    let mut img = [0usize; EXPERTS];
+    let mut tot = [0usize; EXPERTS];
     for step in 0..steps {
         let (tokens, _) = task.batch(4, 8, 7, 1000 + step);
         model.forward(&tokens, 4, 8);
@@ -39,7 +43,11 @@ fn modality_shares(model: &mut Transformer, task: &MultimodalLM, steps: usize) -
     }
     (0..EXPERTS)
         .map(|e| {
-            let share = if tot[e] == 0 { 0.5 } else { img[e] as f64 / tot[e] as f64 };
+            let share = if tot[e] == 0 {
+                0.5
+            } else {
+                img[e] as f64 / tot[e] as f64
+            };
             (share, tot[e])
         })
         .collect()
@@ -62,7 +70,10 @@ pub fn run() {
     let mut model = Transformer::new(cfg, &mut rng);
     let before = modality_shares(&mut model, &task, 8);
 
-    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: 1e-2,
+        ..Default::default()
+    });
     for step in 0..300 {
         let (tokens, targets) = task.batch(4, 8, 0, step);
         model.train_batch(&tokens, &targets, 4, 8);
@@ -72,7 +83,10 @@ pub fn run() {
     let after = modality_shares(&mut model, &task, 8);
 
     let mut t = Table::new(&[
-        "expert", "image share (init)", "image share (trained)", "tokens (trained)",
+        "expert",
+        "image share (init)",
+        "image share (trained)",
+        "tokens (trained)",
     ]);
     for e in 0..EXPERTS {
         t.row(&[

@@ -22,7 +22,10 @@ use bagualu::tensor::rng::Rng;
 fn train_local(cfg: ModelConfig, steps: usize) -> Vec<f32> {
     let mut rng = Rng::seed_from(1818);
     let mut model = Transformer::new(cfg, &mut rng);
-    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: 1e-2,
+        ..Default::default()
+    });
     let mut data_rng = Rng::seed_from(1819);
     let mut losses = Vec::with_capacity(steps);
     for _ in 0..steps {
@@ -38,18 +41,35 @@ fn train_local(cfg: ModelConfig, steps: usize) -> Vec<f32> {
 
 pub fn run() {
     println!("== E18a: functional — flat vs two-level router, 16 experts, 200 steps ==\n");
-    let base = ModelConfig { n_experts: 16, ..ModelConfig::tiny() };
+    let base = ModelConfig {
+        n_experts: 16,
+        ..ModelConfig::tiny()
+    };
     let flat = train_local(base, 200);
-    let two = train_local(ModelConfig { router_groups: 4, ..base }, 200);
+    let two = train_local(
+        ModelConfig {
+            router_groups: 4,
+            ..base
+        },
+        200,
+    );
     let mut t = Table::new(&["step", "flat gate loss", "two-level loss"]);
     for s in [0usize, 50, 100, 150, 199] {
-        t.row(&[format!("{s}"), format!("{:.4}", flat[s]), format!("{:.4}", two[s])]);
+        t.row(&[
+            format!("{s}"),
+            format!("{:.4}", flat[s]),
+            format!("{:.4}", two[s]),
+        ]);
     }
     t.print();
 
     println!("\n== E18b: projected — gate cost at brain scale (174T, 96,000 nodes) ==\n");
     let mut t = Table::new(&[
-        "router", "gate flops/token", "gate time (s)", "step time", "throughput",
+        "router",
+        "gate flops/token",
+        "gate time (s)",
+        "step time",
+        "throughput",
     ]);
     let cfg = ModelConfig::bagualu_174t();
     for (label, two_level) in [("flat (d×E)", false), ("two-level (d×(√E+E/√E))", true)] {

@@ -16,7 +16,11 @@ pub fn run() {
 
     println!("== E19a: best-found tiling per GEMM shape (one core group) ==\n");
     let mut t = Table::new(&[
-        "gemm (m=k=n)", "precision", "best tile (mc,nc,kc)", "efficiency", "bound by",
+        "gemm (m=k=n)",
+        "precision",
+        "best tile (mc,nc,kc)",
+        "efficiency",
+        "bound by",
     ]);
     for &dim in &[256usize, 1024, 4096] {
         for (pname, half) in [("fp32", false), ("half", true)] {
@@ -26,7 +30,11 @@ pub fn run() {
                 pname.into(),
                 format!("({}, {}, {})", tile.mc, tile.nc, tile.kc),
                 format!("{:.1}%", sim.efficiency * 100.0),
-                if sim.dma_bound { "DMA".into() } else { "compute".into() },
+                if sim.dma_bound {
+                    "DMA".into()
+                } else {
+                    "compute".into()
+                },
             ]);
         }
     }
@@ -49,11 +57,31 @@ pub fn run() {
     println!("\n== E19c: efficiency sensitivity to tile shape (4096³ fp32, sharing on) ==\n");
     let mut t = Table::new(&["tile (mc,nc,kc)", "LDM use", "efficiency", "bound by"]);
     for tile in [
-        Tiling { mc: 16, nc: 16, kc: 32 },
-        Tiling { mc: 32, nc: 32, kc: 64 },
-        Tiling { mc: 64, nc: 64, kc: 128 },
-        Tiling { mc: 96, nc: 96, kc: 64 },
-        Tiling { mc: 128, nc: 128, kc: 32 },
+        Tiling {
+            mc: 16,
+            nc: 16,
+            kc: 32,
+        },
+        Tiling {
+            mc: 32,
+            nc: 32,
+            kc: 64,
+        },
+        Tiling {
+            mc: 64,
+            nc: 64,
+            kc: 128,
+        },
+        Tiling {
+            mc: 96,
+            nc: 96,
+            kc: 64,
+        },
+        Tiling {
+            mc: 128,
+            nc: 128,
+            kc: 32,
+        },
     ] {
         match simulate_gemm(&cg, 4096, 4096, 4096, tile, false, true) {
             Some(sim) => {
@@ -61,7 +89,11 @@ pub fn run() {
                     format!("({}, {}, {})", tile.mc, tile.nc, tile.kc),
                     format!("{:.0}%", 100.0 * sim.ldm_bytes as f64 / cg.ldm_bytes as f64),
                     format!("{:.1}%", sim.efficiency * 100.0),
-                    if sim.dma_bound { "DMA".into() } else { "compute".into() },
+                    if sim.dma_bound {
+                        "DMA".into()
+                    } else {
+                        "compute".into()
+                    },
                 ]);
             }
             None => {

@@ -6,7 +6,7 @@
 //! step structure into joules per token across the optimization ladder.
 
 use crate::table::Table;
-use bagualu::hw::{Precision, PowerModel};
+use bagualu::hw::{PowerModel, Precision};
 use bagualu::metrics::format_si;
 use bagualu::model::config::ModelConfig;
 use bagualu::perfmodel::{project, PerfInput, Projection};
@@ -22,7 +22,11 @@ pub fn run() {
     let power = PowerModel::sunway();
     let nodes = 96_000;
     let mut t = Table::new(&[
-        "configuration", "step time", "avg power (MW)", "J/token", "tokens per MWh",
+        "configuration",
+        "step time",
+        "avg power (MW)",
+        "J/token",
+        "tokens per MWh",
     ]);
     let configs: [(&str, PerfInput); 4] = [
         (
@@ -42,17 +46,22 @@ pub fn run() {
                 ..PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
             },
         ),
-        ("hierarchical, half", PerfInput::sunway_full(ModelConfig::bagualu_14_5t())),
+        (
+            "hierarchical, half",
+            PerfInput::sunway_full(ModelConfig::bagualu_14_5t()),
+        ),
         (
             "hierarchical + overlap, half",
-            PerfInput { overlap: 1.0, ..PerfInput::sunway_full(ModelConfig::bagualu_14_5t()) },
+            PerfInput {
+                overlap: 1.0,
+                ..PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
+            },
         ),
     ];
     for (label, input) in configs {
         let p = project(&input);
         let u = util(&p);
-        let joules_per_token =
-            power.energy_per_token(nodes, p.step_time, u, p.global_tokens);
+        let joules_per_token = power.energy_per_token(nodes, p.step_time, u, p.global_tokens);
         let mwh_tokens = 3.6e9 / joules_per_token; // tokens per MWh
         t.row(&[
             label.into(),

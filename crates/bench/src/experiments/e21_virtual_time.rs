@@ -24,7 +24,10 @@ const BATCH: usize = 2;
 const SEQ: usize = 8;
 
 fn timed_step(a2a: A2aKind) -> (f64, f64) {
-    let cfg = ModelConfig { n_experts: NRANKS, ..ModelConfig::tiny() };
+    let cfg = ModelConfig {
+        n_experts: NRANKS,
+        ..ModelConfig::tiny()
+    };
     let world = World::new(NRANKS);
     let comms = TimedComm::wrap_all(world.comms(), TwoLevelCost::sunway_like(SUPERNODE));
     std::thread::scope(|s| {
@@ -36,10 +39,12 @@ fn timed_step(a2a: A2aKind) -> (f64, f64) {
                     let mut model = DistTransformer::new(cfg, 21, rank, NRANKS, a2a);
                     let mut data_rng = Rng::for_rank(5, rank);
                     // Forward + backward + grad sync: the full comm pattern.
-                    let tokens: Vec<usize> =
-                        (0..BATCH * SEQ).map(|_| data_rng.below(cfg.vocab)).collect();
-                    let targets: Vec<usize> =
-                        (0..BATCH * SEQ).map(|_| data_rng.below(cfg.vocab)).collect();
+                    let tokens: Vec<usize> = (0..BATCH * SEQ)
+                        .map(|_| data_rng.below(cfg.vocab))
+                        .collect();
+                    let targets: Vec<usize> = (0..BATCH * SEQ)
+                        .map(|_| data_rng.below(cfg.vocab))
+                        .collect();
                     let logits = model.forward(&tokens, BATCH, SEQ, comm);
                     let (_, dlogits) = cross_entropy(&logits, &targets);
                     model.backward(&dlogits, comm);
@@ -51,8 +56,7 @@ fn timed_step(a2a: A2aKind) -> (f64, f64) {
                 })
             })
             .collect();
-        let results: Vec<(f64, f64)> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<(f64, f64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let a2a_time = results.iter().map(|r| r.0).fold(0.0, f64::max);
         let total = results.iter().map(|r| r.1).fold(0.0, f64::max);
         (a2a_time, total)
@@ -65,11 +69,15 @@ pub fn run() {
          (16 ranks, supernodes of 4) ==\n"
     );
     let mut t = Table::new(&[
-        "all-to-all", "dispatch+combine (ms)", "incl. grad sync (ms)", "speedup",
+        "all-to-all",
+        "dispatch+combine (ms)",
+        "incl. grad sync (ms)",
+        "speedup",
     ]);
     let (flat_a2a, flat_total) = timed_step(A2aKind::Pairwise);
-    let (hier_a2a, hier_total) =
-        timed_step(A2aKind::Hierarchical { supernode_size: SUPERNODE });
+    let (hier_a2a, hier_total) = timed_step(A2aKind::Hierarchical {
+        supernode_size: SUPERNODE,
+    });
     t.row(&[
         "pairwise".into(),
         format!("{:.3}", flat_a2a * 1e3),
@@ -85,7 +93,10 @@ pub fn run() {
     t.print();
 
     // Sanity anchor: parameter traffic volume of the grad sync.
-    let cfg = ModelConfig { n_experts: NRANKS, ..ModelConfig::tiny() };
+    let cfg = ModelConfig {
+        n_experts: NRANKS,
+        ..ModelConfig::tiny()
+    };
     let mut rng = Rng::seed_from(1);
     let mut model = DistTransformer::new(cfg, 21, 0, NRANKS, A2aKind::Pairwise);
     let _ = &mut rng;

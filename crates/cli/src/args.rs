@@ -42,14 +42,19 @@ impl Args {
 
     /// String flag with a default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed flag with a default; errors name the flag.
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
         }
     }
 

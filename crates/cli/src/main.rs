@@ -60,6 +60,7 @@ fn print_help() {
     eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
+    eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
     eprintln!("  project   performance projection on the simulated machine");
     eprintln!("            --preset 1.93t|14.5t|174t --nodes N --precision fp32|half");
     eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
@@ -73,7 +74,9 @@ fn preset(name: &str) -> Result<ModelConfig, String> {
         "1.93t" => Ok(ModelConfig::bagualu_1_93t()),
         "14.5t" => Ok(ModelConfig::bagualu_14_5t()),
         "174t" => Ok(ModelConfig::bagualu_174t()),
-        other => Err(format!("unknown preset: {other} (tiny | 1.93t | 14.5t | 174t)")),
+        other => Err(format!(
+            "unknown preset: {other} (tiny | 1.93t | 14.5t | 174t)"
+        )),
     }
 }
 
@@ -81,7 +84,12 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     args.assert_known(&[])?;
     let m = MachineConfig::new_generation_sunway();
     println!("machine: New Generation Sunway (model)");
-    println!("  nodes: {}  supernodes: {}  cores: {}", m.nodes, m.supernodes(), m.total_cores());
+    println!(
+        "  nodes: {}  supernodes: {}  cores: {}",
+        m.nodes,
+        m.supernodes(),
+        m.total_cores()
+    );
     println!(
         "  peak: {} fp32, {} half",
         format_flops(m.peak(Precision::FP32)),
@@ -107,8 +115,21 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     args.assert_known(&[
-        "ranks", "steps", "batch", "seq", "lr", "dtype", "experts", "gate", "skew",
-        "hierarchical", "zero", "csv", "seed",
+        "ranks",
+        "steps",
+        "batch",
+        "seq",
+        "lr",
+        "dtype",
+        "experts",
+        "gate",
+        "skew",
+        "hierarchical",
+        "zero",
+        "csv",
+        "seed",
+        "no-overlap",
+        "bucket-kib",
     ])?;
     use bagualu::model::moe::GateKind;
     let gate = match args.get("gate", "top2").as_str() {
@@ -140,14 +161,22 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         lr: args.get_parse("lr", 1e-2f32)?,
         dtype,
         a2a: if args.switch("hierarchical") {
-            A2aKind::Hierarchical { supernode_size: nranks.max(2) / 2 }
+            A2aKind::Hierarchical {
+                supernode_size: nranks.max(2) / 2,
+            }
         } else {
             A2aKind::Pairwise
         },
         clip: if zero { None } else { Some(1.0) },
         zero_optimizer: zero,
         seed: args.get_parse("seed", 42u64)?,
-        data: if skew > 0.0 { TokenDistribution::Zipf(skew) } else { TokenDistribution::Uniform },
+        data: if skew > 0.0 {
+            TokenDistribution::Zipf(skew)
+        } else {
+            TokenDistribution::Uniform
+        },
+        overlap: !args.switch("no-overlap"),
+        bucket_bytes: args.get_parse("bucket-kib", 1024usize)? << 10,
         ..Default::default()
     };
     println!(
@@ -160,15 +189,31 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let report = Trainer::new(cfg).run();
     for (i, l) in report.loss_curve.iter().enumerate() {
         if i % 10 == 0 || i + 1 == report.loss_curve.len() {
-            println!("  step {i:>4}: loss {l:.4}  imbalance {:.2}", report.imbalance_curve[i]);
+            println!(
+                "  step {i:>4}: loss {l:.4}  imbalance {:.2}",
+                report.imbalance_curve[i]
+            );
         }
     }
     println!(
-        "final loss {:.4} | {} | skipped {}",
+        "final loss {:.4} | {} | skipped {} | overlap {:.0}%",
         report.final_loss(),
         format_si(report.tokens_per_sec, "tok/s"),
-        report.skipped_steps
+        report.skipped_steps,
+        report.overlap_fraction * 100.0
     );
+    if let Some(stats) = report.comm_stats {
+        print!(
+            "comm traffic: {} total",
+            format_si(stats.total_bytes as f64, "B")
+        );
+        for (family, f) in stats.families() {
+            if f.bytes > 0 {
+                print!(" | {:?} {}", family, format_si(f.bytes as f64, "B"));
+            }
+        }
+        println!();
+    }
     if let Some(path) = {
         let p = args.get("csv", "");
         (!p.is_empty()).then_some(p)
@@ -181,7 +226,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
 fn cmd_project(args: &Args) -> Result<(), String> {
     args.assert_known(&[
-        "preset", "nodes", "precision", "naive", "overlap", "tokens-per-node", "two-level-gate",
+        "preset",
+        "nodes",
+        "precision",
+        "naive",
+        "overlap",
+        "tokens-per-node",
+        "two-level-gate",
     ])?;
     let model = preset(&args.get("preset", "14.5t"))?;
     let nodes = args.get_parse("nodes", 96_000usize)?;
@@ -225,11 +276,18 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     args.assert_known(&["steps", "prompt", "tokens", "seed"])?;
     let steps = args.get_parse("steps", 300usize)?;
     let n: usize = args.get_parse("tokens", 8usize)?;
-    let cfg = ModelConfig { vocab: 32, ..ModelConfig::tiny() };
+    let cfg = ModelConfig {
+        vocab: 32,
+        ..ModelConfig::tiny()
+    };
     let prompt: Vec<usize> = args
         .get("prompt", "3,4")
         .split(',')
-        .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad prompt token: {s}")))
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad prompt token: {s}"))
+        })
         .collect::<Result<_, _>>()?;
     if prompt.iter().any(|&t| t >= cfg.vocab) {
         return Err(format!("prompt tokens must be < {}", cfg.vocab));
@@ -238,7 +296,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let mut rng = Rng::seed_from(args.get_parse("seed", 7u64)?);
     let mut model = Transformer::new(cfg, &mut rng);
     let task = bagualu::data::SyntheticLM::new(cfg.vocab, TokenDistribution::Uniform, 7);
-    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: 1e-2,
+        ..Default::default()
+    });
     println!("training {} params for {steps} steps…", model.num_params());
     for step in 0..steps {
         let (tokens, targets) = task.batch(4, 8, 0, step);
@@ -250,7 +311,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     println!(
         "prompt {:?} → {}",
         prompt,
-        out.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+        out.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     Ok(())
 }

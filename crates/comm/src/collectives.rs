@@ -47,16 +47,26 @@ impl ReduceOp {
     }
 }
 
-const TAG_BCAST: u64 = 101;
-const TAG_RING: u64 = 102;
-const TAG_AG: u64 = 103;
-const TAG_A2A: u64 = 104;
-const TAG_H1_HDR: u64 = 105;
-const TAG_H1_DAT: u64 = 106;
-const TAG_H2_HDR: u64 = 107;
-const TAG_H2_DAT: u64 = 108;
-const TAG_A2A_U64: u64 = 109;
-const TAG_RD: u64 = 110;
+/// Reserved tags, one per collective family. The transport classifies
+/// traffic by these for [`crate::shm::CommStats`].
+pub(crate) mod tags {
+    pub const TAG_BCAST: u64 = 101;
+    pub const TAG_RING: u64 = 102;
+    pub const TAG_AG: u64 = 103;
+    pub const TAG_A2A: u64 = 104;
+    pub const TAG_H1_HDR: u64 = 105;
+    pub const TAG_H1_DAT: u64 = 106;
+    pub const TAG_H2_HDR: u64 = 107;
+    pub const TAG_H2_DAT: u64 = 108;
+    pub const TAG_A2A_U64: u64 = 109;
+    pub const TAG_RD: u64 = 110;
+    /// Tag range for concurrently in-flight bucketed all-reduces; bucket
+    /// `i` uses `TAG_BUCKET_BASE + i % (TAG_BUCKET_END - TAG_BUCKET_BASE)`.
+    pub const TAG_BUCKET_BASE: u64 = 0x1000;
+    pub const TAG_BUCKET_END: u64 = 0x2000;
+}
+
+use tags::*;
 
 /// Chunk boundary `i` of a buffer of `len` split across `n` ranks.
 #[inline]
@@ -71,7 +81,11 @@ fn bound(len: usize, n: usize, i: usize) -> usize {
 pub fn broadcast<C: Communicator>(c: &C, root: usize, msg: Option<Vec<f32>>) -> Vec<f32> {
     let n = c.size();
     let rank = c.rank();
-    assert_eq!(rank == root, msg.is_some(), "msg must be Some exactly at root");
+    assert_eq!(
+        rank == root,
+        msg.is_some(),
+        "msg must be Some exactly at root"
+    );
     if n == 1 {
         return msg.unwrap();
     }
@@ -106,39 +120,180 @@ pub fn broadcast<C: Communicator>(c: &C, root: usize, msg: Option<Vec<f32>>) -> 
 
 // ------------------------------------------------------------------ allreduce
 
-/// Ring all-reduce: reduce-scatter then all-gather, `2(n-1)` steps, each
-/// moving `len/n` elements. Bandwidth-optimal; the data-parallel gradient
-/// path of the trainer.
-pub fn allreduce<C: Communicator>(c: &C, mut data: Vec<f32>, op: ReduceOp) -> Vec<f32> {
-    let n = c.size();
-    if n == 1 {
-        return data;
-    }
-    let rank = c.rank();
-    let len = data.len();
-    let right = (rank + 1) % n;
-    let left = (rank + n - 1) % n;
+/// An incrementally drivable ring all-reduce: reduce-scatter then
+/// all-gather, `2(n-1)` steps, each moving `len/n` elements.
+///
+/// The classic blocking loop is restructured as a stepper so callers can
+/// interleave useful work between steps: [`RingAllreduce::start`] launches
+/// step 0, [`RingAllreduce::poll`] advances through every step whose
+/// message has already arrived (never blocking), and
+/// [`RingAllreduce::finish`] blocks through the remaining steps. Several
+/// steppers with distinct tags may be in flight on one communicator — the
+/// basis of [`bucketed_allreduce`] and the trainer's overlapped gradient
+/// sync.
+pub struct RingAllreduce<C: Communicator> {
+    data: Vec<f32>,
+    op: ReduceOp,
+    tag: u64,
+    /// Steps completed so far, in `0..=total`.
+    step: usize,
+    /// `2(n-1)` for `n > 1`, `0` for a single rank.
+    total: usize,
+    pending: Option<C::RecvReq>,
+}
 
-    // Phase 1: reduce-scatter. After it, rank r owns chunk r fully reduced.
-    for s in 0..n - 1 {
-        let cs = (rank + 2 * n - 1 - s) % n;
-        let cr = (rank + 2 * n - 2 - s) % n;
-        let send_chunk = data[bound(len, n, cs)..bound(len, n, cs + 1)].to_vec();
-        c.send(right, TAG_RING, send_chunk.into());
-        let got = c.recv(left, TAG_RING).into_f32();
-        op.apply(&mut data[bound(len, n, cr)..bound(len, n, cr + 1)], &got);
+impl<C: Communicator> RingAllreduce<C> {
+    /// Begin the all-reduce: sends this rank's first chunk and posts the
+    /// receive for step 0. Single-rank groups complete immediately.
+    pub fn start(c: &C, data: Vec<f32>, op: ReduceOp, tag: u64) -> RingAllreduce<C> {
+        let n = c.size();
+        let total = if n > 1 { 2 * (n - 1) } else { 0 };
+        let mut ring = RingAllreduce {
+            data,
+            op,
+            tag,
+            step: 0,
+            total,
+            pending: None,
+        };
+        if total > 0 {
+            ring.launch(c);
+        }
+        ring
     }
 
-    // Phase 2: all-gather of the reduced chunks.
-    for s in 0..n - 1 {
-        let gs = (rank + n - s) % n;
-        let gr = (rank + 2 * n - s - 1) % n;
-        let send_chunk = data[bound(len, n, gs)..bound(len, n, gs + 1)].to_vec();
-        c.send(right, TAG_RING, send_chunk.into());
-        let got = c.recv(left, TAG_RING).into_f32();
-        data[bound(len, n, gr)..bound(len, n, gr + 1)].copy_from_slice(&got);
+    /// All steps completed; `into_data` may be called.
+    pub fn is_done(&self) -> bool {
+        self.step == self.total
     }
-    data
+
+    /// Steps completed so far.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Total steps this all-reduce runs (`2(n-1)`; 0 when single-rank).
+    pub fn steps_total(&self) -> usize {
+        self.total
+    }
+
+    /// Send the chunk for the current step and post its receive.
+    fn launch(&mut self, c: &C) {
+        let n = c.size();
+        let rank = c.rank();
+        let len = self.data.len();
+        let right = (rank + 1) % n;
+        let left = (rank + n - 1) % n;
+        let s = self.step;
+        // Steps 0..n-1 are the reduce-scatter, n-1..2(n-1) the all-gather;
+        // both send one chunk rightward and receive one from the left.
+        let cs = if s < n - 1 {
+            (rank + 2 * n - 1 - s) % n
+        } else {
+            (rank + n - (s - (n - 1))) % n
+        };
+        let chunk = self.data[bound(len, n, cs)..bound(len, n, cs + 1)].to_vec();
+        c.send(right, self.tag, chunk.into());
+        self.pending = Some(c.irecv(left, self.tag));
+    }
+
+    /// Fold the received chunk into `data` and advance the step counter.
+    fn complete(&mut self, c: &C, got: Vec<f32>) {
+        let n = c.size();
+        let rank = c.rank();
+        let len = self.data.len();
+        let s = self.step;
+        let (reduce, cr) = if s < n - 1 {
+            (true, (rank + 2 * n - 2 - s) % n)
+        } else {
+            (false, (rank + 2 * n - (s - (n - 1)) - 1) % n)
+        };
+        let dst = &mut self.data[bound(len, n, cr)..bound(len, n, cr + 1)];
+        if reduce {
+            self.op.apply(dst, &got);
+        } else {
+            dst.copy_from_slice(&got);
+        }
+        self.step += 1;
+        if self.step < self.total {
+            self.launch(c);
+        }
+    }
+
+    /// Advance through every step whose message has already arrived.
+    /// Returns `true` once the all-reduce is complete. Never blocks.
+    pub fn poll(&mut self, c: &C) -> bool {
+        while let Some(mut req) = self.pending.take() {
+            if c.test(&mut req) {
+                let got = c.wait(req).into_f32();
+                self.complete(c, got);
+            } else {
+                self.pending = Some(req);
+                break;
+            }
+        }
+        self.is_done()
+    }
+
+    /// Block through the remaining steps and return the reduced buffer.
+    pub fn finish(mut self, c: &C) -> Vec<f32> {
+        while let Some(req) = self.pending.take() {
+            let got = c.wait(req).into_f32();
+            self.complete(c, got);
+        }
+        debug_assert!(self.is_done());
+        self.data
+    }
+
+    /// Extract the result of a completed all-reduce.
+    pub fn into_data(self) -> Vec<f32> {
+        assert!(self.is_done(), "ring all-reduce still has steps pending");
+        self.data
+    }
+}
+
+/// Ring all-reduce, blocking. Thin wrapper over [`RingAllreduce`];
+/// bandwidth-optimal, the data-parallel gradient path of the trainer.
+pub fn allreduce<C: Communicator>(c: &C, data: Vec<f32>, op: ReduceOp) -> Vec<f32> {
+    RingAllreduce::start(c, data, op, TAG_RING).finish(c)
+}
+
+/// Tag for bucket index `i` (wraps within the reserved bucket range; the
+/// wrap is harmless because at most a handful of buckets are in flight and
+/// completion order within a tag is FIFO per sender).
+pub fn bucket_tag(i: usize) -> u64 {
+    TAG_BUCKET_BASE + (i as u64) % (TAG_BUCKET_END - TAG_BUCKET_BASE)
+}
+
+/// Reduce several independent buffers ("buckets") with concurrently
+/// in-flight ring all-reduces, each on its own tag. Equivalent to calling
+/// [`allreduce`] per bucket, but the rings progress together so one slow
+/// chunk does not serialize the rest. Returns reduced buckets in order.
+pub fn bucketed_allreduce<C: Communicator>(
+    c: &C,
+    buckets: Vec<Vec<f32>>,
+    op: ReduceOp,
+) -> Vec<Vec<f32>> {
+    let mut rings: Vec<RingAllreduce<C>> = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| RingAllreduce::start(c, b, op, bucket_tag(i)))
+        .collect();
+    // Round-robin until everything has drained; yield between sweeps so
+    // peer rank threads get scheduled.
+    loop {
+        let mut all_done = true;
+        for ring in rings.iter_mut() {
+            if !ring.poll(c) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    rings.into_iter().map(|r| r.into_data()).collect()
 }
 
 /// Recursive-doubling all-reduce: `⌈log₂ n⌉` rounds in which partners
@@ -166,7 +321,7 @@ pub fn allreduce_recursive_doubling<C: Communicator>(
     // Fold phase: even ranks below 2·rem hand their contribution to the odd
     // neighbour and sit out.
     let vrank = if rank < 2 * rem {
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             c.send(rank + 1, TAG_RD, data.clone().into());
             None
         } else {
@@ -192,7 +347,7 @@ pub fn allreduce_recursive_doubling<C: Communicator>(
 
     // Unfold: odd ranks send the final result back to their even partner.
     if rank < 2 * rem {
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             data = c.recv(rank + 1, TAG_RD).into_f32();
         } else {
             c.send(rank - 1, TAG_RD, data.clone().into());
@@ -271,7 +426,10 @@ pub fn alltoallv<C: Communicator>(c: &C, mut parts: Vec<Vec<f32>>) -> Vec<Vec<f3
 /// to [`alltoallv`]).
 pub fn alltoall<C: Communicator>(c: &C, parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
     let len0 = parts.first().map(|p| p.len()).unwrap_or(0);
-    assert!(parts.iter().all(|p| p.len() == len0), "alltoall: unequal part sizes");
+    assert!(
+        parts.iter().all(|p| p.len() == len0),
+        "alltoall: unequal part sizes"
+    );
     alltoallv(c, parts)
 }
 
@@ -294,7 +452,10 @@ pub fn alltoallv_hierarchical<C: Communicator>(
 ) -> Vec<Vec<f32>> {
     let n = c.size();
     let s = supernode_size;
-    assert!(s > 0 && n % s == 0, "hierarchical a2a: {n} ranks must divide into supernodes of {s}");
+    assert!(
+        s > 0 && n.is_multiple_of(s),
+        "hierarchical a2a: {n} ranks must divide into supernodes of {s}"
+    );
     let big_s = n / s; // number of supernodes
     if big_s == 1 {
         return alltoallv(c, parts);
@@ -398,9 +559,9 @@ pub fn gather<C: Communicator>(c: &C, root: usize, data: Vec<f32>) -> Vec<Vec<f3
     if c.rank() == root {
         let mut out = vec![Vec::new(); n];
         out[root] = data;
-        for r in 0..n {
+        for (r, slot) in out.iter_mut().enumerate().take(n) {
             if r != root {
-                out[r] = c.recv(r, TAG_AG).into_f32();
+                *slot = c.recv(r, TAG_AG).into_f32();
             }
         }
         out
@@ -459,8 +620,9 @@ mod tests {
         for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 11, 16] {
             let len = 17;
             run_ranks(n, |c| {
-                let data: Vec<f32> =
-                    (0..len).map(|i| ((c.rank() * 13 + i * 3) % 7) as f32).collect();
+                let data: Vec<f32> = (0..len)
+                    .map(|i| ((c.rank() * 13 + i * 3) % 7) as f32)
+                    .collect();
                 let ring = allreduce(&c, data.clone(), ReduceOp::Sum);
                 let rd = allreduce_recursive_doubling(&c, data, ReduceOp::Sum);
                 for (a, b) in ring.iter().zip(&rd) {
@@ -473,8 +635,7 @@ mod tests {
     #[test]
     fn recursive_doubling_max() {
         run_ranks(6, |c| {
-            let out =
-                allreduce_recursive_doubling(&c, vec![c.rank() as f32], ReduceOp::Max);
+            let out = allreduce_recursive_doubling(&c, vec![c.rank() as f32], ReduceOp::Max);
             assert_eq!(out, vec![5.0]);
         });
     }
@@ -535,7 +696,13 @@ mod tests {
         run_ranks(4, |c| {
             // Only send to rank 0.
             let parts: Vec<Vec<f32>> = (0..4)
-                .map(|d| if d == 0 { vec![c.rank() as f32] } else { Vec::new() })
+                .map(|d| {
+                    if d == 0 {
+                        vec![c.rank() as f32]
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             let got = alltoallv(&c, parts);
             if c.rank() == 0 {
@@ -581,8 +748,7 @@ mod tests {
         // 12 ranks, supernodes of 2 — exercises S > s.
         let n = 12;
         run_ranks(n, |c| {
-            let parts: Vec<Vec<f32>> =
-                (0..n).map(|d| vec![(c.rank() * n + d) as f32]).collect();
+            let parts: Vec<Vec<f32>> = (0..n).map(|d| vec![(c.rank() * n + d) as f32]).collect();
             let got = alltoallv_hierarchical(&c, parts, 2);
             for (src, buf) in got.iter().enumerate() {
                 assert_eq!(buf, &vec![(src * n + c.rank()) as f32]);
@@ -594,7 +760,8 @@ mod tests {
     fn hierarchical_sends_fewer_cross_messages() {
         use crate::harness::run_ranks_counted;
         let n = 16;
-        let mk_parts = |rank: usize| -> Vec<Vec<f32>> { (0..n).map(|_| vec![rank as f32; 4]).collect() };
+        let mk_parts =
+            |rank: usize| -> Vec<Vec<f32>> { (0..n).map(|_| vec![rank as f32; 4]).collect() };
         let (_, flat_msgs) = run_ranks_counted(n, |c| {
             alltoallv(&c, mk_parts(c.rank()));
         });
@@ -621,6 +788,70 @@ mod tests {
             } else {
                 assert!(out.is_empty());
             }
+        });
+    }
+
+    #[test]
+    fn stepper_matches_blocking_allreduce() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let len = 29;
+            run_ranks(n, |c| {
+                let data: Vec<f32> = (0..len).map(|i| ((c.rank() * 7 + i) % 11) as f32).collect();
+                let blocking = allreduce(&c, data.clone(), ReduceOp::Sum);
+                // Drive the stepper purely through poll() to exercise the
+                // incremental path end to end.
+                let mut ring = RingAllreduce::start(&c, data, ReduceOp::Sum, bucket_tag(0));
+                assert_eq!(ring.steps_total(), if n > 1 { 2 * (n - 1) } else { 0 });
+                while !ring.poll(&c) {
+                    std::thread::yield_now();
+                }
+                assert_eq!(ring.steps_done(), ring.steps_total());
+                assert_eq!(ring.into_data(), blocking, "n={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn bucketed_matches_per_bucket_allreduce() {
+        for n in [1usize, 2, 4] {
+            run_ranks(n, |c| {
+                // Buckets of different lengths, incl. an empty one.
+                let buckets: Vec<Vec<f32>> = [13usize, 0, 7, 64]
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &len)| {
+                        (0..len)
+                            .map(|i| (c.rank() * 31 + b * 5 + i) as f32)
+                            .collect()
+                    })
+                    .collect();
+                let expect: Vec<Vec<f32>> = buckets
+                    .iter()
+                    .map(|b| allreduce(&c, b.clone(), ReduceOp::Sum))
+                    .collect();
+                let got = bucketed_allreduce(&c, buckets, ReduceOp::Sum);
+                assert_eq!(got, expect, "n={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn concurrent_rings_on_distinct_tags_do_not_cross_talk() {
+        run_ranks(4, |c| {
+            let a: Vec<f32> = vec![c.rank() as f32; 16];
+            let b: Vec<f32> = vec![(c.rank() * 10) as f32; 16];
+            let mut ra = RingAllreduce::start(&c, a, ReduceOp::Sum, bucket_tag(0));
+            let mut rb = RingAllreduce::start(&c, b, ReduceOp::Sum, bucket_tag(1));
+            loop {
+                let da = ra.poll(&c);
+                let db = rb.poll(&c);
+                if da && db {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            assert_eq!(ra.into_data(), vec![6.0; 16]);
+            assert_eq!(rb.into_data(), vec![60.0; 16]);
         });
     }
 

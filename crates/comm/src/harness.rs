@@ -8,7 +8,7 @@ pub fn run_ranks<F>(n: usize, f: F)
 where
     F: Fn(ShmComm) + Send + Sync,
 {
-    run_ranks_map(n, |c| f(c));
+    run_ranks_map(n, f);
 }
 
 /// Like [`run_ranks`] but collects one result per rank, in rank order.
@@ -21,10 +21,7 @@ where
     let comms = world.comms();
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|c| s.spawn(move || f(c)))
-            .collect();
+        let handles: Vec<_> = comms.into_iter().map(|c| s.spawn(move || f(c))).collect();
         handles
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
@@ -42,10 +39,7 @@ where
     let comms = world.comms();
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|c| s.spawn(move || f(c)))
-            .collect();
+        let handles: Vec<_> = comms.into_iter().map(|c| s.spawn(move || f(c))).collect();
         for h in handles {
             h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         }

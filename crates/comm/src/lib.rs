@@ -28,9 +28,12 @@ pub mod timed;
 
 pub use collectives::{
     allgather, allreduce, allreduce_recursive_doubling, alltoall, alltoallv,
-    alltoallv_hierarchical, alltoallv_u64, broadcast, gather, reduce_scatter, ReduceOp,
+    alltoallv_hierarchical, alltoallv_u64, broadcast, bucket_tag, bucketed_allreduce, gather,
+    reduce_scatter, ReduceOp, RingAllreduce,
 };
 pub use harness::run_ranks;
 pub use payload::Payload;
-pub use shm::{Communicator, ShmComm, World};
-pub use timed::{LinkCost, TimedComm, TwoLevelCost};
+pub use shm::{
+    CommFamily, CommStats, Communicator, FamilyStats, SendRequest, ShmComm, ShmRecv, World,
+};
+pub use timed::{LinkCost, TimedComm, TimedRecv, TwoLevelCost};

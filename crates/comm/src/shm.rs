@@ -4,9 +4,12 @@
 //!
 //! * `send` is asynchronous and never blocks (unbounded mailbox),
 //! * `recv(src, tag)` blocks until a matching message arrives,
+//! * `irecv(src, tag)` posts a *request* that [`Communicator::test`] can
+//!   poll and [`Communicator::wait`] completes — the nonblocking layer the
+//!   overlapped gradient sync is built on. `recv` ≡ `wait(irecv(..))`,
 //! * messages between a fixed `(sender, tag)` pair are **non-overtaking**
 //!   (FIFO per key), which is what makes tag reuse across consecutive
-//!   collectives safe,
+//!   collectives safe; requests waited in post order preserve this,
 //! * `split(color)` builds sub-communicators (expert-parallel and
 //!   data-parallel groups), with message isolation via a per-group context
 //!   id baked into the mailbox key.
@@ -17,8 +20,31 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Handle for an initiated send. Sends into the unbounded mailboxes are
+/// eagerly buffered, so the handle is born complete; it exists so call
+/// sites read like their MPI counterparts (`MPI_Isend` + `MPI_Wait`).
+#[derive(Debug)]
+#[must_use = "an isend request should be waited (or explicitly dropped)"]
+pub struct SendRequest {
+    _private: (),
+}
+
+impl SendRequest {
+    pub(crate) fn completed() -> SendRequest {
+        SendRequest { _private: () }
+    }
+
+    /// Eager sends complete at initiation.
+    pub fn is_complete(&self) -> bool {
+        true
+    }
+}
+
 /// Point-to-point communication within a group of ranks.
 pub trait Communicator {
+    /// In-flight receive handle produced by [`Communicator::irecv`].
+    type RecvReq;
+
     /// This rank's index within the group.
     fn rank(&self) -> usize;
     /// Number of ranks in the group.
@@ -29,13 +55,149 @@ pub trait Communicator {
     fn recv(&self, src: usize, tag: u64) -> Payload;
     /// Block until every rank in the group has entered the barrier.
     fn barrier(&self);
+
+    /// Initiate a send; the returned request is already complete (sends
+    /// are eagerly buffered) but keeps call sites explicit about intent.
+    fn isend(&self, dst: usize, tag: u64, payload: Payload) -> SendRequest {
+        self.send(dst, tag, payload);
+        SendRequest::completed()
+    }
+
+    /// Post a nonblocking receive for the next message from `src` under
+    /// `tag`. Multiple requests on the same `(src, tag)` match arrivals in
+    /// post order when waited in post order (FIFO is preserved).
+    fn irecv(&self, src: usize, tag: u64) -> Self::RecvReq;
+
+    /// Poll a request; returns `true` once the message has arrived (after
+    /// which [`Communicator::wait`] returns without blocking). Completion
+    /// latches: once `test` returns `true` it stays `true`.
+    fn test(&self, req: &mut Self::RecvReq) -> bool;
+
+    /// Block until the request completes and return its payload.
+    fn wait(&self, req: Self::RecvReq) -> Payload;
+
+    /// Wait on several requests, returning payloads in request order.
+    fn wait_all(&self, reqs: Vec<Self::RecvReq>) -> Vec<Payload> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Traffic counters for the transport under this communicator, when
+    /// the transport collects them (`None` otherwise).
+    fn stats(&self) -> Option<CommStats> {
+        None
+    }
+}
+
+/// Collective families distinguished by [`CommStats`]. Classification is
+/// by tag: every collective in this crate uses a reserved tag (or tag
+/// range), so the transport can attribute traffic without plumbing labels
+/// through every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommFamily {
+    /// Ring + recursive-doubling all-reduce, incl. bucketed gradient sync.
+    Allreduce,
+    /// Binomial-tree broadcast.
+    Broadcast,
+    /// All-gather and gather.
+    Gather,
+    /// Pairwise and hierarchical all-to-all(v), f32 and u64.
+    Alltoall,
+    /// Virtual-time headers posted by `TimedComm`.
+    Timing,
+    /// Internal control traffic (communicator splits).
+    Control,
+    /// Application point-to-point traffic outside the reserved tag ranges.
+    Other,
+}
+
+pub(crate) const N_FAMILIES: usize = 7;
+
+impl CommFamily {
+    pub(crate) const ALL: [CommFamily; N_FAMILIES] = [
+        CommFamily::Allreduce,
+        CommFamily::Broadcast,
+        CommFamily::Gather,
+        CommFamily::Alltoall,
+        CommFamily::Timing,
+        CommFamily::Control,
+        CommFamily::Other,
+    ];
+
+    fn index(self) -> usize {
+        CommFamily::ALL.iter().position(|&f| f == self).unwrap()
+    }
+
+    /// Attribute a tag to a family (see the tag constants in
+    /// `collectives.rs` and the reserved high bits below / in `timed.rs`).
+    pub fn of_tag(tag: u64) -> CommFamily {
+        use crate::collectives::tags;
+        if tag & CTRL_TAG != 0 {
+            return CommFamily::Control;
+        }
+        if tag & crate::timed::TIME_TAG_XOR != 0 {
+            return CommFamily::Timing;
+        }
+        match tag {
+            tags::TAG_BCAST => CommFamily::Broadcast,
+            tags::TAG_RING | tags::TAG_RD => CommFamily::Allreduce,
+            tags::TAG_AG => CommFamily::Gather,
+            tags::TAG_A2A..=tags::TAG_A2A_U64 => CommFamily::Alltoall,
+            t if (tags::TAG_BUCKET_BASE..tags::TAG_BUCKET_END).contains(&t) => {
+                CommFamily::Allreduce
+            }
+            _ => CommFamily::Other,
+        }
+    }
+}
+
+/// Per-family traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyStats {
+    pub bytes: u64,
+    pub msgs: u64,
+}
+
+/// A snapshot of transport traffic, total and per collective family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    pub total_bytes: u64,
+    pub total_msgs: u64,
+    families: [FamilyStats; N_FAMILIES],
+}
+
+impl CommStats {
+    /// Counters for one collective family.
+    pub fn family(&self, f: CommFamily) -> FamilyStats {
+        self.families[f.index()]
+    }
+
+    /// Iterate `(family, counters)` pairs in a fixed order.
+    pub fn families(&self) -> impl Iterator<Item = (CommFamily, FamilyStats)> + '_ {
+        CommFamily::ALL.iter().map(|&f| (f, self.family(f)))
+    }
 }
 
 /// Mailbox key: (group context, sender's group rank, tag).
 type Key = (u64, usize, u64);
 
+/// Post-order matching state for one `(ctx, src, tag)` key: requests take
+/// a ticket at post time and may only claim a queued message when every
+/// earlier ticket has claimed — MPI's posted-receive ordering, which keeps
+/// FIFO intact even when requests are `test`ed out of order.
+#[derive(Default, Clone, Copy)]
+struct Tickets {
+    posted: u64,
+    claimed: u64,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    queues: HashMap<Key, VecDeque<Payload>>,
+    tickets: HashMap<Key, Tickets>,
+}
+
 struct Mailbox {
-    queues: Mutex<HashMap<Key, VecDeque<Payload>>>,
+    state: Mutex<MailboxState>,
     arrived: Condvar,
 }
 
@@ -62,15 +224,36 @@ impl BarrierState {
     }
 }
 
+/// Lock-free per-family counters (indexed by `CommFamily::index`).
+#[derive(Default)]
+struct FamilyCounters {
+    bytes: [AtomicU64; N_FAMILIES],
+    msgs: [AtomicU64; N_FAMILIES],
+}
+
 struct Shared {
     boxes: Vec<Mailbox>,
     barriers: Mutex<HashMap<u64, Arc<BarrierState>>>,
     next_ctx: AtomicU64,
     total_bytes: AtomicU64,
     total_msgs: AtomicU64,
+    families: FamilyCounters,
 }
 
 impl Shared {
+    fn snapshot_stats(&self) -> CommStats {
+        let mut stats = CommStats {
+            total_bytes: self.total_bytes.load(Ordering::Relaxed),
+            total_msgs: self.total_msgs.load(Ordering::Relaxed),
+            ..CommStats::default()
+        };
+        for (i, fam) in stats.families.iter_mut().enumerate() {
+            fam.bytes = self.families.bytes[i].load(Ordering::Relaxed);
+            fam.msgs = self.families.msgs[i].load(Ordering::Relaxed);
+        }
+        stats
+    }
+
     fn barrier_for(&self, ctx: u64, size: usize) -> Arc<BarrierState> {
         let mut map = self.barriers.lock();
         let b = map.entry(ctx).or_insert_with(|| {
@@ -96,7 +279,10 @@ impl World {
     pub fn new(n: usize) -> World {
         assert!(n > 0, "world must have at least one rank");
         let boxes = (0..n)
-            .map(|_| Mailbox { queues: Mutex::new(HashMap::new()), arrived: Condvar::new() })
+            .map(|_| Mailbox {
+                state: Mutex::new(MailboxState::default()),
+                arrived: Condvar::new(),
+            })
             .collect();
         World {
             shared: Arc::new(Shared {
@@ -105,6 +291,7 @@ impl World {
                 next_ctx: AtomicU64::new(1),
                 total_bytes: AtomicU64::new(0),
                 total_msgs: AtomicU64::new(0),
+                families: FamilyCounters::default(),
             }),
             size: n,
         }
@@ -132,6 +319,11 @@ impl World {
     /// Total messages sent through this world so far (all groups).
     pub fn messages_sent(&self) -> u64 {
         self.shared.total_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Traffic snapshot, total and per collective family (all groups).
+    pub fn stats(&self) -> CommStats {
+        self.shared.snapshot_stats()
     }
 }
 
@@ -163,16 +355,16 @@ impl ShmComm {
         if self.rank == 0 {
             let mut colors = vec![0u64; n];
             colors[0] = color;
-            for r in 1..n {
-                colors[r] = self.recv(r, tag).into_u64()[0];
+            for (r, slot) in colors.iter_mut().enumerate().take(n).skip(1) {
+                *slot = self.recv(r, tag).into_u64()[0];
             }
             // Deterministic: contexts assigned in order of first appearance.
             let mut ctx_of: HashMap<u64, u64> = HashMap::new();
             let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
             for (r, &c) in colors.iter().enumerate() {
-                ctx_of.entry(c).or_insert_with(|| {
-                    self.shared.next_ctx.fetch_add(1, Ordering::Relaxed)
-                });
+                ctx_of
+                    .entry(c)
+                    .or_insert_with(|| self.shared.next_ctx.fetch_add(1, Ordering::Relaxed));
                 groups.entry(c).or_default().push(r);
             }
             let mut my_new = None;
@@ -214,9 +406,44 @@ impl ShmComm {
     pub fn world_rank_of(&self, group_rank: usize) -> usize {
         self.members[group_rank]
     }
+
+    fn my_mailbox(&self) -> &Mailbox {
+        &self.shared.boxes[self.members[self.rank]]
+    }
+
+    /// Claim the queued message for `req` if it is `req`'s turn (its ticket
+    /// is the oldest unclaimed for the key) and a message is available.
+    fn try_claim(&self, req: &ShmRecv) -> Option<Payload> {
+        let mbox = self.my_mailbox();
+        let key = (self.ctx, req.src, req.tag);
+        let mut state = mbox.state.lock();
+        let tickets = state.tickets.entry(key).or_default();
+        if tickets.claimed != req.ticket {
+            return None;
+        }
+        let state = &mut *state;
+        let payload = state.queues.get_mut(&key)?.pop_front()?;
+        state.tickets.get_mut(&key).unwrap().claimed += 1;
+        // A claim may unblock a later-ticket waiter on the same key.
+        mbox.arrived.notify_all();
+        Some(payload)
+    }
+}
+
+/// A pending receive on a [`ShmComm`]. Holds the match key and post-order
+/// ticket until completion, then buffers the payload for `wait`.
+#[derive(Debug)]
+pub struct ShmRecv {
+    src: usize,
+    tag: u64,
+    /// Post-order position among requests on the same `(src, tag)`.
+    ticket: u64,
+    done: Option<Payload>,
 }
 
 impl Communicator for ShmComm {
+    type RecvReq = ShmRecv;
+
     fn rank(&self) -> usize {
         self.rank
     }
@@ -227,32 +454,81 @@ impl Communicator for ShmComm {
 
     fn send(&self, dst: usize, tag: u64, payload: Payload) {
         let world_dst = self.members[dst];
-        self.shared.total_bytes.fetch_add(payload.wire_bytes() as u64, Ordering::Relaxed);
+        let bytes = payload.wire_bytes() as u64;
+        self.shared.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.shared.total_msgs.fetch_add(1, Ordering::Relaxed);
+        let fam = CommFamily::of_tag(tag).index();
+        self.shared.families.bytes[fam].fetch_add(bytes, Ordering::Relaxed);
+        self.shared.families.msgs[fam].fetch_add(1, Ordering::Relaxed);
         let mbox = &self.shared.boxes[world_dst];
-        let mut queues = mbox.queues.lock();
-        queues.entry((self.ctx, self.rank, tag)).or_default().push_back(payload);
+        let mut state = mbox.state.lock();
+        state
+            .queues
+            .entry((self.ctx, self.rank, tag))
+            .or_default()
+            .push_back(payload);
         mbox.arrived.notify_all();
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {
-        let world_me = self.members[self.rank];
-        let mbox = &self.shared.boxes[world_me];
+        // Take a ticket like any other receive so blocking and nonblocking
+        // receives on the same key share one post-order match sequence.
+        let req = self.irecv(src, tag);
+        self.wait(req)
+    }
+
+    fn irecv(&self, src: usize, tag: u64) -> ShmRecv {
         let key = (self.ctx, src, tag);
-        let mut queues = mbox.queues.lock();
+        let mut state = self.my_mailbox().state.lock();
+        let tickets = state.tickets.entry(key).or_default();
+        let ticket = tickets.posted;
+        tickets.posted += 1;
+        ShmRecv {
+            src,
+            tag,
+            ticket,
+            done: None,
+        }
+    }
+
+    fn test(&self, req: &mut ShmRecv) -> bool {
+        if req.done.is_none() {
+            req.done = self.try_claim(req);
+        }
+        req.done.is_some()
+    }
+
+    fn wait(&self, mut req: ShmRecv) -> Payload {
+        if let Some(p) = req.done.take() {
+            return p;
+        }
+        let mbox = self.my_mailbox();
+        let key = (self.ctx, req.src, req.tag);
+        let mut state = mbox.state.lock();
         loop {
-            if let Some(q) = queues.get_mut(&key) {
-                if let Some(p) = q.pop_front() {
+            let turn = state
+                .tickets
+                .get(&key)
+                .is_some_and(|t| t.claimed == req.ticket);
+            if turn {
+                let s = &mut *state;
+                if let Some(p) = s.queues.get_mut(&key).and_then(|q| q.pop_front()) {
+                    s.tickets.get_mut(&key).unwrap().claimed += 1;
+                    mbox.arrived.notify_all();
                     return p;
                 }
             }
-            mbox.arrived.wait(&mut queues);
+            mbox.arrived.wait(&mut state);
         }
     }
 
     fn barrier(&self) {
         let b = self.shared.barrier_for(self.ctx, self.size());
         b.wait();
+    }
+
+    fn stats(&self) -> Option<CommStats> {
+        Some(self.shared.snapshot_stats())
     }
 }
 
@@ -376,6 +652,79 @@ mod tests {
             // Partner differs by exactly 1 in world rank.
             assert_eq!(got ^ c.rank(), 1);
         });
+    }
+
+    #[test]
+    fn isend_irecv_preserve_fifo_per_sender_tag() {
+        // Non-overtaking: requests posted in order and waited in order see
+        // messages in send order, even when sends race ahead and tests
+        // interleave.
+        run_ranks(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100 {
+                    let req = c.isend(1, 1, vec![i as f32].into());
+                    assert!(req.is_complete());
+                }
+            } else {
+                let mut reqs: Vec<_> = (0..100).map(|_| c.irecv(0, 1)).collect();
+                // Poll out of order: completion must not steal a message
+                // out of FIFO position for the post-order wait below.
+                for r in reqs.iter_mut().rev() {
+                    c.test(r);
+                }
+                for (i, payload) in c.wait_all(reqs).into_iter().enumerate() {
+                    assert_eq!(payload.into_f32(), vec![i as f32]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn test_latches_and_wait_returns_buffered_payload() {
+        run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                c.send(1, 4, vec![7.0f32].into());
+            } else {
+                let mut req = c.irecv(0, 4);
+                // Nothing sent yet: must not complete.
+                assert!(!c.test(&mut req));
+                c.barrier();
+                // Spin until arrival, then confirm the latch holds.
+                while !c.test(&mut req) {
+                    std::thread::yield_now();
+                }
+                assert!(c.test(&mut req));
+                assert_eq!(c.wait(req).into_f32(), vec![7.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_classify_families() {
+        use crate::collectives::{allreduce, broadcast, ReduceOp};
+        let world = World::new(2);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(move || {
+                    let msg = (c.rank() == 0).then(|| vec![1.0f32; 8]);
+                    broadcast(c, 0, msg);
+                    allreduce(c, vec![c.rank() as f32; 16], ReduceOp::Sum);
+                });
+            }
+        });
+        let stats = world.stats();
+        let bc = stats.family(CommFamily::Broadcast);
+        let ar = stats.family(CommFamily::Allreduce);
+        assert_eq!(bc.msgs, 1, "one broadcast relay at n=2");
+        assert_eq!(bc.bytes, 32);
+        // Ring at n=2: each rank sends 2 chunks of 8 floats.
+        assert_eq!(ar.msgs, 4);
+        assert_eq!(ar.bytes, 2 * 2 * 8 * 4);
+        assert_eq!(stats.total_msgs, bc.msgs + ar.msgs);
+        assert_eq!(stats.total_bytes, bc.bytes + ar.bytes);
+        assert_eq!(stats.family(CommFamily::Alltoall), FamilyStats::default());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! stays independent of the hardware crate).
 
 use crate::payload::Payload;
-use crate::shm::Communicator;
+use crate::shm::{CommStats, Communicator};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -81,11 +81,17 @@ impl<C: Communicator, L: LinkCost> TimedComm<C, L> {
     /// Wrap a full set of communicators (one per rank) with shared clocks.
     pub fn wrap_all(comms: Vec<C>, cost: L) -> Vec<TimedComm<C, L>> {
         let n = comms.len();
-        let clocks = Arc::new(Clocks { now: Mutex::new(vec![0.0; n]) });
+        let clocks = Arc::new(Clocks {
+            now: Mutex::new(vec![0.0; n]),
+        });
         let cost = Arc::new(cost);
         comms
             .into_iter()
-            .map(|inner| TimedComm { inner, cost: cost.clone(), clocks: clocks.clone() })
+            .map(|inner| TimedComm {
+                inner,
+                cost: cost.clone(),
+                clocks: clocks.clone(),
+            })
             .collect()
     }
 
@@ -100,7 +106,42 @@ impl<C: Communicator, L: LinkCost> TimedComm<C, L> {
     }
 }
 
+/// A pending receive on a [`TimedComm`]: the two inner requests (timing
+/// header + payload) plus the virtual *post* time.
+///
+/// The timing rule makes overlap visible in simulated time: the message's
+/// transfer is charged from `max(send_time, posted_at)` — the moment both
+/// endpoints were ready — **not** from the receiver's clock at `wait`. A
+/// receiver that posts several `irecv`s early and waits later therefore
+/// pays the transfer costs concurrently (its clock advances to the max of
+/// the arrivals), whereas back-to-back blocking `recv`s serialize them.
+pub struct TimedRecv<R> {
+    hdr: Option<R>,
+    dat: Option<R>,
+    src: usize,
+    posted_at: f64,
+    /// Parsed from the header once it lands.
+    send_time: f64,
+    bytes: usize,
+    hdr_done: bool,
+    /// Set once both inner requests have completed.
+    arrival: Option<f64>,
+    payload: Option<Payload>,
+}
+
+impl<C: Communicator, L: LinkCost> TimedComm<C, L> {
+    /// Compute arrival and buffer the payload once both halves are in.
+    fn complete_recv(&self, req: &mut TimedRecv<C::RecvReq>, payload: Payload) {
+        let me = self.inner.rank();
+        let ready = self.cost.cost(req.src, me, req.bytes);
+        req.arrival = Some(req.send_time.max(req.posted_at) + ready);
+        req.payload = Some(payload);
+    }
+}
+
 impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
+    type RecvReq = TimedRecv<C::RecvReq>;
+
     fn rank(&self) -> usize {
         self.inner.rank()
     }
@@ -130,17 +171,74 @@ impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {
-        let hdr = self.inner.recv(src, tag ^ TIME_TAG_XOR).into_u64();
-        let payload = self.inner.recv(src, tag);
-        let send_time = f64::from_bits(hdr[0]);
-        let bytes = hdr[1] as usize;
+        // Blocking receive ≡ wait(irecv(..)): posted_at equals the clock at
+        // the call, reproducing the original `max(send_time, clock) + cost`
+        // rule exactly.
+        let req = self.irecv(src, tag);
+        self.wait(req)
+    }
+
+    fn irecv(&self, src: usize, tag: u64) -> TimedRecv<C::RecvReq> {
+        let posted_at = self.clocks.now.lock()[self.inner.rank()];
+        TimedRecv {
+            hdr: Some(self.inner.irecv(src, tag ^ TIME_TAG_XOR)),
+            dat: Some(self.inner.irecv(src, tag)),
+            src,
+            posted_at,
+            send_time: 0.0,
+            bytes: 0,
+            hdr_done: false,
+            arrival: None,
+            payload: None,
+        }
+    }
+
+    fn test(&self, req: &mut TimedRecv<C::RecvReq>) -> bool {
+        if req.payload.is_some() {
+            return true;
+        }
+        if !req.hdr_done {
+            let mut hdr = req.hdr.take().expect("header request present");
+            if !self.inner.test(&mut hdr) {
+                req.hdr = Some(hdr);
+                return false;
+            }
+            let parsed = self.inner.wait(hdr).into_u64();
+            req.send_time = f64::from_bits(parsed[0]);
+            req.bytes = parsed[1] as usize;
+            req.hdr_done = true;
+        }
+        let mut dat = req.dat.take().expect("payload request present");
+        if !self.inner.test(&mut dat) {
+            req.dat = Some(dat);
+            return false;
+        }
+        let payload = self.inner.wait(dat);
+        self.complete_recv(req, payload);
+        true
+    }
+
+    fn wait(&self, mut req: TimedRecv<C::RecvReq>) -> Payload {
+        if req.payload.is_none() {
+            if !req.hdr_done {
+                let parsed = self
+                    .inner
+                    .wait(req.hdr.take().expect("header request present"))
+                    .into_u64();
+                req.send_time = f64::from_bits(parsed[0]);
+                req.bytes = parsed[1] as usize;
+                req.hdr_done = true;
+            }
+            let payload = self
+                .inner
+                .wait(req.dat.take().expect("payload request present"));
+            self.complete_recv(&mut req, payload);
+        }
+        let arrival = req.arrival.expect("completed request has an arrival time");
         let me = self.inner.rank();
-        let world_src = src;
         let mut clocks = self.clocks.now.lock();
-        let arrival =
-            send_time.max(clocks[me]) + self.cost.cost(world_src, me, bytes);
-        clocks[me] = arrival;
-        payload
+        clocks[me] = clocks[me].max(arrival);
+        req.payload.expect("completed request has a payload")
     }
 
     fn barrier(&self) {
@@ -150,11 +248,15 @@ impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
         let max = clocks.iter().cloned().fold(0.0, f64::max);
         clocks.iter_mut().for_each(|c| *c = max);
     }
+
+    fn stats(&self) -> Option<CommStats> {
+        self.inner.stats()
+    }
 }
 
 /// Tag-space split for the timing headers (flips a high bit that the
 /// collectives' tag constants never use).
-const TIME_TAG_XOR: u64 = 1 << 62;
+pub(crate) const TIME_TAG_XOR: u64 = 1 << 62;
 
 #[cfg(test)]
 mod tests {
@@ -189,7 +291,11 @@ mod tests {
         });
         let cost = TwoLevelCost::sunway_like(2);
         let expect = cost.alpha_intra + 4000.0 * cost.beta_intra;
-        assert!((times[1] - expect).abs() < 1e-12, "{} vs {expect}", times[1]);
+        assert!(
+            (times[1] - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            times[1]
+        );
     }
 
     #[test]
@@ -252,6 +358,65 @@ mod tests {
             hier < flat,
             "hierarchical {hier} should beat pairwise {flat} in virtual time"
         );
+    }
+
+    #[test]
+    fn overlapped_irecvs_beat_sequential_recvs_in_virtual_time() {
+        // Rank 2 receives one large message from each of ranks 0 and 1.
+        // Blocking back-to-back receives serialize the two transfer costs;
+        // posting both irecvs first lets the modeled transfers overlap, so
+        // the clock advances to the max of the arrivals, not the sum.
+        let serial = run_timed(3, 4, |c| {
+            if c.rank() < 2 {
+                c.send(2, 5, vec![0.0f32; 1 << 14].into());
+                0.0
+            } else {
+                c.recv(0, 5);
+                c.recv(1, 5);
+                c.virtual_time()
+            }
+        })[2];
+        let overlapped = run_timed(3, 4, |c| {
+            if c.rank() < 2 {
+                c.send(2, 5, vec![0.0f32; 1 << 14].into());
+                0.0
+            } else {
+                let r0 = c.irecv(0, 5);
+                let r1 = c.irecv(1, 5);
+                c.wait(r0);
+                c.wait(r1);
+                c.virtual_time()
+            }
+        })[2];
+        let cost = TwoLevelCost::sunway_like(4);
+        let one = cost.alpha_intra + ((1usize << 16) as f64) * cost.beta_intra;
+        assert!(
+            (serial - 2.0 * one).abs() < 1e-12,
+            "serial {serial} vs {}",
+            2.0 * one
+        );
+        assert!(
+            (overlapped - one).abs() < 1e-12,
+            "overlapped {overlapped} should equal one transfer {one}"
+        );
+    }
+
+    #[test]
+    fn blocking_recv_equals_wait_of_irecv() {
+        // The refactored recv must charge exactly the pre-refactor cost.
+        let t = run_timed(2, 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![0.0f32; 500].into());
+                0.0
+            } else {
+                let req = c.irecv(0, 3);
+                c.wait(req);
+                c.virtual_time()
+            }
+        })[1];
+        let cost = TwoLevelCost::sunway_like(2);
+        let expect = cost.alpha_intra + 2000.0 * cost.beta_intra;
+        assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
     }
 
     #[test]

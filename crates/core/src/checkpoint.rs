@@ -49,8 +49,8 @@ fn read_param(r: &mut impl Read) -> io::Result<(String, Tensor)> {
     let name_len = read_u64(r)? as usize;
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let name =
+        String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let ndim = read_u64(r)? as usize;
     let mut shape = Vec::with_capacity(ndim);
     for _ in 0..ndim {
@@ -77,7 +77,10 @@ fn read_header(r: &mut impl Read) -> io::Result<u64> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a BGLU checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a BGLU checkpoint",
+        ));
     }
     let mut ver = [0u8; 4];
     r.read_exact(&mut ver)?;
@@ -136,7 +139,10 @@ pub fn load_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Res
     if missing.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(io::ErrorKind::InvalidData, missing.join("; ")))
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            missing.join("; "),
+        ))
     }
 }
 
@@ -209,7 +215,10 @@ pub fn load_params_from_files(
     if missing.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(io::ErrorKind::InvalidData, missing.join("; ")))
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            missing.join("; "),
+        ))
     }
 }
 
@@ -307,7 +316,10 @@ mod tests {
         use bagualu_parallel::model_dist::DistTransformer;
         use bagualu_parallel::moe_dist::A2aKind;
         let dir = tmpdir("repart");
-        let cfg = ModelConfig { n_experts: 4, ..ModelConfig::tiny() };
+        let cfg = ModelConfig {
+            n_experts: 4,
+            ..ModelConfig::tiny()
+        };
 
         // "Run" on 2 ranks: each saves its shard to one file.
         let mut originals = Vec::new();
@@ -364,7 +376,11 @@ mod tests {
         let mut a = Transformer::new(ModelConfig::tiny(), &mut rng);
         save_params(&path, &mut a).unwrap();
         // A model with a different d_model cannot load it.
-        let other = ModelConfig { d_model: 16, n_heads: 2, ..ModelConfig::tiny() };
+        let other = ModelConfig {
+            d_model: 16,
+            n_heads: 2,
+            ..ModelConfig::tiny()
+        };
         let mut b = Transformer::new(other, &mut Rng::seed_from(7));
         assert!(load_params(&path, &mut b).is_err());
         let _ = std::fs::remove_dir_all(dir);

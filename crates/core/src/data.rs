@@ -51,7 +51,13 @@ impl SyntheticLM {
             TokenDistribution::Zipf(s) => Some(Zipf::new(vocab, s)),
             _ => None,
         };
-        SyntheticLM { vocab, dist, a, b, zipf }
+        SyntheticLM {
+            vocab,
+            dist,
+            a,
+            b,
+            zipf,
+        }
     }
 
     /// The target for an input token.
@@ -144,9 +150,7 @@ impl MultimodalLM {
     pub fn target_of(&self, token: usize) -> usize {
         match self.modality_of(token) {
             Modality::Image => self.image_task.target_of(token),
-            Modality::Text => {
-                self.image_vocab + self.text_task.target_of(token - self.image_vocab)
-            }
+            Modality::Text => self.image_vocab + self.text_task.target_of(token - self.image_vocab),
         }
     }
 
@@ -161,7 +165,9 @@ impl MultimodalLM {
     ) -> (Vec<usize>, Vec<usize>) {
         let img_len = seq / 2;
         let (img, _) = self.image_task.batch(batch, img_len.max(1), rank, step);
-        let (txt, _) = self.text_task.batch(batch, (seq - img_len).max(1), rank, step);
+        let (txt, _) = self
+            .text_task
+            .batch(batch, (seq - img_len).max(1), rank, step);
         let mut tokens = Vec::with_capacity(batch * seq);
         for b in 0..batch {
             tokens.extend(img[b * img_len.max(1)..][..img_len].iter().copied());
@@ -250,7 +256,11 @@ mod tests {
         }
         // Targets stay within their modality's range.
         for (&t, &y) in tokens.iter().zip(&targets) {
-            assert_eq!(task.modality_of(t), task.modality_of(y), "target crossed modality");
+            assert_eq!(
+                task.modality_of(t),
+                task.modality_of(y),
+                "target crossed modality"
+            );
             assert_eq!(y, task.target_of(t));
         }
     }

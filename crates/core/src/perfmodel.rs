@@ -125,8 +125,8 @@ struct FlopsPerToken {
 fn flops_per_token(m: &ModelConfig, two_level_gate: bool) -> FlopsPerToken {
     let d = m.d_model as f64;
     let expert_p = FeedForward::param_count(m.d_model, m.d_ff) as f64;
-    let attn_p = (m.d_model * 3 * m.d_model + 3 * m.d_model + m.d_model * m.d_model + m.d_model)
-        as f64;
+    let attn_p =
+        (m.d_model * 3 * m.d_model + 3 * m.d_model + m.d_model * m.d_model + m.d_model) as f64;
     let mut dense = 0.0;
     let mut gate = 0.0;
     let mut expert = 0.0;
@@ -146,7 +146,11 @@ fn flops_per_token(m: &ModelConfig, two_level_gate: bool) -> FlopsPerToken {
         }
     }
     dense += 2.0 * d * m.vocab as f64; // LM head
-    FlopsPerToken { dense, gate, expert }
+    FlopsPerToken {
+        dense,
+        gate,
+        expert,
+    }
 }
 
 /// Project one training step.
@@ -192,8 +196,13 @@ pub fn project(input: &PerfInput) -> Projection {
         0.0
     };
 
-    let breakdown =
-        StepBreakdown { dense_compute, gate_compute, expert_compute, a2a, allreduce };
+    let breakdown = StepBreakdown {
+        dense_compute,
+        gate_compute,
+        expert_compute,
+        a2a,
+        allreduce,
+    };
     // Overlap hides up to `overlap · comm` behind compute, bounded by the
     // compute actually available to hide it behind.
     let compute = dense_compute + gate_compute + expert_compute;
@@ -224,7 +233,10 @@ mod tests {
     #[test]
     fn hierarchical_a2a_beats_pairwise_at_full_scale() {
         let hier = project(&base());
-        let flat = project(&PerfInput { hierarchical_a2a: false, ..base() });
+        let flat = project(&PerfInput {
+            hierarchical_a2a: false,
+            ..base()
+        });
         assert!(
             hier.breakdown.a2a < flat.breakdown.a2a / 5.0,
             "hier {}s vs flat {}s",
@@ -237,7 +249,10 @@ mod tests {
     #[test]
     fn half_precision_raises_throughput() {
         let half = project(&base());
-        let full = project(&PerfInput { precision: Precision::FP32, ..base() });
+        let full = project(&PerfInput {
+            precision: Precision::FP32,
+            ..base()
+        });
         assert!(half.tokens_per_sec > full.tokens_per_sec * 1.5);
     }
 
@@ -256,7 +271,10 @@ mod tests {
     #[test]
     fn imbalance_slows_the_step() {
         let balanced = project(&base());
-        let skewed = project(&PerfInput { imbalance: 4.0, ..base() });
+        let skewed = project(&PerfInput {
+            imbalance: 4.0,
+            ..base()
+        });
         assert!(skewed.step_time > balanced.step_time);
         assert!(
             (skewed.breakdown.expert_compute / balanced.breakdown.expert_compute - 4.0).abs()
@@ -286,7 +304,10 @@ mod tests {
     #[test]
     fn overlap_hides_communication() {
         let serial = project(&base());
-        let overlapped = project(&PerfInput { overlap: 1.0, ..base() });
+        let overlapped = project(&PerfInput {
+            overlap: 1.0,
+            ..base()
+        });
         assert!(overlapped.step_time < serial.step_time);
         // Perfect overlap: step = max(compute, comm) when comm ≤ compute,
         // otherwise compute disappears entirely behind comm.
@@ -296,7 +317,10 @@ mod tests {
         let expect = compute.max(comm);
         assert!((overlapped.step_time - expect).abs() < 1e-9);
         // Half overlap sits between.
-        let half = project(&PerfInput { overlap: 0.5, ..base() });
+        let half = project(&PerfInput {
+            overlap: 0.5,
+            ..base()
+        });
         assert!(half.step_time < serial.step_time && half.step_time > overlapped.step_time);
     }
 
@@ -304,8 +328,7 @@ mod tests {
     fn breakdown_sums_to_total() {
         let p = project(&base());
         let b = p.breakdown;
-        let sum =
-            b.dense_compute + b.gate_compute + b.expert_compute + b.a2a + b.allreduce;
+        let sum = b.dense_compute + b.gate_compute + b.expert_compute + b.a2a + b.allreduce;
         assert!((sum - p.step_time).abs() < 1e-12);
         assert!(b.comm_fraction() > 0.0 && b.comm_fraction() < 1.0);
     }

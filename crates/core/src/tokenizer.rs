@@ -108,14 +108,18 @@ impl Bpe {
 mod tests {
     use super::*;
 
-    const CORPUS: &str =
-        "the quick brown fox jumps over the lazy dog; the quick brown fox again \
+    const CORPUS: &str = "the quick brown fox jumps over the lazy dog; the quick brown fox again \
          and again the quick brown fox, the the the quick quick brown";
 
     #[test]
     fn round_trips_exactly() {
         let bpe = Bpe::train(CORPUS, 300);
-        for text in [CORPUS, "the fox", "completely unseen zebra text!", "日本語 bytes"] {
+        for text in [
+            CORPUS,
+            "the fox",
+            "completely unseen zebra text!",
+            "日本語 bytes",
+        ] {
             let ids = bpe.encode(text);
             assert_eq!(bpe.decode(&ids), text);
         }

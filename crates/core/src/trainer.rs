@@ -13,7 +13,7 @@
 use crate::data::{SyntheticLM, TokenDistribution};
 use bagualu_comm::collectives::{allreduce_recursive_doubling, ReduceOp};
 use bagualu_comm::harness::run_ranks_map;
-use bagualu_comm::shm::Communicator;
+use bagualu_comm::shm::{CommStats, Communicator};
 use bagualu_model::config::ModelConfig;
 use bagualu_model::loss::cross_entropy;
 use bagualu_model::param::HasParams;
@@ -23,7 +23,7 @@ use bagualu_optim::mixed::{MixedPrecision, StepOutcome};
 use bagualu_optim::schedule::LrSchedule;
 use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
-use bagualu_parallel::sync::sync_grads;
+use bagualu_parallel::sync::{backward_and_sync_overlapped, sync_grads};
 use bagualu_tensor::DType;
 use std::time::Instant;
 
@@ -59,6 +59,12 @@ pub struct TrainConfig {
     pub zero_optimizer: bool,
     /// Evaluate on held-out data every `eval_every` steps (None = never).
     pub eval_every: Option<usize>,
+    /// Overlap dense gradient all-reduce with backward compute by bucketing
+    /// gradients as they become ready (ignored under `zero_optimizer`,
+    /// whose reduce-scatter replaces the dense all-reduce entirely).
+    pub overlap: bool,
+    /// Bucket size for the overlapped gradient sync, bytes of f32 payload.
+    pub bucket_bytes: usize,
 }
 
 impl Default for TrainConfig {
@@ -80,6 +86,8 @@ impl Default for TrainConfig {
             grad_accum: 1,
             zero_optimizer: false,
             eval_every: None,
+            overlap: true,
+            bucket_bytes: 1 << 20,
         }
     }
 }
@@ -104,6 +112,13 @@ pub struct TrainReport {
     pub total_tokens: usize,
     /// Held-out `(step, loss)` evaluations (empty unless `eval_every` set).
     pub eval_curve: Vec<(usize, f32)>,
+    /// Measured fraction of ring all-reduce steps that completed while
+    /// backward compute was still running, aggregated over all ranks and
+    /// steps. `0.0` when overlap is disabled, single-rank, or ZeRO.
+    pub overlap_fraction: f64,
+    /// Transport traffic totals, per collective family, when the
+    /// communicator collects them.
+    pub comm_stats: Option<CommStats>,
 }
 
 impl TrainReport {
@@ -138,7 +153,7 @@ impl Trainer {
     pub fn new(cfg: TrainConfig) -> Trainer {
         assert!(cfg.nranks > 0 && cfg.steps > 0);
         assert!(
-            cfg.model.n_experts == 0 || cfg.model.n_experts % cfg.nranks == 0,
+            cfg.model.n_experts == 0 || cfg.model.n_experts.is_multiple_of(cfg.nranks),
             "expert count {} must divide evenly over {} ranks",
             cfg.model.n_experts,
             cfg.nranks
@@ -165,22 +180,29 @@ impl Trainer {
         let mut reports = run_ranks_map(cfg.nranks, move |c| rank_main(cfg, &c));
         let report = reports.swap_remove(0);
         let elapsed = start.elapsed().as_secs_f64();
-        TrainReport { tokens_per_sec: report.total_tokens as f64 / elapsed, ..report }
+        TrainReport {
+            tokens_per_sec: report.total_tokens as f64 / elapsed,
+            ..report
+        }
     }
 }
 
 fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
-    let mut model =
-        DistTransformer::new(cfg.model, cfg.seed, comm.rank(), comm.size(), cfg.a2a);
+    let mut model = DistTransformer::new(cfg.model, cfg.seed, comm.rank(), comm.size(), cfg.a2a);
     let mut opt = MixedPrecision::new(
-        AdamConfig { lr: cfg.lr, ..Default::default() },
+        AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        },
         cfg.dtype,
     );
     if cfg.disable_loss_scaling {
         opt = opt.with_scaler(bagualu_optim::scaler::LossScaler::disabled());
     }
-    let mut zopt =
-        bagualu_parallel::zero::ZeroAdam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+    let mut zopt = bagualu_parallel::zero::ZeroAdam::new(AdamConfig {
+        lr: cfg.lr,
+        ..Default::default()
+    });
     opt.quantize_model(&mut model);
     let task = SyntheticLM::new(cfg.model.vocab, cfg.data, cfg.seed);
 
@@ -191,6 +213,12 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
     let mut eval_curve = Vec::new();
 
     let accum = cfg.grad_accum.max(1);
+    // Overlapped sync replaces backward + sync_grads on the *last*
+    // micro-batch only: earlier micro-batches still accumulate, so their
+    // dense gradients are not final and must not be reduced yet.
+    let use_overlap = cfg.overlap && !cfg.zero_optimizer;
+    let mut ring_steps = 0u64;
+    let mut ring_steps_overlapped = 0u64;
     for step in 0..cfg.steps {
         if let Some(schedule) = cfg.schedule {
             opt.set_lr(schedule.at(step));
@@ -203,8 +231,12 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
         let mut imb = 1.0f64;
         let mut dropr = 0.0f64;
         for micro in 0..accum {
-            let (tokens, targets) =
-                task.batch(cfg.batch_per_rank, cfg.seq, comm.rank(), step * accum + micro);
+            let (tokens, targets) = task.batch(
+                cfg.batch_per_rank,
+                cfg.seq,
+                comm.rank(),
+                step * accum + micro,
+            );
             let logits = model.forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
             let (micro_ce, mut dlogits) = cross_entropy(&logits, &targets);
             ce += micro_ce / accum as f32;
@@ -215,7 +247,13 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
             imb = i;
             dropr = d;
             dlogits.scale(opt.loss_scale() / accum as f32);
-            model.backward(&dlogits, comm);
+            if use_overlap && micro + 1 == accum {
+                let s = backward_and_sync_overlapped(&mut model, &dlogits, comm, cfg.bucket_bytes);
+                ring_steps += s.ring_steps as u64;
+                ring_steps_overlapped += s.ring_steps_overlapped as u64;
+            } else {
+                model.backward(&dlogits, comm);
+            }
         }
 
         if cfg.zero_optimizer {
@@ -223,7 +261,9 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
             // replacing both the grad sync and the replicated step.
             zopt.step(&mut model, comm);
         } else {
-            sync_grads(&mut model, comm);
+            if !use_overlap {
+                sync_grads(&mut model, comm);
+            }
             if let Some(max_norm) = cfg.clip {
                 // Unscale before measuring the norm so clipping thresholds
                 // mean the same thing at every loss scale.
@@ -238,7 +278,11 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
             // the gradients are identical post-allreduce for dense params,
             // and expert overflow is local; force agreement by reducing the
             // flag.
-            let flag = if outcome == StepOutcome::SkippedOverflow { 1.0 } else { 0.0 };
+            let flag = if outcome == StepOutcome::SkippedOverflow {
+                1.0
+            } else {
+                0.0
+            };
             let agreed = allreduce_recursive_doubling(comm, vec![flag], ReduceOp::Max);
             debug_assert!(agreed[0] == flag || cfg.dtype != DType::F32);
         }
@@ -266,12 +310,29 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
                     task.batch(cfg.batch_per_rank, cfg.seq, comm.rank(), (1 << 20) + step);
                 let logits = model.forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
                 let (eval_ce, _) = cross_entropy(&logits, &targets);
-                let agg =
-                    allreduce_recursive_doubling(comm, vec![eval_ce], ReduceOp::Sum);
+                let agg = allreduce_recursive_doubling(comm, vec![eval_ce], ReduceOp::Sum);
                 eval_curve.push((step, agg[0] / r));
             }
         }
     }
+
+    // Pool the overlap counters globally so the fraction reflects the whole
+    // job, not just rank 0's slice of the rings.
+    let pooled = allreduce_recursive_doubling(
+        comm,
+        vec![ring_steps_overlapped as f32, ring_steps as f32],
+        ReduceOp::Sum,
+    );
+    let overlap_fraction = if pooled[1] > 0.0 {
+        (pooled[0] / pooled[1]) as f64
+    } else {
+        0.0
+    };
+
+    // Snapshot transport counters after every rank has gone quiet, so the
+    // totals are stable and identical in meaning across ranks.
+    comm.barrier();
+    let comm_stats = comm.stats();
 
     let total_tokens = cfg.nranks * cfg.batch_per_rank * cfg.seq * cfg.steps * accum;
     TrainReport {
@@ -283,6 +344,8 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
         skipped_steps: opt.skipped_steps,
         total_tokens,
         eval_curve,
+        overlap_fraction,
+        comm_stats,
     }
 }
 
@@ -330,7 +393,12 @@ mod tests {
             ..Default::default()
         };
         let r1 = Trainer::new(base).run();
-        let r2 = Trainer::new(TrainConfig { nranks: 2, batch_per_rank: 2, ..base }).run();
+        let r2 = Trainer::new(TrainConfig {
+            nranks: 2,
+            batch_per_rank: 2,
+            ..base
+        })
+        .run();
         // Different ranks draw different data, so only the trend is
         // comparable; check both learn and stay finite.
         assert!(r1.loss_curve.iter().all(|l| l.is_finite()));
@@ -363,34 +431,50 @@ mod tests {
 
     #[test]
     fn skewed_data_raises_imbalance() {
-        let uniform = Trainer::new(TrainConfig {
-            steps: 5,
-            data: TokenDistribution::Uniform,
+        // Enough steps/tokens that the comparison reflects the distributions
+        // rather than per-seed routing noise in the first few steps.
+        let base = TrainConfig {
+            steps: 16,
+            batch_per_rank: 4,
             ..Default::default()
+        };
+        let uniform = Trainer::new(TrainConfig {
+            data: TokenDistribution::Uniform,
+            ..base
         })
         .run();
         let burst = Trainer::new(TrainConfig {
-            steps: 5,
             data: TokenDistribution::Burst,
-            ..Default::default()
+            ..base
         })
         .run();
-        let u: f64 = uniform.imbalance_curve.iter().sum::<f64>() / 5.0;
-        let b: f64 = burst.imbalance_curve.iter().sum::<f64>() / 5.0;
+        let u: f64 = uniform.imbalance_curve.iter().sum::<f64>() / 16.0;
+        let b: f64 = burst.imbalance_curve.iter().sum::<f64>() / 16.0;
         assert!(b >= u, "burst should be at least as imbalanced: {b} vs {u}");
     }
 
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn rejects_indivisible_expert_count() {
-        Trainer::new(TrainConfig { nranks: 3, ..Default::default() });
+        Trainer::new(TrainConfig {
+            nranks: 3,
+            ..Default::default()
+        });
     }
 
     #[test]
     fn zero_optimizer_matches_replicated_training() {
-        let base = TrainConfig { steps: 12, clip: None, ..Default::default() };
+        let base = TrainConfig {
+            steps: 12,
+            clip: None,
+            ..Default::default()
+        };
         let rep = Trainer::new(base).run();
-        let zero = Trainer::new(TrainConfig { zero_optimizer: true, ..base }).run();
+        let zero = Trainer::new(TrainConfig {
+            zero_optimizer: true,
+            ..base
+        })
+        .run();
         for (a, b) in rep.loss_curve.iter().zip(&zero.loss_curve) {
             assert!((a - b).abs() < 1e-3, "ZeRO changed training: {a} vs {b}");
         }
@@ -398,25 +482,92 @@ mod tests {
 
     #[test]
     fn eval_curve_tracks_held_out_loss() {
-        let cfg = TrainConfig { steps: 41, eval_every: Some(10), ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 41,
+            eval_every: Some(10),
+            ..Default::default()
+        };
         let r = Trainer::new(cfg).run();
         // Evals at 0, 10, 20, 30, 40 (last step included).
         let steps: Vec<usize> = r.eval_curve.iter().map(|(s, _)| *s).collect();
         assert_eq!(steps, vec![0, 10, 20, 30, 40]);
         let first = r.eval_curve[0].1;
         let last = r.eval_curve.last().unwrap().1;
-        assert!(last < first, "held-out loss did not improve: {first} -> {last}");
+        assert!(
+            last < first,
+            "held-out loss did not improve: {first} -> {last}"
+        );
         // Held-out data is the same mapping, so eval ≈ train loss late on.
         assert!((last - r.final_loss()).abs() < 1.0);
     }
 
     #[test]
     fn grad_accumulation_processes_more_tokens_and_learns() {
-        let cfg = TrainConfig { steps: 15, grad_accum: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 15,
+            grad_accum: 3,
+            ..Default::default()
+        };
         let r = Trainer::new(cfg).run();
         assert_eq!(r.total_tokens, 2 * 2 * 8 * 15 * 3);
         assert!(r.final_loss() < r.loss_curve[0]);
         assert!(r.loss_curve.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn overlapped_sync_matches_blocking_sync() {
+        // Bucketed overlapped all-reduce vs. monolithic blocking all-reduce:
+        // same training trajectory up to summation order. A small bucket
+        // forces many buckets per step so the overlap machinery is actually
+        // exercised.
+        let base = TrainConfig {
+            steps: 8,
+            overlap: false,
+            ..Default::default()
+        };
+        let blocking = Trainer::new(base).run();
+        let overlapped = Trainer::new(TrainConfig {
+            overlap: true,
+            bucket_bytes: 1 << 10,
+            ..base
+        })
+        .run();
+        for (a, b) in blocking.loss_curve.iter().zip(&overlapped.loss_curve) {
+            assert!((a - b).abs() < 1e-3, "overlap changed training: {a} vs {b}");
+        }
+        assert_eq!(blocking.overlap_fraction, 0.0);
+        assert!(
+            overlapped.overlap_fraction > 0.0,
+            "no measured overlap at 2 ranks: {}",
+            overlapped.overlap_fraction
+        );
+        assert!(overlapped.overlap_fraction <= 1.0);
+        // The shared-memory transport counts traffic per collective family.
+        let stats = overlapped.comm_stats.expect("ShmComm collects stats");
+        use bagualu_comm::CommFamily;
+        assert!(stats.family(CommFamily::Allreduce).bytes > 0);
+        assert!(stats.total_bytes >= stats.family(CommFamily::Allreduce).bytes);
+    }
+
+    #[test]
+    fn overlap_with_grad_accum_stays_correct() {
+        // Only the last micro-batch may sync; earlier ones must accumulate.
+        let base = TrainConfig {
+            steps: 8,
+            grad_accum: 3,
+            overlap: false,
+            ..Default::default()
+        };
+        let blocking = Trainer::new(base).run();
+        let overlapped = Trainer::new(TrainConfig {
+            overlap: true,
+            bucket_bytes: 1 << 12,
+            ..base
+        })
+        .run();
+        for (a, b) in blocking.loss_curve.iter().zip(&overlapped.loss_curve) {
+            assert!((a - b).abs() < 1e-3, "accum+overlap diverged: {a} vs {b}");
+        }
     }
 
     #[test]

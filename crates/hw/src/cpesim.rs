@@ -113,7 +113,8 @@ pub fn simulate_gemm(
     // Double buffering overlaps compute with the *next* panel's DMA: the
     // steady-state iteration costs max(compute, dma) + fixed overhead.
     let t_iter = t_compute.max(t_dma) + PANEL_OVERHEAD;
-    let time = tiles_per_cpe as f64 * (k_panels as f64 * t_iter
+    let time = tiles_per_cpe as f64
+        * (k_panels as f64 * t_iter
         // C-tile writeback per tile.
         + (t.mc * t.nc * 4) as f64 / per_cpe_bw);
 
@@ -141,7 +142,10 @@ pub fn best_tiling(
             for &kc in &[32usize, 64, 128, 256] {
                 let t = Tiling { mc, nc, kc };
                 if let Some(sim) = simulate_gemm(cg, m, k, n, t, half, mesh_sharing) {
-                    if best.as_ref().map(|(_, b)| sim.efficiency > b.efficiency).unwrap_or(true)
+                    if best
+                        .as_ref()
+                        .map(|(_, b)| sim.efficiency > b.efficiency)
+                        .unwrap_or(true)
                     {
                         best = Some((t, sim));
                     }
@@ -163,7 +167,11 @@ mod tests {
 
     #[test]
     fn oversized_tilings_are_rejected() {
-        let t = Tiling { mc: 512, nc: 512, kc: 512 };
+        let t = Tiling {
+            mc: 512,
+            nc: 512,
+            kc: 512,
+        };
         assert!(simulate_gemm(&cg(), 4096, 4096, 4096, t, false, true).is_none());
         assert!(ldm_footprint(t, false) > cg().ldm_bytes);
     }
@@ -183,9 +191,20 @@ mod tests {
 
     #[test]
     fn tiny_tiles_are_overhead_bound() {
-        let small =
-            simulate_gemm(&cg(), 4096, 4096, 4096, Tiling { mc: 16, nc: 16, kc: 32 }, false, true)
-                .unwrap();
+        let small = simulate_gemm(
+            &cg(),
+            4096,
+            4096,
+            4096,
+            Tiling {
+                mc: 16,
+                nc: 16,
+                kc: 32,
+            },
+            false,
+            true,
+        )
+        .unwrap();
         let (_, tuned) = best_tiling(&cg(), 4096, 4096, 4096, false, true);
         assert!(
             small.efficiency < tuned.efficiency * 0.75,
@@ -199,7 +218,11 @@ mod tests {
     fn half_precision_is_dma_bound_sooner() {
         // 4× the arithmetic rate with the same bandwidth pushes the balance
         // point toward DMA.
-        let t = Tiling { mc: 64, nc: 64, kc: 128 };
+        let t = Tiling {
+            mc: 64,
+            nc: 64,
+            kc: 128,
+        };
         let f32_sim = simulate_gemm(&cg(), 2048, 2048, 2048, t, false, true).unwrap();
         let half_sim = simulate_gemm(&cg(), 2048, 2048, 2048, t, true, true).unwrap();
         assert!(half_sim.time <= f32_sim.time);
@@ -229,6 +252,11 @@ mod tests {
     fn small_gemms_lose_efficiency() {
         let (_, big) = best_tiling(&cg(), 4096, 4096, 4096, false, true);
         let (_, small) = best_tiling(&cg(), 128, 128, 128, false, true);
-        assert!(small.efficiency < big.efficiency, "{} vs {}", small.efficiency, big.efficiency);
+        assert!(
+            small.efficiency < big.efficiency,
+            "{} vs {}",
+            small.efficiency,
+            big.efficiency
+        );
     }
 }

@@ -18,13 +18,13 @@
 pub mod cpesim;
 pub mod machine;
 pub mod memory;
-pub mod processor;
 pub mod power;
+pub mod processor;
 pub mod roofline;
 
 pub use cpesim::{best_tiling, simulate_gemm, GemmSim, Tiling};
 pub use machine::{MachineConfig, NetworkParams};
-pub use power::PowerModel;
 pub use memory::MemoryBudget;
+pub use power::PowerModel;
 pub use processor::{CoreGroup, Precision, ProcessorSpec};
 pub use roofline::{KernelCost, Roofline};

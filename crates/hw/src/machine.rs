@@ -38,12 +38,21 @@ impl NetworkParams {
 
     /// Latency between two nodes given whether they share a supernode.
     pub fn latency(&self, same_supernode: bool) -> f64 {
-        self.sw_overhead + if same_supernode { self.intra_lat } else { self.inter_lat }
+        self.sw_overhead
+            + if same_supernode {
+                self.intra_lat
+            } else {
+                self.inter_lat
+            }
     }
 
     /// Point-to-point time for `bytes` between two nodes (α–β model).
     pub fn p2p_time(&self, bytes: usize, same_supernode: bool) -> f64 {
-        let bw = if same_supernode { self.intra_bw } else { self.inter_bw };
+        let bw = if same_supernode {
+            self.intra_bw
+        } else {
+            self.inter_bw
+        };
         self.latency(same_supernode) + bytes as f64 / bw
     }
 }
@@ -74,7 +83,10 @@ impl MachineConfig {
 
     /// A scaled-down machine with the same per-node specs and topology rules.
     pub fn sunway_subset(nodes: usize) -> MachineConfig {
-        MachineConfig { nodes, ..MachineConfig::new_generation_sunway() }
+        MachineConfig {
+            nodes,
+            ..MachineConfig::new_generation_sunway()
+        }
     }
 
     /// Total hardware cores in the machine.
@@ -153,7 +165,10 @@ mod tests {
         let n = NetworkParams::sunway();
         let near = n.p2p_time(1 << 20, true);
         let far = n.p2p_time(1 << 20, false);
-        assert!(far > near * 2.0, "inter-supernode must be slower: {near} vs {far}");
+        assert!(
+            far > near * 2.0,
+            "inter-supernode must be slower: {near} vs {far}"
+        );
         // Latency dominates tiny messages.
         assert!(n.p2p_time(8, true) < 4.0e-6);
     }

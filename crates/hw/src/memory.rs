@@ -58,7 +58,12 @@ impl MemoryBudget {
             dense_params * OPT_BYTES
         };
         let optimizer = dense_opt + expert_local * OPT_BYTES;
-        MemoryBudget { params, grads, optimizer, activations: activation_bytes }
+        MemoryBudget {
+            params,
+            grads,
+            optimizer,
+            activations: activation_bytes,
+        }
     }
 }
 
@@ -96,7 +101,12 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_parts() {
-        let b = MemoryBudget { params: 1.0, grads: 2.0, optimizer: 3.0, activations: 4.0 };
+        let b = MemoryBudget {
+            params: 1.0,
+            grads: 2.0,
+            optimizer: 3.0,
+            activations: 4.0,
+        };
         assert_eq!(b.total(), 10.0);
     }
 }

@@ -23,12 +23,19 @@ impl PowerModel {
     /// full load over 96,000 nodes ⇒ ≈365 W/node, split as 140 W idle +
     /// 170 W dynamic compute + 55 W interconnect/cooling share.
     pub fn sunway() -> PowerModel {
-        PowerModel { node_idle_w: 140.0, node_compute_w: 170.0, infra_w: 55.0 }
+        PowerModel {
+            node_idle_w: 140.0,
+            node_compute_w: 170.0,
+            infra_w: 55.0,
+        }
     }
 
     /// Node power at a given compute utilization ∈ [0, 1].
     pub fn node_power(&self, compute_util: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&compute_util), "utilization out of range");
+        assert!(
+            (0.0..=1.0).contains(&compute_util),
+            "utilization out of range"
+        );
         self.node_idle_w + self.node_compute_w * compute_util + self.infra_w
     }
 

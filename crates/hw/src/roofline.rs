@@ -71,7 +71,11 @@ impl Roofline {
     pub fn kernel(&self, flops: f64, bytes: f64, p: Precision) -> KernelCost {
         let t_compute = flops / self.sustained(p);
         let t_memory = bytes / self.mem_bw;
-        KernelCost { flops, bytes, time: self.launch_overhead + t_compute.max(t_memory) }
+        KernelCost {
+            flops,
+            bytes,
+            time: self.launch_overhead + t_compute.max(t_memory),
+        }
     }
 
     /// Cost of a GEMM `[m,k]·[k,n]` at precision `p`: `2mkn` FLOPs and the
@@ -113,7 +117,12 @@ mod tests {
         let c = r.gemm(4096, 4096, 4096, Precision::FP32);
         let t_compute = c.flops / r.sustained(Precision::FP32);
         // Within 10% of pure compute time (launch overhead is negligible).
-        assert!((c.time - t_compute) / t_compute < 0.1, "time {} vs {}", c.time, t_compute);
+        assert!(
+            (c.time - t_compute) / t_compute < 0.1,
+            "time {} vs {}",
+            c.time,
+            t_compute
+        );
     }
 
     #[test]
@@ -129,7 +138,12 @@ mod tests {
         let r = rl();
         let full = r.gemm(2048, 2048, 2048, Precision::FP32);
         let half = r.gemm(2048, 2048, 2048, Precision::Half);
-        assert!(full.time / half.time > 3.0, "{} vs {}", full.time, half.time);
+        assert!(
+            full.time / half.time > 3.0,
+            "{} vs {}",
+            full.time,
+            half.time
+        );
     }
 
     #[test]

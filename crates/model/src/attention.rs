@@ -17,16 +17,16 @@ pub struct KvCache {
 
 impl KvCache {
     pub fn new(d_model: usize) -> KvCache {
-        KvCache { keys: Vec::new(), values: Vec::new(), d: d_model }
+        KvCache {
+            keys: Vec::new(),
+            values: Vec::new(),
+            d: d_model,
+        }
     }
 
     /// Cached positions.
     pub fn len(&self) -> usize {
-        if self.d == 0 {
-            0
-        } else {
-            self.keys.len() / self.d
-        }
+        self.keys.len().checked_div(self.d).unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -44,7 +44,7 @@ fn apply_rope_at(x: &mut Tensor, pos: usize, sign: f32) {
 /// backward pass, since rotations are orthogonal).
 fn apply_rope(x: &mut Tensor, start: usize, sign: f32) {
     let hd = x.cols();
-    assert!(hd % 2 == 0, "RoPE needs an even head dim");
+    assert!(hd.is_multiple_of(2), "RoPE needs an even head dim");
     for t in 0..x.rows() {
         let pos = (start + t) as f32;
         let row = x.row_mut(t);
@@ -88,7 +88,10 @@ struct Cache {
 
 impl MultiHeadAttention {
     pub fn new(name: &str, d_model: usize, n_heads: usize, rng: &mut Rng) -> MultiHeadAttention {
-        assert!(n_heads > 0 && d_model % n_heads == 0, "d_model must divide by heads");
+        assert!(
+            n_heads > 0 && d_model.is_multiple_of(n_heads),
+            "d_model must divide by heads"
+        );
         MultiHeadAttention {
             wqkv: Linear::new(&format!("{name}.wqkv"), d_model, 3 * d_model, rng),
             wo: Linear::new(&format!("{name}.wo"), d_model, d_model, rng),
@@ -100,7 +103,10 @@ impl MultiHeadAttention {
 
     /// Enable rotary position embeddings (requires an even head dim).
     pub fn with_rope(mut self) -> MultiHeadAttention {
-        assert!(self.head_dim() % 2 == 0, "RoPE needs an even head dim");
+        assert!(
+            self.head_dim().is_multiple_of(2),
+            "RoPE needs an even head dim"
+        );
         self.rope = true;
         self
     }
@@ -175,7 +181,12 @@ impl MultiHeadAttention {
             }
         }
 
-        self.cache = Some(Cache { qkv, probs, batch, seq });
+        self.cache = Some(Cache {
+            qkv,
+            probs,
+            batch,
+            seq,
+        });
         self.wo.forward(&ctx_all)
     }
 
@@ -231,8 +242,8 @@ impl MultiHeadAttention {
             let inv = 1.0 / sum;
             // Weighted value sum.
             let out = &mut ctx_all.as_mut_slice()[h * hd..(h + 1) * hd];
-            for pos in 0..t {
-                let w = scores[pos] * inv;
+            for (pos, s) in scores.iter().enumerate().take(t) {
+                let w = s * inv;
                 let v = &kv.values[pos * d + h * hd..pos * d + (h + 1) * hd];
                 for (o, &vv) in out.iter_mut().zip(v) {
                     *o += w * vv;
@@ -246,8 +257,15 @@ impl MultiHeadAttention {
 
     /// Backward; returns `dx`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let Cache { qkv, probs, batch, seq } =
-            self.cache.take().expect("MultiHeadAttention::backward before forward");
+        let Cache {
+            qkv,
+            probs,
+            batch,
+            seq,
+        } = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward before forward");
         let d = self.d_model();
         let hd = self.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
@@ -393,7 +411,10 @@ mod tests {
         attn.wqkv.w.value.set(2, 7, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = attn.wqkv.w.grad.at(2, 7);
-        assert!((fd - an).abs() < 3e-2 * (1.0 + fd.abs()), "wqkv: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+            "wqkv: fd={fd} an={an}"
+        );
     }
 
     #[test]
@@ -420,7 +441,11 @@ mod tests {
         let q0 = Tensor::randn(&[1, 8], 1.0, &mut rng);
         let k0 = Tensor::randn(&[1, 8], 1.0, &mut rng);
         let dot = |a: &Tensor, b: &Tensor| -> f32 {
-            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| x * y)
+                .sum()
         };
         let rotated = |x: &Tensor, pos: usize| {
             let mut y = x.clone();
@@ -430,7 +455,10 @@ mod tests {
         let base = dot(&rotated(&q0, 3), &rotated(&k0, 1));
         for shift in [1usize, 5, 11] {
             let shifted = dot(&rotated(&q0, 3 + shift), &rotated(&k0, 1 + shift));
-            assert!((base - shifted).abs() < 1e-4, "shift {shift}: {base} vs {shifted}");
+            assert!(
+                (base - shifted).abs() < 1e-4,
+                "shift {shift}: {base} vs {shifted}"
+            );
         }
         // And rotation is invertible.
         let mut y = q0.clone();

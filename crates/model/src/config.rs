@@ -61,7 +61,10 @@ impl ModelConfig {
 
     /// A dense variant of [`ModelConfig::tiny`].
     pub fn tiny_dense() -> ModelConfig {
-        ModelConfig { n_experts: 0, ..ModelConfig::tiny() }
+        ModelConfig {
+            n_experts: 0,
+            ..ModelConfig::tiny()
+        }
     }
 
     fn brain_scale_base() -> ModelConfig {
@@ -85,23 +88,32 @@ impl ModelConfig {
 
     /// ~1.93 trillion parameters (1,200 experts × 12 MoE blocks).
     pub fn bagualu_1_93t() -> ModelConfig {
-        ModelConfig { n_experts: 1_200, ..Self::brain_scale_base() }
+        ModelConfig {
+            n_experts: 1_200,
+            ..Self::brain_scale_base()
+        }
     }
 
     /// ~14.5 trillion parameters (9,000 experts × 12 MoE blocks).
     pub fn bagualu_14_5t() -> ModelConfig {
-        ModelConfig { n_experts: 9_000, ..Self::brain_scale_base() }
+        ModelConfig {
+            n_experts: 9_000,
+            ..Self::brain_scale_base()
+        }
     }
 
     /// ~174 trillion parameters — the brain-scale configuration
     /// (108,000 experts × 12 MoE blocks).
     pub fn bagualu_174t() -> ModelConfig {
-        ModelConfig { n_experts: 108_000, ..Self::brain_scale_base() }
+        ModelConfig {
+            n_experts: 108_000,
+            ..Self::brain_scale_base()
+        }
     }
 
     /// Whether block `i` (0-based) carries an MoE FFN.
     pub fn is_moe_block(&self, i: usize) -> bool {
-        self.n_experts > 0 && (i + 1) % self.moe_every == 0
+        self.n_experts > 0 && (i + 1).is_multiple_of(self.moe_every)
     }
 
     /// Number of MoE blocks.
@@ -201,9 +213,18 @@ mod tests {
         let c1 = ModelConfig::bagualu_1_93t().count_params() as f64;
         let c2 = ModelConfig::bagualu_14_5t().count_params() as f64;
         let c3 = ModelConfig::bagualu_174t().count_params() as f64;
-        assert!((c1 / 1.93e12 - 1.0).abs() < 0.05, "1.93T preset gives {c1:.3e}");
-        assert!((c2 / 14.5e12 - 1.0).abs() < 0.05, "14.5T preset gives {c2:.3e}");
-        assert!((c3 / 174e12 - 1.0).abs() < 0.05, "174T preset gives {c3:.3e}");
+        assert!(
+            (c1 / 1.93e12 - 1.0).abs() < 0.05,
+            "1.93T preset gives {c1:.3e}"
+        );
+        assert!(
+            (c2 / 14.5e12 - 1.0).abs() < 0.05,
+            "14.5T preset gives {c2:.3e}"
+        );
+        assert!(
+            (c3 / 174e12 - 1.0).abs() < 0.05,
+            "174T preset gives {c3:.3e}"
+        );
     }
 
     #[test]

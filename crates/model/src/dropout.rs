@@ -22,8 +22,16 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f32, seed: u64) -> Dropout {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, training: true, rng: Rng::seed_from(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            training: true,
+            rng: Rng::seed_from(seed),
+            mask: None,
+        }
     }
 
     /// Forward; caches the mask when training with `p > 0`.
@@ -36,7 +44,11 @@ impl Dropout {
         let scale = 1.0 / keep;
         let mut mask = Tensor::zeros(x.shape());
         for m in mask.as_mut_slice() {
-            *m = if self.rng.uniform() < self.p { 0.0 } else { scale };
+            *m = if self.rng.uniform() < self.p {
+                0.0
+            } else {
+                scale
+            };
         }
         let mut y = x.clone();
         y.mul_assign(&mask);

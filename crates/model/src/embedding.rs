@@ -15,7 +15,10 @@ pub struct Embedding {
 impl Embedding {
     pub fn new(name: &str, vocab: usize, d: usize, rng: &mut Rng) -> Embedding {
         Embedding {
-            table: Param::new(format!("{name}.table"), Tensor::randn(&[vocab, d], 0.02, rng)),
+            table: Param::new(
+                format!("{name}.table"),
+                Tensor::randn(&[vocab, d], 0.02, rng),
+            ),
             cache_ids: None,
         }
     }
@@ -43,7 +46,10 @@ impl Embedding {
 
     /// Scatter-add `dy` rows into the table gradient.
     pub fn backward(&mut self, dy: &Tensor) {
-        let ids = self.cache_ids.take().expect("Embedding::backward before forward");
+        let ids = self
+            .cache_ids
+            .take()
+            .expect("Embedding::backward before forward");
         assert_eq!(dy.rows(), ids.len());
         assert_eq!(dy.cols(), self.dim());
         for (i, &id) in ids.iter().enumerate() {

@@ -80,7 +80,10 @@ impl FeedForward {
                 // Recompute path: replay the segment forward to repopulate
                 // every internal cache (the ~33% FLOPs cost of
                 // checkpointing), then run the normal backward.
-                let x = self.cache_x.take().expect("FeedForward::backward before forward");
+                let x = self
+                    .cache_x
+                    .take()
+                    .expect("FeedForward::backward before forward");
                 let h = self.fc1.forward(&x);
                 let a = gelu(&h);
                 let _ = self.fc2.forward(&a);
@@ -150,7 +153,10 @@ mod tests {
             x2.set(i, j, x.at(i, j) - eps);
             let lm = loss(&mut ffn, &x2);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dx.at(i, j)).abs() < 3e-2 * (1.0 + fd.abs()), "x[{i},{j}]");
+            assert!(
+                (fd - dx.at(i, j)).abs() < 3e-2 * (1.0 + fd.abs()),
+                "x[{i},{j}]"
+            );
         }
         // One fc1 weight.
         let orig = ffn.fc1.w.value.at(1, 5);

@@ -56,7 +56,10 @@ impl LayerNorm {
 
     /// Backward: accumulates `dγ`, `dβ`; returns `dx`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let (xhat, inv_sigma) = self.cache.take().expect("LayerNorm::backward before forward");
+        let (xhat, inv_sigma) = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward before forward");
         let d = self.dim();
         assert_eq!(dy.shape(), xhat.shape());
         let g = self.gamma.value.as_slice();
@@ -65,7 +68,11 @@ impl LayerNorm {
         {
             let dg = self.gamma.grad.as_mut_slice();
             let db = self.beta.grad.as_mut_slice();
-            for (dyr, xr) in dy.as_slice().chunks_exact(d).zip(xhat.as_slice().chunks_exact(d)) {
+            for (dyr, xr) in dy
+                .as_slice()
+                .chunks_exact(d)
+                .zip(xhat.as_slice().chunks_exact(d))
+            {
                 for i in 0..d {
                     dg[i] += dyr[i] * xr[i];
                     db[i] += dyr[i];
@@ -163,7 +170,10 @@ mod tests {
             x2.set(i, j, x.at(i, j) - eps);
             let lm = loss(&mut ln, &x2);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dx.at(i, j)).abs() < 2e-2 * (1.0 + fd.abs()), "x[{i},{j}]");
+            assert!(
+                (fd - dx.at(i, j)).abs() < 2e-2 * (1.0 + fd.abs()),
+                "x[{i},{j}]"
+            );
         }
 
         // γ gradient.
@@ -176,7 +186,10 @@ mod tests {
             ln.gamma.value.as_mut_slice()[j] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             let an = ln.gamma.grad.as_slice()[j];
-            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "gamma[{j}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "gamma[{j}]: fd={fd} an={an}"
+            );
         }
     }
 

@@ -54,7 +54,10 @@ impl Linear {
     /// Backward: accumulates `dW = xᵀ·dy`, `db = Σrows dy`; returns
     /// `dx = dy·Wᵀ`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("Linear::backward before forward");
+        let x = self
+            .cache_x
+            .take()
+            .expect("Linear::backward before forward");
         assert_eq!(dy.rows(), x.rows());
         assert_eq!(dy.cols(), self.d_out());
         self.w.grad.add_assign(&matmul_tn(&x, dy));
@@ -106,7 +109,10 @@ mod tests {
             lin.w.value.set(i, j, orig);
             let fd = (lp - lm) / (2.0 * eps);
             let an = lin.w.grad.at(i, j);
-            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "w[{i},{j}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "w[{i},{j}]: fd={fd} an={an}"
+            );
         }
 
         // Check an input entry.

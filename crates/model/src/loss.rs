@@ -39,11 +39,7 @@ pub fn perplexity(loss: f32) -> f32 {
 /// Label-smoothed cross-entropy: the target distribution puts `1 − ε` on
 /// the gold token and `ε/(V−1)` on every other token — the standard
 /// regularizer for large-vocabulary pretraining. Returns `(loss, dlogits)`.
-pub fn cross_entropy_smoothed(
-    logits: &Tensor,
-    targets: &[usize],
-    epsilon: f32,
-) -> (f32, Tensor) {
+pub fn cross_entropy_smoothed(logits: &Tensor, targets: &[usize], epsilon: f32) -> (f32, Tensor) {
     assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
     if epsilon == 0.0 {
         return cross_entropy(logits, targets);
@@ -118,7 +114,11 @@ mod tests {
                 let (lm, _) = cross_entropy(&logits, &targets);
                 logits.set(i, j, orig);
                 let fd = (lp - lm) / (2.0 * eps);
-                assert!((fd - d.at(i, j)).abs() < 1e-3, "({i},{j}): fd={fd} an={}", d.at(i, j));
+                assert!(
+                    (fd - d.at(i, j)).abs() < 1e-3,
+                    "({i},{j}): fd={fd} an={}",
+                    d.at(i, j)
+                );
             }
         }
     }
@@ -172,7 +172,11 @@ mod tests {
             let (lm, _) = cross_entropy_smoothed(&logits, &targets, eps_s);
             logits.set(0, j, orig);
             let fd = (lp - lm) / (2.0 * h);
-            assert!((fd - d.at(0, j)).abs() < 1e-3, "j={j}: fd={fd} an={}", d.at(0, j));
+            assert!(
+                (fd - d.at(0, j)).abs() < 1e-3,
+                "j={j}: fd={fd} an={}",
+                d.at(0, j)
+            );
         }
     }
 

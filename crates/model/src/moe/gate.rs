@@ -122,7 +122,10 @@ impl Gate {
         assert!(n_experts > 0);
         assert!(capacity_factor > 0.0);
         Gate {
-            wg: Param::new(format!("{name}.wg"), Tensor::xavier(d_model, n_experts, rng)),
+            wg: Param::new(
+                format!("{name}.wg"),
+                Tensor::xavier(d_model, n_experts, rng),
+            ),
             kind,
             capacity_factor,
             aux_weight,
@@ -139,8 +142,7 @@ impl Gate {
     /// Capacity for `n` tokens.
     pub fn capacity(&self, n: usize) -> usize {
         let e = self.n_experts();
-        ((self.capacity_factor as f64 * n as f64 * self.kind.k() as f64 / e as f64).ceil()
-            as usize)
+        ((self.capacity_factor as f64 * n as f64 * self.kind.k() as f64 / e as f64).ceil() as usize)
             .max(1)
     }
 
@@ -165,7 +167,11 @@ impl Gate {
                     raw_load[best] += 1;
                     if load[best] < capacity {
                         load[best] += 1;
-                        assignments.push(Assignment { token: t, expert: best, weight: w });
+                        assignments.push(Assignment {
+                            token: t,
+                            expert: best,
+                            weight: w,
+                        });
                     } else {
                         dropped += 1;
                     }
@@ -179,7 +185,11 @@ impl Gate {
                     for &ex in &[e1, e2] {
                         if load[ex] < capacity {
                             load[ex] += 1;
-                            assignments.push(Assignment { token: t, expert: ex, weight: row[ex] });
+                            assignments.push(Assignment {
+                                token: t,
+                                expert: ex,
+                                weight: row[ex],
+                            });
                         } else {
                             dropped += 1;
                         }
@@ -205,7 +215,11 @@ impl Gate {
                     raw_load[best] += 1;
                     if load[best] < capacity {
                         load[best] += 1;
-                        assignments.push(Assignment { token: t, expert: best, weight: row[best] });
+                        assignments.push(Assignment {
+                            token: t,
+                            expert: best,
+                            weight: row[best],
+                        });
                     } else {
                         dropped += 1;
                     }
@@ -229,7 +243,11 @@ impl Gate {
                     match chosen {
                         Some(ex) => {
                             load[ex] += 1;
-                            assignments.push(Assignment { token: t, expert: ex, weight: row[ex] });
+                            assignments.push(Assignment {
+                                token: t,
+                                expert: ex,
+                                weight: row[ex],
+                            });
                         }
                         None => dropped += 1, // only possible when cf·n·k < n
                     }
@@ -239,20 +257,32 @@ impl Gate {
 
         // Switch-style auxiliary loss: E · Σₑ fₑ · P̄ₑ, where fₑ is the
         // first-choice token fraction and P̄ₑ the mean router probability.
-        let frac: Vec<f32> =
-            raw_load.iter().map(|&c| if n == 0 { 0.0 } else { c as f32 / n as f32 }).collect();
+        let frac: Vec<f32> = raw_load
+            .iter()
+            .map(|&c| if n == 0 { 0.0 } else { c as f32 / n as f32 })
+            .collect();
         let mut aux = 0.0f32;
         if n > 0 {
-            for ex in 0..e {
-                let mean_p: f32 =
-                    (0..n).map(|t| probs.at(t, ex)).sum::<f32>() / n as f32;
-                aux += frac[ex] * mean_p;
+            for (ex, f) in frac.iter().enumerate().take(e) {
+                let mean_p: f32 = (0..n).map(|t| probs.at(t, ex)).sum::<f32>() / n as f32;
+                aux += f * mean_p;
             }
             aux *= e as f32 * self.aux_weight;
         }
 
-        self.cache = Some(GateCache { x: x.clone(), probs, frac });
-        Routing { assignments, load, raw_load, dropped, capacity, aux_loss: aux }
+        self.cache = Some(GateCache {
+            x: x.clone(),
+            probs,
+            frac,
+        });
+        Routing {
+            assignments,
+            load,
+            raw_load,
+            dropped,
+            capacity,
+            aux_loss: aux,
+        }
     }
 
     /// Backward. `dweights[i]` is `∂L/∂assignments[i].weight` — supplied by
@@ -422,7 +452,12 @@ mod tests {
             g2.wg.value.set(i, 0, 5.0);
         }
         let r2 = g2.forward(&x);
-        assert!(r2.aux_loss > r1.aux_loss, "{} vs {}", r2.aux_loss, r1.aux_loss);
+        assert!(
+            r2.aux_loss > r1.aux_loss,
+            "{} vs {}",
+            r2.aux_loss,
+            r1.aux_loss
+        );
     }
 
     #[test]
@@ -438,7 +473,11 @@ mod tests {
 
         let loss = |g: &mut Gate, x: &Tensor| -> f32 {
             let r = g.forward(&x.clone());
-            0.5 * r.assignments.iter().map(|a| a.weight * a.weight).sum::<f32>()
+            0.5 * r
+                .assignments
+                .iter()
+                .map(|a| a.weight * a.weight)
+                .sum::<f32>()
         };
         let eps = 1e-3f32;
         // Wg entry. (Perturbations small enough not to flip the argmax.)
@@ -450,7 +489,10 @@ mod tests {
         g.wg.value.set(2, 1, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = g.wg.grad.at(2, 1);
-        assert!((fd - an).abs() < 3e-2 * (1.0 + fd.abs()), "wg: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+            "wg: fd={fd} an={an}"
+        );
 
         // Input entry.
         let mut x2 = x.clone();
@@ -460,7 +502,11 @@ mod tests {
         x2.set(1, 3, o - eps);
         let lm = loss(&mut g, &x2);
         let fd = (lp - lm) / (2.0 * eps);
-        assert!((fd - dx.at(1, 3)).abs() < 3e-2 * (1.0 + fd.abs()), "x: fd={fd} an={}", dx.at(1, 3));
+        assert!(
+            (fd - dx.at(1, 3)).abs() < 3e-2 * (1.0 + fd.abs()),
+            "x: fd={fd} an={}",
+            dx.at(1, 3)
+        );
     }
 
     #[test]
@@ -498,7 +544,11 @@ mod tests {
         let route = |seed: u64| {
             let mut rng = Rng::seed_from(seed);
             let mut g = Gate::new("g", 8, 4, GateKind::NoisyTop1, 8.0, 0.0, &mut rng);
-            g.forward(&x).assignments.iter().map(|a| a.expert).collect::<Vec<_>>()
+            g.forward(&x)
+                .assignments
+                .iter()
+                .map(|a| a.expert)
+                .collect::<Vec<_>>()
         };
         assert_eq!(route(5), route(5));
         assert_ne!(route(5), route(6));

@@ -92,7 +92,9 @@ impl MoELayer {
 
     /// The flat gate; panics when the layer uses the two-level router.
     pub fn gate_mut(&mut self) -> &mut Gate {
-        self.router.as_flat_mut().expect("layer uses the two-level router")
+        self.router
+            .as_flat_mut()
+            .expect("layer uses the two-level router")
     }
 
     pub fn n_experts(&self) -> usize {
@@ -101,7 +103,10 @@ impl MoELayer {
 
     /// Auxiliary balance loss of the most recent forward pass.
     pub fn last_aux_loss(&self) -> f32 {
-        self.cache.as_ref().map(|c| c.routing.aux_loss).unwrap_or(0.0)
+        self.cache
+            .as_ref()
+            .map(|c| c.routing.aux_loss)
+            .unwrap_or(0.0)
     }
 
     /// Routing statistics of the most recent forward pass.
@@ -126,7 +131,8 @@ impl MoELayer {
         for (ex, idxs) in per_expert.iter().enumerate() {
             let mut xe = Tensor::zeros(&[idxs.len(), d]);
             for (row, &ai) in idxs.iter().enumerate() {
-                xe.row_mut(row).copy_from_slice(x.row(routing.assignments[ai].token));
+                xe.row_mut(row)
+                    .copy_from_slice(x.row(routing.assignments[ai].token));
             }
             let ye = self.experts[ex].forward(&xe);
             // Combine: y[token] += weight · expert_out.
@@ -140,13 +146,21 @@ impl MoELayer {
             outputs.push(ye);
         }
 
-        self.cache = Some(MoECache { routing, per_expert, outputs, dy_shape: x.shape().to_vec() });
+        self.cache = Some(MoECache {
+            routing,
+            per_expert,
+            outputs,
+            dy_shape: x.shape().to_vec(),
+        });
         y
     }
 
     /// Backward; returns `dx` (expert path + gate path combined).
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("MoELayer::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("MoELayer::backward before forward");
         assert_eq!(dy.shape(), &cache.dy_shape[..]);
         let d = dy.cols();
         let routing = &cache.routing;
@@ -273,7 +287,12 @@ mod tests {
         // the analytic gradient is defined for fixed routing.
         let routing_of = |m: &mut MoELayer, x: &Tensor| -> Vec<usize> {
             m.forward(x);
-            m.last_routing().unwrap().assignments.iter().map(|a| a.expert).collect()
+            m.last_routing()
+                .unwrap()
+                .assignments
+                .iter()
+                .map(|a| a.expert)
+                .collect()
         };
         let base_routing = routing_of(&mut m, &x);
         let mut checked = 0;
@@ -299,12 +318,17 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 20, "too few differentiable entries checked: {checked}");
+        assert!(
+            checked > 20,
+            "too few differentiable entries checked: {checked}"
+        );
 
         // An expert weight (find one that received tokens).
-        let busy = (0..3).find(|&e| m.forward(&x) == m.forward(&x) && {
-            let r = m.last_routing().unwrap();
-            r.load[e] > 0
+        let busy = (0..3).find(|&e| {
+            m.forward(&x) == m.forward(&x) && {
+                let r = m.last_routing().unwrap();
+                r.load[e] > 0
+            }
         });
         let e = busy.expect("some expert must be busy");
         m.zero_grad();
@@ -318,7 +342,10 @@ mod tests {
         m.experts[e].fc1.w.value.set(0, 0, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = m.experts[e].fc1.w.grad.at(0, 0);
-        assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "expert w: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+            "expert w: fd={fd} an={an}"
+        );
 
         // Gate weight.
         let orig = m.gate_mut().wg.value.at(1, 1);
@@ -332,7 +359,10 @@ mod tests {
         m.gate_mut().wg.value.set(1, 1, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = m.gate_mut().wg.grad.at(1, 1);
-        assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "gate wg: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+            "gate wg: fd={fd} an={an}"
+        );
     }
 
     #[test]

@@ -50,9 +50,15 @@ impl TwoLevelGate {
         aux_weight: f32,
         rng: &mut Rng,
     ) -> TwoLevelGate {
-        assert!(groups > 0 && n_experts % groups == 0, "groups must divide experts");
+        assert!(
+            groups > 0 && n_experts.is_multiple_of(groups),
+            "groups must divide experts"
+        );
         TwoLevelGate {
-            wg_group: Param::new(format!("{name}.wg_group"), Tensor::xavier(d_model, groups, rng)),
+            wg_group: Param::new(
+                format!("{name}.wg_group"),
+                Tensor::xavier(d_model, groups, rng),
+            ),
             wg_expert: Param::new(
                 format!("{name}.wg_expert"),
                 Tensor::xavier(d_model, n_experts, rng),
@@ -117,8 +123,8 @@ impl TwoLevelGate {
             for (j, l) in logits.iter_mut().enumerate() {
                 let col = g * epg + j;
                 let mut s = 0.0f32;
-                for k in 0..d {
-                    s += xrow[k] * self.wg_expert.value.at(k, col);
+                for (k, &xk) in xrow.iter().enumerate().take(d) {
+                    s += xk * self.wg_expert.value.at(k, col);
                 }
                 *l = s;
             }
@@ -160,22 +166,36 @@ impl TwoLevelGate {
             .collect();
         let mut aux = 0.0f32;
         if n > 0 {
-            for g in 0..self.groups {
-                let mean_p: f32 =
-                    (0..n).map(|t| group_probs.at(t, g)).sum::<f32>() / n as f32;
-                aux += frac[g] * mean_p;
+            for (g, f) in frac.iter().enumerate().take(self.groups) {
+                let mean_p: f32 = (0..n).map(|t| group_probs.at(t, g)).sum::<f32>() / n as f32;
+                aux += f * mean_p;
             }
             aux *= self.groups as f32 * self.aux_weight;
         }
 
-        self.cache = Some(TwoLevelCache { x: x.clone(), group_probs, chosen, frac });
-        Routing { assignments, load, raw_load, dropped, capacity, aux_loss: aux }
+        self.cache = Some(TwoLevelCache {
+            x: x.clone(),
+            group_probs,
+            chosen,
+            frac,
+        });
+        Routing {
+            assignments,
+            load,
+            raw_load,
+            dropped,
+            capacity,
+            aux_loss: aux,
+        }
     }
 
     /// Backward: `dweights[i] = ∂L/∂assignments[i].weight`. Returns the
     /// gate's `dx` contribution and accumulates both projections' grads.
     pub fn backward(&mut self, routing: &Routing, dweights: &[f32]) -> Tensor {
-        let cache = self.cache.take().expect("TwoLevelGate::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("TwoLevelGate::backward before forward");
         let n = cache.x.rows();
         let d = cache.x.cols();
         let epg = self.experts_per_group();
@@ -218,12 +238,14 @@ impl TwoLevelGate {
                 *dj = pj * (*dj - dot);
             }
         }
-        self.wg_group.grad.add_assign(&matmul_tn(&cache.x, &dlogits_group));
+        self.wg_group
+            .grad
+            .add_assign(&matmul_tn(&cache.x, &dlogits_group));
         let mut dx = matmul_nt(&dlogits_group, &self.wg_group.value);
 
         // Expert-stage backward, token by token (sparse columns).
-        for t in 0..n {
-            let Some((g, dpe)) = &dexpert_probs[t] else { continue };
+        for (t, slot) in dexpert_probs.iter().enumerate().take(n) {
+            let Some((g, dpe)) = slot else { continue };
             let probs = &cache.chosen[t].1;
             let dot: f32 = dpe.iter().zip(probs).map(|(a, b)| a * b).sum();
             let xrow = cache.x.row(t).to_vec();
@@ -364,7 +386,11 @@ mod tests {
 
         let loss = |g: &mut TwoLevelGate, x: &Tensor| -> f32 {
             let r = g.forward(x);
-            0.5 * r.assignments.iter().map(|a| a.weight * a.weight).sum::<f32>()
+            0.5 * r
+                .assignments
+                .iter()
+                .map(|a| a.weight * a.weight)
+                .sum::<f32>()
         };
         let routing_sig = |g: &mut TwoLevelGate, x: &Tensor| -> Vec<usize> {
             g.forward(x).assignments.iter().map(|a| a.expert).collect()
@@ -405,7 +431,11 @@ mod tests {
         g.backward(&r, &dweights);
         for (pick, which) in [(true, "group"), (false, "expert")] {
             let (i, j) = (2usize, 1usize);
-            let orig = if pick { g.wg_group.value.at(i, j) } else { g.wg_expert.value.at(i, j) };
+            let orig = if pick {
+                g.wg_group.value.at(i, j)
+            } else {
+                g.wg_expert.value.at(i, j)
+            };
             let setv = |g: &mut TwoLevelGate, v: f32| {
                 if pick {
                     g.wg_group.value.set(i, j, v)
@@ -423,8 +453,15 @@ mod tests {
             let lm = loss(&mut g, &x);
             setv(&mut g, orig);
             let fd = (lp - lm) / (2.0 * eps);
-            let an = if pick { g.wg_group.grad.at(i, j) } else { g.wg_expert.grad.at(i, j) };
-            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "{which}: fd={fd} an={an}");
+            let an = if pick {
+                g.wg_group.grad.at(i, j)
+            } else {
+                g.wg_expert.grad.at(i, j)
+            };
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "{which}: fd={fd} an={an}"
+            );
         }
     }
 

@@ -15,7 +15,11 @@ impl Param {
     /// Wrap an initialized tensor; the gradient starts at zero.
     pub fn new(name: impl Into<String>, value: Tensor) -> Param {
         let grad = Tensor::zeros(value.shape());
-        Param { name: name.into(), value, grad }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     /// Number of scalar parameters.

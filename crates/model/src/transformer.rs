@@ -56,7 +56,12 @@ impl Block {
                 )
             })
         } else {
-            BlockFfn::Dense(FeedForward::new(&format!("{name}.ffn"), cfg.d_model, cfg.d_ff, rng))
+            BlockFfn::Dense(FeedForward::new(
+                &format!("{name}.ffn"),
+                cfg.d_model,
+                cfg.d_ff,
+                rng,
+            ))
         };
         let mut attn =
             MultiHeadAttention::new(&format!("{name}.attn"), cfg.d_model, cfg.n_heads, rng);
@@ -206,7 +211,10 @@ impl Transformer {
     /// weight gradient (into the embedding table when tied).
     fn head_backward(&mut self, dlogits: &Tensor) -> Tensor {
         if self.cfg.tie_embeddings {
-            let x = self.tied_cache.take().expect("tied head backward before forward");
+            let x = self
+                .tied_cache
+                .take()
+                .expect("tied head backward before forward");
             self.tok.table.grad.add_assign(&matmul_tn(dlogits, &x));
             matmul(dlogits, &self.tok.table.value)
         } else {
@@ -361,7 +369,11 @@ impl Transformer {
         let (ce, dlogits) = cross_entropy(&logits, targets);
         let aux = self.aux_loss();
         self.backward(&dlogits);
-        StepStats { ce_loss: ce, aux_loss: aux, tokens: tokens.len() }
+        StepStats {
+            ce_loss: ce,
+            aux_loss: aux,
+            tokens: tokens.len(),
+        }
     }
 }
 
@@ -527,13 +539,19 @@ mod tests {
         assert!(a.iter().chain(&b).all(|&t| t < cfg.vocab));
         // Same seed → same sample.
         let mut c_rng = Rng::seed_from(3);
-        assert_eq!(a, m.generate_sampled(&[2, 3], 8, 2.0, cfg.vocab, &mut c_rng));
+        assert_eq!(
+            a,
+            m.generate_sampled(&[2, 3], 8, 2.0, cfg.vocab, &mut c_rng)
+        );
     }
 
     #[test]
     fn tied_embeddings_train_and_count() {
         let mut rng = Rng::seed_from(94);
-        let cfg = ModelConfig { tie_embeddings: true, ..ModelConfig::tiny() };
+        let cfg = ModelConfig {
+            tie_embeddings: true,
+            ..ModelConfig::tiny()
+        };
         let mut m = Transformer::new(cfg, &mut rng);
         assert_eq!(m.num_params() as u128, cfg.count_params());
         // Tying removes the whole head: d·vocab + vocab parameters.
@@ -558,7 +576,10 @@ mod tests {
         let lm = m.train_batch(&tokens, &targets, 1, 8).total();
         m.tok.table.value.set(3, 2, orig);
         let fd = (lp - lm) / (2.0 * eps);
-        assert!((fd - an).abs() < 3e-2 * (1.0 + fd.abs()), "tied grad: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+            "tied grad: fd={fd} an={an}"
+        );
 
         // Training works end to end.
         m.zero_grad();
@@ -580,7 +601,10 @@ mod tests {
     #[test]
     fn rope_model_trains_and_generates() {
         let mut rng = Rng::seed_from(93);
-        let cfg = ModelConfig { rope: true, ..ModelConfig::tiny() };
+        let cfg = ModelConfig {
+            rope: true,
+            ..ModelConfig::tiny()
+        };
         let mut m = Transformer::new(cfg, &mut rng);
         // The position table is out of the graph: param count excludes it.
         assert_eq!(m.num_params() as u128, cfg.count_params());
@@ -600,7 +624,12 @@ mod tests {
             m.train_batch(&tokens, &targets, 2, 8);
         }
         let last = m.train_batch(&tokens, &targets, 2, 8);
-        assert!(last.ce_loss < first.ce_loss * 0.5, "{} -> {}", first.ce_loss, last.ce_loss);
+        assert!(
+            last.ce_loss < first.ce_loss * 0.5,
+            "{} -> {}",
+            first.ce_loss,
+            last.ce_loss
+        );
         // Cached and recompute decoding agree under RoPE too.
         let a = m.generate(&[1, 2], 5);
         let b = m.generate_cached(&[1, 2], 5);
@@ -610,7 +639,11 @@ mod tests {
     #[test]
     fn two_level_router_model_trains() {
         let mut rng = Rng::seed_from(90);
-        let cfg = ModelConfig { n_experts: 8, router_groups: 2, ..ModelConfig::tiny() };
+        let cfg = ModelConfig {
+            n_experts: 8,
+            router_groups: 2,
+            ..ModelConfig::tiny()
+        };
         let mut m = Transformer::new(cfg, &mut rng);
         // Param-count formula covers the extra group projection.
         assert_eq!(m.num_params() as u128, cfg.count_params());
@@ -680,13 +713,15 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let mut m = Transformer::new(cfg, &mut rng);
         let mut data_rng = Rng::seed_from(89);
-        for _ in 0..150 {
+        for it in 0..400 {
             let tokens: Vec<usize> = (0..16).map(|_| data_rng.below(cfg.vocab)).collect();
             let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
             m.train_batch(&tokens, &targets, 2, 8);
+            // Step decay keeps late training stable across init seeds.
+            let lr = if it < 200 { 0.3 } else { 0.1 };
             m.visit_params(&mut |p| {
                 let g = p.grad.clone();
-                p.value.axpy(-0.3, &g);
+                p.value.axpy(-lr, &g);
             });
             m.zero_grad();
         }
@@ -699,12 +734,18 @@ mod tests {
             .zip(&tokens)
             .filter(|(&p, &t)| p == (t + 1) % cfg.vocab)
             .count();
-        assert!(correct >= 14, "only {correct}/16 next-token predictions correct");
+        assert!(
+            correct >= 14,
+            "only {correct}/16 next-token predictions correct"
+        );
         // Greedy continuation from an in-distribution prompt mostly follows
         // the successor chain (compounding errors allowed at the tail).
         let out = m.generate(&[3, 4, 5, 6], 4);
         assert_eq!(&out[..4], &[3, 4, 5, 6]);
-        let follow = out.windows(2).filter(|w| w[1] == (w[0] + 1) % cfg.vocab).count();
+        let follow = out
+            .windows(2)
+            .filter(|w| w[1] == (w[0] + 1) % cfg.vocab)
+            .count();
         assert!(follow >= 5, "chain broke early: {out:?}");
     }
 

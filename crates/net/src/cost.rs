@@ -100,9 +100,8 @@ impl CollectiveCost {
         let s = self.s().min(n as f64);
         let local_steps = s - 1.0;
         let chunk_local = bytes as f64 / s;
-        let t_local = 2.0
-            * local_steps
-            * (self.alpha_intra() + chunk_local / self.machine.network.intra_bw);
+        let t_local =
+            2.0 * local_steps * (self.alpha_intra() + chunk_local / self.machine.network.intra_bw);
 
         let sn = (n as f64 / s).ceil();
         if sn <= 1.0 {
@@ -111,9 +110,8 @@ impl CollectiveCost {
         // Each of the s local ranks owns a shard of bytes/s and runs a ring
         // over S supernode peers concurrently.
         let shard = bytes as f64 / s;
-        let t_cross = 2.0
-            * (sn - 1.0)
-            * (self.alpha_inter() + shard / sn / self.machine.network.inter_bw);
+        let t_cross =
+            2.0 * (sn - 1.0) * (self.alpha_inter() + shard / sn / self.machine.network.inter_bw);
         t_local + t_cross
     }
 
@@ -171,12 +169,7 @@ impl CollectiveCost {
     /// Round-robin placement gives `local_frac ≈ s/n`; topology-aware
     /// placement/gating raises it, shrinking the expensive inter-supernode
     /// phase. Backs the placement ablation (experiment E15).
-    pub fn alltoall_with_locality(
-        &self,
-        n: usize,
-        bytes_per_rank: usize,
-        local_frac: f64,
-    ) -> f64 {
+    pub fn alltoall_with_locality(&self, n: usize, bytes_per_rank: usize, local_frac: f64) -> f64 {
         if n <= 1 {
             return 0.0;
         }
@@ -260,7 +253,10 @@ mod tests {
         let r_small = c.alltoall_hierarchical(96_000, 256) / c.alltoall_pairwise(96_000, 256);
         let r_large =
             c.alltoall_hierarchical(96_000, 1 << 20) / c.alltoall_pairwise(96_000, 1 << 20);
-        assert!(r_small < r_large, "advantage should shrink as messages grow");
+        assert!(
+            r_small < r_large,
+            "advantage should shrink as messages grow"
+        );
         assert!(r_small < 0.05);
     }
 
@@ -287,17 +283,12 @@ mod tests {
     fn recursive_doubling_wins_for_tiny_buffers_loses_for_big() {
         let c = cc(96_000);
         // 4-byte flag: log(n) α beats 2(n-1) α by orders of magnitude.
-        assert!(
-            c.allreduce_recursive_doubling(96_000, 4) < c.allreduce_ring(96_000, 4) / 100.0
-        );
-        assert!(
-            c.allreduce_recursive_doubling(96_000, 4) < c.allreduce_hierarchical(96_000, 4)
-        );
+        assert!(c.allreduce_recursive_doubling(96_000, 4) < c.allreduce_ring(96_000, 4) / 100.0);
+        assert!(c.allreduce_recursive_doubling(96_000, 4) < c.allreduce_hierarchical(96_000, 4));
         // 1 GiB of gradients: full-buffer rounds are hopeless.
         let big = 1 << 30;
         assert!(
-            c.allreduce_recursive_doubling(96_000, big)
-                > c.allreduce_hierarchical(96_000, big)
+            c.allreduce_recursive_doubling(96_000, big) > c.allreduce_hierarchical(96_000, big)
         );
     }
 
@@ -307,7 +298,10 @@ mod tests {
         let v = 32 << 20; // 32 MiB per rank total
         let baseline = c.alltoall_with_locality(96_000, v, 256.0 / 96_000.0);
         let local = c.alltoall_with_locality(96_000, v, 0.75);
-        assert!(local < baseline, "locality must help: {local} vs {baseline}");
+        assert!(
+            local < baseline,
+            "locality must help: {local} vs {baseline}"
+        );
         // Fully local traffic never touches the tapered links.
         let all_local = c.alltoall_with_locality(96_000, v, 1.0);
         assert!(all_local < local);

@@ -18,7 +18,9 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("SimTime must be finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime must be finite")
     }
 }
 
@@ -42,7 +44,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -54,7 +61,11 @@ impl<E> EventQueue<E> {
     /// NaN or in the past — discrete-event time never rewinds.
     pub fn schedule(&mut self, at: f64, event: E) {
         assert!(at.is_finite(), "event time must be finite");
-        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: {at} < {}",
+            self.now
+        );
         let idx = self.payloads.len();
         self.payloads.push(Some(event));
         self.heap.push(Reverse((SimTime(at), self.seq, idx)));
@@ -65,7 +76,9 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let Reverse((t, _, idx)) = self.heap.pop()?;
         self.now = t.0;
-        let e = self.payloads[idx].take().expect("event payload already taken");
+        let e = self.payloads[idx]
+            .take()
+            .expect("event payload already taken");
         Some((t.0, e))
     }
 

@@ -85,25 +85,40 @@ impl SimNet {
     pub fn run(&mut self, messages: &[Message]) -> Vec<Completion> {
         let mut queue = EventQueue::new();
         for (i, m) in messages.iter().enumerate() {
-            assert!(m.src < self.machine.nodes && m.dst < self.machine.nodes, "node out of range");
+            assert!(
+                m.src < self.machine.nodes && m.dst < self.machine.nodes,
+                "node out of range"
+            );
             queue.schedule(m.release, i);
         }
 
         let net = self.machine.network;
         let node_bw = net.intra_bw;
         let trunk = self.trunk_bw();
-        let mut out = vec![Completion { start: 0.0, finish: 0.0 }; messages.len()];
+        let mut out = vec![
+            Completion {
+                start: 0.0,
+                finish: 0.0
+            };
+            messages.len()
+        ];
 
         while let Some((t, i)) = queue.pop() {
             let m = &messages[i];
             if m.src == m.dst {
                 // Loopback: free, instantaneous beyond software overhead.
-                out[i] = Completion { start: t, finish: t + net.sw_overhead };
+                out[i] = Completion {
+                    start: t,
+                    finish: t + net.sw_overhead,
+                };
                 continue;
             }
             let bytes = m.bytes as f64;
             let cross = !self.machine.same_supernode(m.src, m.dst);
-            let (ssn, dsn) = (self.machine.supernode_of(m.src), self.machine.supernode_of(m.dst));
+            let (ssn, dsn) = (
+                self.machine.supernode_of(m.src),
+                self.machine.supernode_of(m.dst),
+            );
 
             // Claim every resource on the path at a common start time.
             let mut start = t.max(self.inj_free[m.src]).max(self.ej_free[m.dst]);
@@ -172,7 +187,12 @@ mod tests {
         let m = machine(8);
         let mut net = SimNet::new(m);
         let bytes = 1 << 20;
-        let c = net.run(&[Message { src: 0, dst: 1, bytes, release: 0.0 }]);
+        let c = net.run(&[Message {
+            src: 0,
+            dst: 1,
+            bytes,
+            release: 0.0,
+        }]);
         let expect = m.network.latency(true) + bytes as f64 / m.network.intra_bw;
         assert!((c[0].finish - expect).abs() < 1e-12);
     }
@@ -183,8 +203,14 @@ mod tests {
         let mut net = SimNet::new(m);
         let bytes = 1 << 20;
         // 8 senders, 1 receiver.
-        let msgs: Vec<Message> =
-            (1..9).map(|s| Message { src: s, dst: 0, bytes, release: 0.0 }).collect();
+        let msgs: Vec<Message> = (1..9)
+            .map(|s| Message {
+                src: s,
+                dst: 0,
+                bytes,
+                release: 0.0,
+            })
+            .collect();
         let makespan = net.makespan(&msgs);
         let one = m.network.latency(true) + bytes as f64 / m.network.intra_bw;
         // Must take ~8× a single transfer, not ~1×.
@@ -197,11 +223,20 @@ mod tests {
         let m = machine(8);
         let mut net = SimNet::new(m);
         let bytes = 1 << 20;
-        let msgs: Vec<Message> =
-            (0..4).map(|i| Message { src: 2 * i, dst: 2 * i + 1, bytes, release: 0.0 }).collect();
+        let msgs: Vec<Message> = (0..4)
+            .map(|i| Message {
+                src: 2 * i,
+                dst: 2 * i + 1,
+                bytes,
+                release: 0.0,
+            })
+            .collect();
         let makespan = net.makespan(&msgs);
         let one = m.network.latency(true) + bytes as f64 / m.network.intra_bw;
-        assert!((makespan - one).abs() < 1e-9, "parallel pairs should not serialize");
+        assert!(
+            (makespan - one).abs() < 1e-9,
+            "parallel pairs should not serialize"
+        );
     }
 
     #[test]
@@ -211,13 +246,22 @@ mod tests {
         let m = machine(512);
         let mut net = SimNet::new(m);
         let bytes = 4 << 20;
-        let msgs: Vec<Message> =
-            (0..256).map(|i| Message { src: i, dst: 256 + i, bytes, release: 0.0 }).collect();
+        let msgs: Vec<Message> = (0..256)
+            .map(|i| Message {
+                src: i,
+                dst: 256 + i,
+                bytes,
+                release: 0.0,
+            })
+            .collect();
         let makespan = net.makespan(&msgs);
         // Aggregate trunk moves 256×4 MiB at 256×inter_bw → bytes/inter_bw
         // per node effectively.
         let expect = bytes as f64 / m.network.inter_bw;
-        assert!(makespan > 0.8 * expect, "makespan {makespan} vs trunk-bound {expect}");
+        assert!(
+            makespan > 0.8 * expect,
+            "makespan {makespan} vs trunk-bound {expect}"
+        );
         // And far slower than if every node had full injection bandwidth.
         assert!(makespan > 2.0 * (bytes as f64 / m.network.intra_bw));
     }
@@ -227,7 +271,12 @@ mod tests {
         let m = machine(512);
         let mut net = SimNet::new(m);
         let bytes = 4 << 20;
-        let c = net.run(&[Message { src: 0, dst: 300, bytes, release: 0.0 }]);
+        let c = net.run(&[Message {
+            src: 0,
+            dst: 300,
+            bytes,
+            release: 0.0,
+        }]);
         // Alone on the trunk, the node port is the bottleneck.
         let expect = m.network.latency(false) + bytes as f64 / m.network.intra_bw;
         assert!((c[0].finish - expect).abs() < 1e-9);
@@ -237,7 +286,12 @@ mod tests {
     fn release_times_are_respected() {
         let m = machine(4);
         let mut net = SimNet::new(m);
-        let c = net.run(&[Message { src: 0, dst: 1, bytes: 1024, release: 1.0 }]);
+        let c = net.run(&[Message {
+            src: 0,
+            dst: 1,
+            bytes: 1024,
+            release: 1.0,
+        }]);
         assert!(c[0].start >= 1.0);
     }
 
@@ -245,7 +299,12 @@ mod tests {
     fn loopback_is_free() {
         let m = machine(4);
         let mut net = SimNet::new(m);
-        let c = net.run(&[Message { src: 2, dst: 2, bytes: 1 << 30, release: 0.0 }]);
+        let c = net.run(&[Message {
+            src: 2,
+            dst: 2,
+            bytes: 1 << 30,
+            release: 0.0,
+        }]);
         assert!(c[0].finish < 1e-5);
     }
 
@@ -256,8 +315,14 @@ mod tests {
         let m = machine(512);
         let mut net = SimNet::new(m);
         let bytes = 4 << 20;
-        let msgs: Vec<Message> =
-            (0..256).map(|i| Message { src: i, dst: 256 + i, bytes, release: 0.0 }).collect();
+        let msgs: Vec<Message> = (0..256)
+            .map(|i| Message {
+                src: i,
+                dst: 256 + i,
+                bytes,
+                release: 0.0,
+            })
+            .collect();
         let makespan = net.makespan(&msgs);
         let u = net.uplink_utilization(0, makespan);
         // The makespan includes the final port-drain tail, so a fully
@@ -265,8 +330,12 @@ mod tests {
         assert!(u > 0.75, "saturated uplink utilization {u}");
         // One lonely message: utilization is far below 1.
         net.reset();
-        let makespan =
-            net.makespan(&[Message { src: 0, dst: 300, bytes, release: 0.0 }]);
+        let makespan = net.makespan(&[Message {
+            src: 0,
+            dst: 300,
+            bytes,
+            release: 0.0,
+        }]);
         let u = net.uplink_utilization(0, makespan);
         assert!(u < 0.5, "sparse uplink utilization {u}");
         assert!(net.injection_utilization(makespan) < 0.1);
@@ -276,7 +345,12 @@ mod tests {
     fn reset_clears_state() {
         let m = machine(4);
         let mut net = SimNet::new(m);
-        let msg = Message { src: 0, dst: 1, bytes: 1 << 20, release: 0.0 };
+        let msg = Message {
+            src: 0,
+            dst: 1,
+            bytes: 1 << 20,
+            release: 0.0,
+        };
         let a = net.makespan(&[msg]);
         net.reset();
         let b = net.makespan(&[msg]);

@@ -34,7 +34,13 @@ pub struct Adafactor {
 
 impl Adafactor {
     pub fn new(lr: f32) -> Adafactor {
-        Adafactor { lr, clip_threshold: 1.0, eps: 1e-30, states: Vec::new(), t: 0 }
+        Adafactor {
+            lr,
+            clip_threshold: 1.0,
+            eps: 1e-30,
+            states: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Bytes of optimizer state currently held.
@@ -79,9 +85,11 @@ impl Adafactor {
                     let (n, m) = (shape[0], shape[1]);
                     // Update row/col EMAs of g² (+eps for stability).
                     for r in 0..n {
-                        let mean: f32 =
-                            grad[r * m..(r + 1) * m].iter().map(|g| g * g + eps).sum::<f32>()
-                                / m as f32;
+                        let mean: f32 = grad[r * m..(r + 1) * m]
+                            .iter()
+                            .map(|g| g * g + eps)
+                            .sum::<f32>()
+                            / m as f32;
                         rows[r] = beta2 * rows[r] + (1.0 - beta2) * mean;
                     }
                     for c in 0..m {
@@ -106,7 +114,10 @@ impl Adafactor {
                     for (vv, g) in v.iter_mut().zip(&grad) {
                         *vv = beta2 * *vv + (1.0 - beta2) * (g * g + eps);
                     }
-                    grad.iter().zip(v.iter()).map(|(g, vv)| g / vv.sqrt().max(1e-12)).collect()
+                    grad.iter()
+                        .zip(v.iter())
+                        .map(|(g, vv)| g / vv.sqrt().max(1e-12))
+                        .collect()
                 }
             };
             // RMS clipping of the scaled update.
@@ -142,7 +153,10 @@ mod tests {
     #[test]
     fn descends_a_quadratic_matrix() {
         let mut m = One {
-            p: Param::new("w", Tensor::from_vec(vec![3.0, -2.0, 1.5, -0.5, 2.5, -1.0], &[2, 3])),
+            p: Param::new(
+                "w",
+                Tensor::from_vec(vec![3.0, -2.0, 1.5, -0.5, 2.5, -1.0], &[2, 3]),
+            ),
         };
         let mut opt = Adafactor::new(0.05);
         for _ in 0..300 {
@@ -154,7 +168,9 @@ mod tests {
 
     #[test]
     fn factored_state_is_sublinear() {
-        let mut m = One { p: Param::new("w", Tensor::zeros(&[64, 128])) };
+        let mut m = One {
+            p: Param::new("w", Tensor::zeros(&[64, 128])),
+        };
         let mut opt = Adafactor::new(0.01);
         m.p.grad = Tensor::ones(&[64, 128]);
         opt.step(&mut m);
@@ -166,7 +182,9 @@ mod tests {
 
     #[test]
     fn vectors_use_full_state() {
-        let mut m = One { p: Param::new("b", Tensor::zeros(&[100])) };
+        let mut m = One {
+            p: Param::new("b", Tensor::zeros(&[100])),
+        };
         let mut opt = Adafactor::new(0.01);
         m.p.grad = Tensor::ones(&[100]);
         opt.step(&mut m);
@@ -177,7 +195,9 @@ mod tests {
     fn update_rms_is_clipped() {
         // A huge first gradient: after normalization the update RMS is ~1
         // (clipped), so the parameter moves by about lr per coordinate.
-        let mut m = One { p: Param::new("w", Tensor::zeros(&[4, 4])) };
+        let mut m = One {
+            p: Param::new("w", Tensor::zeros(&[4, 4])),
+        };
         let mut opt = Adafactor::new(0.1);
         m.p.grad = Tensor::full(&[4, 4], 1.0e6);
         opt.step(&mut m);

@@ -15,7 +15,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> AdamConfig {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -32,7 +38,12 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(cfg: AdamConfig) -> Adam {
-        Adam { cfg, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            cfg,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Current step count.
@@ -58,7 +69,11 @@ impl Adam {
                 ms.push(Tensor::zeros(p.value.shape()));
                 vs.push(Tensor::zeros(p.value.shape()));
             }
-            assert_eq!(ms[i].shape(), p.value.shape(), "parameter {i} changed shape");
+            assert_eq!(
+                ms[i].shape(),
+                p.value.shape(),
+                "parameter {i} changed shape"
+            );
             let m = ms[i].as_mut_slice();
             let v = vs[i].as_mut_slice();
             let value = p.value.as_mut_slice();
@@ -93,8 +108,13 @@ mod tests {
 
     #[test]
     fn descends_a_quadratic() {
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![3.0, -2.0, 1.0], &[3])) };
-        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![3.0, -2.0, 1.0], &[3])),
+        };
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
         for _ in 0..200 {
             m.p.grad = m.p.value.clone(); // L = ½‖x‖²
             opt.step(&mut m);
@@ -106,8 +126,13 @@ mod tests {
     #[test]
     fn first_step_moves_by_about_lr() {
         // With bias correction, the very first Adam step is ≈ lr·sign(g).
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![5.0], &[1])) };
-        let mut opt = Adam::new(AdamConfig { lr: 0.01, ..Default::default() });
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![5.0], &[1])),
+        };
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.01,
+            ..Default::default()
+        });
         m.p.grad = Tensor::from_vec(vec![100.0], &[1]);
         opt.step(&mut m);
         assert!((m.p.value.as_slice()[0] - (5.0 - 0.01)).abs() < 1e-4);
@@ -117,9 +142,14 @@ mod tests {
     fn adamw_decay_is_decoupled() {
         // With zero gradient, AdamW still decays weights; Adam-with-L2 would
         // not move (grad = 0 ⇒ m = v = 0 ⇒ update = decay only).
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![2.0], &[1])) };
-        let mut opt =
-            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![2.0], &[1])),
+        };
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..Default::default()
+        });
         opt.step(&mut m);
         let x = m.p.value.as_slice()[0];
         assert!((x - (2.0 - 0.1 * 0.1 * 2.0)).abs() < 1e-6, "x = {x}");
@@ -129,11 +159,19 @@ mod tests {
     fn adapts_per_coordinate_scale() {
         // Two coordinates with gradients of very different magnitude should
         // move at comparable speed under Adam.
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![1.0, 1.0], &[2])) };
-        let mut opt = Adam::new(AdamConfig { lr: 0.01, ..Default::default() });
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0, 1.0], &[2])),
+        };
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.01,
+            ..Default::default()
+        });
         for _ in 0..10 {
             m.p.grad = Tensor::from_vec(
-                vec![1000.0 * m.p.value.as_slice()[0], 0.001 * m.p.value.as_slice()[1]],
+                vec![
+                    1000.0 * m.p.value.as_slice()[0],
+                    0.001 * m.p.value.as_slice()[1],
+                ],
                 &[2],
             );
             opt.step(&mut m);

@@ -50,8 +50,7 @@ mod tests {
         let mut t = with_grads(vec![3.0], vec![4.0]); // norm 5
         let pre = clip_grad_norm(&mut t, 1.0);
         assert!((pre - 5.0).abs() < 1e-6);
-        let post =
-            (t.a.grad.sq_norm() + t.b.grad.sq_norm()).sqrt();
+        let post = (t.a.grad.sq_norm() + t.b.grad.sq_norm()).sqrt();
         assert!((post - 1.0).abs() < 1e-5);
         // Direction is preserved.
         assert!((t.a.grad.as_slice()[0] / t.b.grad.as_slice()[0] - 0.75).abs() < 1e-5);

@@ -148,9 +148,16 @@ mod tests {
 
     #[test]
     fn fp32_step_matches_plain_adam() {
-        let cfg = AdamConfig { lr: 0.1, ..Default::default() };
-        let mut a = One { p: Param::new("x", Tensor::from_vec(vec![1.0, -2.0], &[2])) };
-        let mut b = One { p: Param::new("x", Tensor::from_vec(vec![1.0, -2.0], &[2])) };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        };
+        let mut a = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0, -2.0], &[2])),
+        };
+        let mut b = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0, -2.0], &[2])),
+        };
         let mut plain = Adam::new(cfg);
         let mut mixed = MixedPrecision::new(cfg, DType::F32);
         for _ in 0..5 {
@@ -165,21 +172,31 @@ mod tests {
     #[test]
     fn overflow_skips_and_shrinks_scale() {
         let cfg = AdamConfig::default();
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![1.0], &[1])) };
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0], &[1])),
+        };
         let mut opt = MixedPrecision::new(cfg, DType::F16);
         let s0 = opt.loss_scale();
         m.p.grad = Tensor::from_vec(vec![f32::INFINITY], &[1]);
         assert_eq!(opt.step(&mut m), StepOutcome::SkippedOverflow);
-        assert_eq!(m.p.value.as_slice(), &[1.0], "value must not move on overflow");
+        assert_eq!(
+            m.p.value.as_slice(),
+            &[1.0],
+            "value must not move on overflow"
+        );
         assert!(opt.loss_scale() < s0);
         assert_eq!(opt.skipped_steps, 1);
     }
 
     #[test]
     fn working_weights_carry_half_rounding() {
-        let cfg = AdamConfig { lr: 1e-4, ..Default::default() };
-        let mut m =
-            One { p: Param::new("x", Tensor::from_vec(vec![1.0 + 2.0f32.powi(-12)], &[1])) };
+        let cfg = AdamConfig {
+            lr: 1e-4,
+            ..Default::default()
+        };
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0 + 2.0f32.powi(-12)], &[1])),
+        };
         let mut opt = MixedPrecision::new(cfg, DType::F16);
         opt.quantize_model(&mut m);
         // The working copy is rounded to an f16-representable value…
@@ -196,8 +213,13 @@ mod tests {
         // Updates of ~1e-4 are below BF16 resolution near 1.0 (2⁻⁸); without
         // master weights they would be lost entirely. With masters they
         // accumulate and eventually move the working weight.
-        let cfg = AdamConfig { lr: 1e-4, ..Default::default() };
-        let mut m = One { p: Param::new("x", Tensor::from_vec(vec![1.0], &[1])) };
+        let cfg = AdamConfig {
+            lr: 1e-4,
+            ..Default::default()
+        };
+        let mut m = One {
+            p: Param::new("x", Tensor::from_vec(vec![1.0], &[1])),
+        };
         let mut opt = MixedPrecision::new(cfg, DType::BF16);
         opt.quantize_model(&mut m);
         for _ in 0..100 {
@@ -206,18 +228,28 @@ mod tests {
             m.p.zero_grad();
         }
         // 100 steps × ~1e-4 ≈ 0.01 of motion — visible even after rounding.
-        assert!(m.p.value.as_slice()[0] < 0.9975, "x = {}", m.p.value.as_slice()[0]);
+        assert!(
+            m.p.value.as_slice()[0] < 0.9975,
+            "x = {}",
+            m.p.value.as_slice()[0]
+        );
     }
 
     #[test]
     fn unscaling_restores_gradient_magnitude() {
-        let cfg = AdamConfig { lr: 0.1, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        };
         // Same problem, one run scaled ×1024, one unscaled: identical result.
-        let mut a = One { p: Param::new("x", Tensor::from_vec(vec![4.0], &[1])) };
-        let mut b = One { p: Param::new("x", Tensor::from_vec(vec![4.0], &[1])) };
+        let mut a = One {
+            p: Param::new("x", Tensor::from_vec(vec![4.0], &[1])),
+        };
+        let mut b = One {
+            p: Param::new("x", Tensor::from_vec(vec![4.0], &[1])),
+        };
         let mut oa = MixedPrecision::new(cfg, DType::F32);
-        let mut ob =
-            MixedPrecision::new(cfg, DType::F32).with_scaler(LossScaler::new(1024.0));
+        let mut ob = MixedPrecision::new(cfg, DType::F32).with_scaler(LossScaler::new(1024.0));
         for _ in 0..3 {
             a.p.grad = a.p.value.clone();
             oa.step(&mut a);

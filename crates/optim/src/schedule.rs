@@ -14,9 +14,19 @@ pub enum LrSchedule {
     /// Linear ramp from 0 to `peak` over `warmup`, then flat.
     Warmup { peak: f32, warmup: usize },
     /// Linear ramp, then cosine decay to `floor` at `total`.
-    WarmupCosine { peak: f32, warmup: usize, total: usize, floor: f32 },
+    WarmupCosine {
+        peak: f32,
+        warmup: usize,
+        total: usize,
+        floor: f32,
+    },
     /// Linear ramp, then linear decay to `floor` at `total`.
-    WarmupLinear { peak: f32, warmup: usize, total: usize, floor: f32 },
+    WarmupLinear {
+        peak: f32,
+        warmup: usize,
+        total: usize,
+        floor: f32,
+    },
 }
 
 impl LrSchedule {
@@ -25,7 +35,12 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant(lr) => lr,
             LrSchedule::Warmup { peak, warmup } => warmup_ramp(step, peak, warmup),
-            LrSchedule::WarmupCosine { peak, warmup, total, floor } => {
+            LrSchedule::WarmupCosine {
+                peak,
+                warmup,
+                total,
+                floor,
+            } => {
                 if step < warmup {
                     warmup_ramp(step, peak, warmup)
                 } else {
@@ -33,7 +48,12 @@ impl LrSchedule {
                     floor + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * t).cos())
                 }
             }
-            LrSchedule::WarmupLinear { peak, warmup, total, floor } => {
+            LrSchedule::WarmupLinear {
+                peak,
+                warmup,
+                total,
+                floor,
+            } => {
                 if step < warmup {
                     warmup_ramp(step, peak, warmup)
                 } else {
@@ -74,7 +94,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly_to_peak() {
-        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        let s = LrSchedule::Warmup {
+            peak: 1.0,
+            warmup: 10,
+        };
         assert!((s.at(0) - 0.1).abs() < 1e-6);
         assert!((s.at(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.at(9), 1.0);
@@ -83,7 +106,12 @@ mod tests {
 
     #[test]
     fn cosine_decays_to_floor() {
-        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 10, total: 110, floor: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            warmup: 10,
+            total: 110,
+            floor: 0.1,
+        };
         assert_eq!(s.at(9), 1.0);
         // Midpoint of decay: halfway between peak and floor.
         assert!((s.at(60) - 0.55).abs() < 0.01);
@@ -93,7 +121,12 @@ mod tests {
 
     #[test]
     fn linear_decays_to_floor() {
-        let s = LrSchedule::WarmupLinear { peak: 1.0, warmup: 0, total: 100, floor: 0.0 };
+        let s = LrSchedule::WarmupLinear {
+            peak: 1.0,
+            warmup: 0,
+            total: 100,
+            floor: 0.0,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!((s.at(50) - 0.5).abs() < 1e-6);
         assert!(s.at(100).abs() < 1e-6);
@@ -101,20 +134,39 @@ mod tests {
 
     #[test]
     fn schedule_is_monotone_through_phases() {
-        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 20, total: 200, floor: 0.0 };
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            warmup: 20,
+            total: 200,
+            floor: 0.0,
+        };
         for step in 0..19 {
-            assert!(s.at(step) <= s.at(step + 1) + 1e-7, "warmup must not decrease");
+            assert!(
+                s.at(step) <= s.at(step + 1) + 1e-7,
+                "warmup must not decrease"
+            );
         }
         for step in 20..199 {
-            assert!(s.at(step) + 1e-7 >= s.at(step + 1), "decay must not increase");
+            assert!(
+                s.at(step) + 1e-7 >= s.at(step + 1),
+                "decay must not increase"
+            );
         }
     }
 
     #[test]
     fn zero_warmup_is_safe() {
-        let s = LrSchedule::Warmup { peak: 0.5, warmup: 0 };
+        let s = LrSchedule::Warmup {
+            peak: 0.5,
+            warmup: 0,
+        };
         assert_eq!(s.at(0), 0.5);
-        let s = LrSchedule::WarmupCosine { peak: 1.0, warmup: 0, total: 0, floor: 0.2 };
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            warmup: 0,
+            total: 0,
+            floor: 0.2,
+        };
         assert_eq!(s.at(0), 0.2); // degenerate: everything is the floor
     }
 }

@@ -13,11 +13,21 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Sgd {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
-        Sgd { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update from the accumulated gradients.
@@ -66,7 +76,9 @@ mod tests {
     }
 
     fn quad() -> One {
-        One { p: Param::new("x", Tensor::from_vec(vec![10.0, -4.0], &[2])) }
+        One {
+            p: Param::new("x", Tensor::from_vec(vec![10.0, -4.0], &[2])),
+        }
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod zero;
 
 pub use model_dist::{DistBlock, DistFfn, DistTransformer};
 pub use moe_dist::{A2aKind, DistMoELayer};
-pub use sync::{check_replica_consistency, sync_grads};
+pub use sync::{backward_and_sync_overlapped, check_replica_consistency, sync_grads, SyncStats};
 pub use zero::ZeroAdam;

@@ -59,15 +59,39 @@ impl DistBlock {
     }
 
     pub fn backward<C: Communicator>(&mut self, dy: &Tensor, comm: &C) -> Tensor {
+        self.backward_with_grad_ready(dy, comm, &mut |_| {})
+    }
+
+    /// Backward that fires `on_ready` on each replicated parameter as soon
+    /// as its gradient is final — the hook the overlapped bucketed
+    /// all-reduce hangs off. Expert parameters are *not* announced (they
+    /// are sharded, never all-reduced).
+    pub fn backward_with_grad_ready<C: Communicator>(
+        &mut self,
+        dy: &Tensor,
+        comm: &C,
+        on_ready: &mut dyn FnMut(&mut Param),
+    ) -> Tensor {
         let df = match &mut self.ffn {
-            DistFfn::Dense(ffn) => ffn.backward(dy),
-            DistFfn::MoE(moe) => moe.backward(dy, comm),
+            DistFfn::Dense(ffn) => {
+                let d = ffn.backward(dy);
+                ffn.visit_params(on_ready);
+                d
+            }
+            DistFfn::MoE(moe) => {
+                let d = moe.backward(dy, comm);
+                moe.visit_gate_params(on_ready);
+                d
+            }
         };
         let mut dh = self.ln2.backward(&df);
+        self.ln2.visit_params(on_ready);
         dh.add_assign(dy);
 
         let da = self.attn.backward(&dh);
+        self.attn.visit_params(on_ready);
         let mut dx = self.ln1.backward(&da);
+        self.ln1.visit_params(on_ready);
         dx.add_assign(&dh);
         dx
     }
@@ -96,7 +120,12 @@ pub struct DistTransformer {
 impl DistTransformer {
     /// Shard a fully materialized local model: dense layers are cloned
     /// (replicated), experts are taken for `expert % nranks == rank`.
-    pub fn from_local(local: &Transformer, rank: usize, nranks: usize, a2a: A2aKind) -> DistTransformer {
+    pub fn from_local(
+        local: &Transformer,
+        rank: usize,
+        nranks: usize,
+        a2a: A2aKind,
+    ) -> DistTransformer {
         assert!(rank < nranks);
         let blocks = local
             .blocks
@@ -113,8 +142,10 @@ impl DistTransformer {
                         DistFfn::MoE(DistMoELayer::new(
                             m.router
                                 .as_flat()
-                                .expect("MoDa runtime requires the flat gate; the two-level \
-                                         router is a single-rank feature")
+                                .expect(
+                                    "MoDa runtime requires the flat gate; the two-level \
+                                         router is a single-rank feature",
+                                )
                                 .clone(),
                             n_experts,
                             shard,
@@ -150,7 +181,13 @@ impl DistTransformer {
 
     /// Build directly from a seed (all ranks derive identical dense weights
     /// and consistent expert shards).
-    pub fn new(cfg: ModelConfig, seed: u64, rank: usize, nranks: usize, a2a: A2aKind) -> DistTransformer {
+    pub fn new(
+        cfg: ModelConfig,
+        seed: u64,
+        rank: usize,
+        nranks: usize,
+        a2a: A2aKind,
+    ) -> DistTransformer {
         let mut rng = Rng::seed_from(seed);
         let local = Transformer::new(cfg, &mut rng);
         Self::from_local(&local, rank, nranks, a2a)
@@ -191,14 +228,32 @@ impl DistTransformer {
 
     /// Backward from `dlogits`. Collective.
     pub fn backward<C: Communicator>(&mut self, dlogits: &Tensor, comm: &C) {
+        self.backward_with_grad_ready(dlogits, comm, &mut |_| {});
+    }
+
+    /// Backward that announces each replicated parameter to `on_ready` the
+    /// moment its gradient is final, in reverse visit order (head first,
+    /// embeddings last). [`Self::visit_dense_params_ready_order`] replays
+    /// exactly this sequence, which is what lets the overlapped sync
+    /// scatter reduced buckets back without bookkeeping per parameter.
+    pub fn backward_with_grad_ready<C: Communicator>(
+        &mut self,
+        dlogits: &Tensor,
+        comm: &C,
+        on_ready: &mut dyn FnMut(&mut Param),
+    ) {
         let dx = self.head.backward(dlogits);
+        self.head.visit_params(on_ready);
         let mut dx = self.ln_f.backward(&dx);
+        self.ln_f.visit_params(on_ready);
         for b in self.blocks.iter_mut().rev() {
-            dx = b.backward(&dx, comm);
+            dx = b.backward_with_grad_ready(&dx, comm, on_ready);
         }
         self.tok.backward(&dx);
+        self.tok.visit_params(on_ready);
         if !self.cfg.rope {
             self.pos.backward(&dx);
+            self.pos.visit_params(on_ready);
         }
     }
 
@@ -222,7 +277,11 @@ impl DistTransformer {
         let (ce, dlogits) = cross_entropy(&logits, targets);
         let aux = self.aux_loss();
         self.backward(&dlogits, comm);
-        StepStats { ce_loss: ce, aux_loss: aux, tokens: tokens.len() }
+        StepStats {
+            ce_loss: ce,
+            aux_loss: aux,
+            tokens: tokens.len(),
+        }
     }
 
     /// Visit the replicated (dense) parameters only — the set the
@@ -243,6 +302,28 @@ impl DistTransformer {
         }
         self.ln_f.visit_params(f);
         self.head.visit_params(f);
+    }
+
+    /// Visit the replicated parameters in **gradient-ready order** — the
+    /// order [`Self::backward_with_grad_ready`] announces them (reverse of
+    /// [`Self::visit_dense_params`] at the unit level). Identical on every
+    /// rank.
+    pub fn visit_dense_params_ready_order(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.head.visit_params(f);
+        self.ln_f.visit_params(f);
+        for b in self.blocks.iter_mut().rev() {
+            match &mut b.ffn {
+                DistFfn::Dense(ffn) => ffn.visit_params(f),
+                DistFfn::MoE(moe) => moe.visit_gate_params(f),
+            }
+            b.ln2.visit_params(f);
+            b.attn.visit_params(f);
+            b.ln1.visit_params(f);
+        }
+        self.tok.visit_params(f);
+        if !self.cfg.rope {
+            self.pos.visit_params(f);
+        }
     }
 
     /// Visit the sharded expert parameters only.

@@ -79,7 +79,15 @@ impl DistMoELayer {
         assert_eq!(gate.n_experts(), n_experts);
         let expected = (0..n_experts).filter(|e| e % nranks == rank).count();
         assert_eq!(local_experts.len(), expected, "wrong expert shard size");
-        DistMoELayer { gate, n_experts, local_experts, rank, nranks, a2a, cache: None }
+        DistMoELayer {
+            gate,
+            n_experts,
+            local_experts,
+            rank,
+            nranks,
+            a2a,
+            cache: None,
+        }
     }
 
     /// Owner rank of a global expert.
@@ -94,7 +102,10 @@ impl DistMoELayer {
 
     /// Auxiliary balance loss of the last forward.
     pub fn last_aux_loss(&self) -> f32 {
-        self.cache.as_ref().map(|c| c.routing.aux_loss).unwrap_or(0.0)
+        self.cache
+            .as_ref()
+            .map(|c| c.routing.aux_loss)
+            .unwrap_or(0.0)
     }
 
     /// Forward over this rank's `[n_local, d]` micro-batch. Collective:
@@ -112,7 +123,11 @@ impl DistMoELayer {
         }
         let hdr_parts: Vec<Vec<u64>> = send_idx
             .iter()
-            .map(|idxs| idxs.iter().map(|&i| routing.assignments[i].expert as u64).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| routing.assignments[i].expert as u64)
+                    .collect()
+            })
             .collect();
         let data_parts: Vec<Vec<f32>> = send_idx
             .iter()
@@ -156,12 +171,12 @@ impl DistMoELayer {
 
         // ---- Combine: return results to their source ranks, in the
         // position order of the original dispatch.
-        let mut reply: Vec<Vec<f32>> =
-            (0..r).map(|src| vec![0.0f32; recv_counts[src] * d]).collect();
+        let mut reply: Vec<Vec<f32>> = (0..r)
+            .map(|src| vec![0.0f32; recv_counts[src] * d])
+            .collect();
         for (slot, orig) in origin.iter().enumerate() {
             for (row, &(src, pos)) in orig.iter().enumerate() {
-                reply[src][pos * d..(pos + 1) * d]
-                    .copy_from_slice(slot_outputs[slot].row(row));
+                reply[src][pos * d..(pos + 1) * d].copy_from_slice(slot_outputs[slot].row(row));
             }
         }
         let replies = self.a2a.run(comm, reply);
@@ -181,15 +196,24 @@ impl DistMoELayer {
             }
         }
 
-        self.cache =
-            Some(Cache { routing, send_idx, origin, recv_counts, assign_out, x_shape: x.shape().to_vec() });
+        self.cache = Some(Cache {
+            routing,
+            send_idx,
+            origin,
+            recv_counts,
+            assign_out,
+            x_shape: x.shape().to_vec(),
+        });
         y
     }
 
     /// Backward over this rank's `[n_local, d]` upstream gradient.
     /// Collective, mirroring the forward exchanges.
     pub fn backward<C: Communicator>(&mut self, dy: &Tensor, comm: &C) -> Tensor {
-        let cache = self.cache.take().expect("DistMoELayer::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("DistMoELayer::backward before forward");
         let d = dy.cols();
         let r = comm.size();
         assert_eq!(dy.shape(), &cache.x_shape[..]);
@@ -206,8 +230,11 @@ impl DistMoELayer {
                 for &ai in idxs {
                     let a = routing.assignments[ai];
                     let dyr = dy.row(a.token);
-                    dweights[ai] =
-                        dyr.iter().zip(cache.assign_out.row(ai)).map(|(g, v)| g * v).sum();
+                    dweights[ai] = dyr
+                        .iter()
+                        .zip(cache.assign_out.row(ai))
+                        .map(|(g, v)| g * v)
+                        .sum();
                     buf.extend(dyr.iter().map(|&g| a.weight * g));
                 }
                 buf
@@ -216,12 +243,14 @@ impl DistMoELayer {
         let dys = self.a2a.run(comm, dsend);
 
         // ---- Expert backward, rows in forward order.
-        let mut dreply: Vec<Vec<f32>> =
-            (0..r).map(|src| vec![0.0f32; cache.recv_counts[src] * d]).collect();
+        let mut dreply: Vec<Vec<f32>> = (0..r)
+            .map(|src| vec![0.0f32; cache.recv_counts[src] * d])
+            .collect();
         for (slot, orig) in cache.origin.iter().enumerate() {
             let mut dye = Tensor::zeros(&[orig.len(), d]);
             for (row, &(src, pos)) in orig.iter().enumerate() {
-                dye.row_mut(row).copy_from_slice(&dys[src][pos * d..(pos + 1) * d]);
+                dye.row_mut(row)
+                    .copy_from_slice(&dys[src][pos * d..(pos + 1) * d]);
             }
             let dxe = self.local_experts[slot].backward(&dye);
             for (row, &(src, pos)) in orig.iter().enumerate() {

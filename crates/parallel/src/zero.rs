@@ -49,7 +49,14 @@ fn bound(len: usize, n: usize, i: usize) -> usize {
 
 impl ZeroAdam {
     pub fn new(cfg: AdamConfig) -> ZeroAdam {
-        ZeroAdam { cfg, t: 0, master: Vec::new(), m: Vec::new(), v: Vec::new(), expert_adam: Adam::new(cfg) }
+        ZeroAdam {
+            cfg,
+            t: 0,
+            master: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+            expert_adam: Adam::new(cfg),
+        }
     }
 
     /// Bytes of dense optimizer state this rank holds (after the first
@@ -91,14 +98,17 @@ impl ZeroAdam {
             self.m = vec![0.0; hi - lo];
             self.v = vec![0.0; hi - lo];
         }
-        assert_eq!(shard_grad.len(), self.master.len(), "shard size changed between steps");
+        assert_eq!(
+            shard_grad.len(),
+            self.master.len(),
+            "shard size changed between steps"
+        );
 
         self.t += 1;
         let c = self.cfg;
         let bc1 = 1.0 - c.beta1.powi(self.t);
         let bc2 = 1.0 - c.beta2.powi(self.t);
-        for j in 0..self.master.len() {
-            let g = shard_grad[j];
+        for (j, &g) in shard_grad.iter().enumerate().take(self.master.len()) {
             self.m[j] = c.beta1 * self.m[j] + (1.0 - c.beta1) * g;
             self.v[j] = c.beta2 * self.v[j] + (1.0 - c.beta2) * g * g;
             let mhat = self.m[j] / bc1;
@@ -168,7 +178,10 @@ mod tests {
         run_ranks_map(nranks, move |c| {
             let mut model =
                 DistTransformer::new(model_cfg, 31, c.rank(), nranks, A2aKind::Pairwise);
-            let acfg = AdamConfig { lr: 1e-2, ..Default::default() };
+            let acfg = AdamConfig {
+                lr: 1e-2,
+                ..Default::default()
+            };
             let mut zopt = ZeroAdam::new(acfg);
             let mut full = Adam::new(acfg);
             for step in 0..steps {
@@ -205,9 +218,15 @@ mod tests {
                 .zip(zd)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f32, f32::max);
-            assert!(dense_max < 1e-4, "rank {rank}: dense diverged by {dense_max}");
-            let exp_max =
-                re.iter().zip(ze).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(
+                dense_max < 1e-4,
+                "rank {rank}: dense diverged by {dense_max}"
+            );
+            let exp_max = re
+                .iter()
+                .zip(ze)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
             assert!(exp_max < 1e-4, "rank {rank}: experts diverged by {exp_max}");
         }
     }

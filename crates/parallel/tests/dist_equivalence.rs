@@ -12,8 +12,8 @@ use bagualu_model::config::ModelConfig;
 use bagualu_model::moe::GateKind;
 use bagualu_model::param::HasParams;
 use bagualu_model::transformer::Transformer;
-use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::model_dist::DistTransformer;
+use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::sync::{check_replica_consistency, sync_grads};
 use bagualu_tensor::rng::Rng;
 use bagualu_tensor::Tensor;
@@ -39,7 +39,12 @@ fn cfg() -> ModelConfig {
     }
 }
 
-fn global_batch(cfg: &ModelConfig, nranks: usize, per_rank: usize, seq: usize) -> (Vec<usize>, Vec<usize>) {
+fn global_batch(
+    cfg: &ModelConfig,
+    nranks: usize,
+    per_rank: usize,
+    seq: usize,
+) -> (Vec<usize>, Vec<usize>) {
     let mut rng = Rng::seed_from(99);
     let n = nranks * per_rank * seq;
     let tokens: Vec<usize> = (0..n).map(|_| rng.below(cfg.vocab)).collect();
@@ -69,10 +74,8 @@ fn forward_matches_local_model() {
         let mut dist = DistTransformer::from_local(local_ref, c.rank(), nranks, A2aKind::Pairwise);
         let shard = rank_shard(tokens_ref, c.rank(), per_rank, seq);
         let logits = dist.forward(&shard, per_rank, seq, &c);
-        let expect_shard = expect.slice_rows(
-            c.rank() * per_rank * seq,
-            (c.rank() + 1) * per_rank * seq,
-        );
+        let expect_shard =
+            expect.slice_rows(c.rank() * per_rank * seq, (c.rank() + 1) * per_rank * seq);
         assert!(
             logits.approx_eq(&expect_shard, 1e-4),
             "rank {} logits diverge from local oracle",
@@ -128,8 +131,7 @@ fn synced_gradients_match_local_model() {
     local.visit_params(&mut |p| oracle.push((p.name.clone(), p.grad.clone())));
     let oracle_map: std::collections::HashMap<String, Tensor> = oracle.into_iter().collect();
 
-    let (tokens_ref, targets_ref, local_ref, oracle_ref) =
-        (&tokens, &targets, &local, &oracle_map);
+    let (tokens_ref, targets_ref, local_ref, oracle_ref) = (&tokens, &targets, &local, &oracle_map);
     run_ranks(nranks, move |c| {
         let mut dist = DistTransformer::from_local(local_ref, c.rank(), nranks, A2aKind::Pairwise);
         let tok = rank_shard(tokens_ref, c.rank(), per_rank, seq);

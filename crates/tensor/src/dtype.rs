@@ -71,7 +71,7 @@ impl DType {
     pub fn min_positive_normal(self) -> f32 {
         match self {
             DType::F32 => f32::MIN_POSITIVE,
-            DType::F16 => 6.103_515_625e-5, // 2^-14
+            DType::F16 => 6.103_515_6e-5, // rounds to exactly 2^-14 in f32
             DType::BF16 => f32::MIN_POSITIVE,
         }
     }
@@ -109,7 +109,11 @@ impl F16 {
 
         if exp == 0xFF {
             // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
-            let payload = if mant != 0 { 0x0200 | (mant >> 13) as u16 & 0x03FF | 0x0001 } else { 0 };
+            let payload = if mant != 0 {
+                0x0200 | (mant >> 13) as u16 & 0x03FF | 0x0001
+            } else {
+                0
+            };
             return F16(sign | 0x7C00 | payload);
         }
 

@@ -50,7 +50,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     };
 
     if m * n >= PAR_THRESHOLD {
-        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
     } else {
         c.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
     }
@@ -91,7 +94,10 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     };
 
     if m * n >= PAR_THRESHOLD {
-        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
     } else {
         c.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
     }
@@ -111,7 +117,9 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (av, bv) = (a.as_slice(), b.as_slice());
 
     // Panel of output rows per task: big enough to amortize streaming B.
-    let panel = 64.max(k / (rayon::current_num_threads().max(1) * 4)).min(k.max(1));
+    let panel = 64
+        .max(k / (rayon::current_num_threads().max(1) * 4))
+        .min(k.max(1));
 
     let body = |(p, cpanel): (usize, &mut [f32])| {
         let r0 = p * panel;
@@ -133,9 +141,15 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     };
 
     if k * n >= PAR_THRESHOLD {
-        c.as_mut_slice().par_chunks_mut(panel * n).enumerate().for_each(body);
+        c.as_mut_slice()
+            .par_chunks_mut(panel * n)
+            .enumerate()
+            .for_each(body);
     } else {
-        c.as_mut_slice().chunks_mut(panel * n).enumerate().for_each(body);
+        c.as_mut_slice()
+            .chunks_mut(panel * n)
+            .enumerate()
+            .for_each(body);
     }
     c
 }
@@ -179,7 +193,10 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (3, 7, 5), (17, 33, 9), (64, 128, 96)] {
             let a = Tensor::randn(&[m, k], 1.0, &mut rng);
             let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-            assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4), "{m}x{k}x{n}");
+            assert!(
+                matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4),
+                "{m}x{k}x{n}"
+            );
         }
     }
 

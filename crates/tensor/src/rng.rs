@@ -19,7 +19,10 @@ pub struct Rng {
 impl Rng {
     /// Construct from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Rng {
-        Rng { inner: rand::rngs::StdRng::seed_from_u64(seed), spare_normal: None }
+        Rng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derive a per-rank stream from a global seed. Streams for distinct
@@ -226,7 +229,11 @@ mod tests {
             }
         }
         // With s=1.2 the top-5 ranks carry well over a third of the mass.
-        assert!(head as f64 / n as f64 > 0.35, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.35,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -32,13 +32,19 @@ impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![value; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor of ones.
@@ -50,8 +56,17 @@ impl Tensor {
     /// the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "data length {} != shape {:?}", data.len(), shape);
-        Tensor { data, shape: shape.to_vec() }
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Standard-normal initialization scaled by `std`.
@@ -61,7 +76,10 @@ impl Tensor {
         for _ in 0..n {
             data.push(rng.normal() * std);
         }
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Uniform initialization on `[lo, hi)`.
@@ -71,7 +89,10 @@ impl Tensor {
         for _ in 0..n {
             data.push(lo + (hi - lo) * rng.uniform());
         }
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Xavier/Glorot-style initialization for a `[fan_in, fan_out]` weight.
@@ -109,14 +130,24 @@ impl Tensor {
     /// Number of rows of a 2-D tensor.
     #[inline]
     pub fn rows(&self) -> usize {
-        assert_eq!(self.ndim(), 2, "rows() needs a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "rows() needs a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
     /// Number of columns of a 2-D tensor.
     #[inline]
     pub fn cols(&self) -> usize {
-        assert_eq!(self.ndim(), 2, "cols() needs a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "cols() needs a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -168,7 +199,13 @@ impl Tensor {
     /// Reinterpret with a new shape of the same element count.
     pub fn reshape(mut self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }

@@ -23,7 +23,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let nodes: usize = args.get(1).map(|s| s.parse().expect("node count")).unwrap_or(96_000);
+    let nodes: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("node count"))
+        .unwrap_or(96_000);
 
     println!(
         "model: {} parameters ({} experts × {} MoE blocks)",
@@ -34,7 +37,10 @@ fn main() {
     println!("machine: {nodes} nodes = {} cores\n", nodes * 390);
 
     for (label, input) in [
-        ("hierarchical collectives, half precision", PerfInput::sunway_nodes(model, nodes)),
+        (
+            "hierarchical collectives, half precision",
+            PerfInput::sunway_nodes(model, nodes),
+        ),
         (
             "naive collectives, half precision",
             PerfInput {
@@ -45,7 +51,10 @@ fn main() {
         ),
         (
             "hierarchical collectives, fp32",
-            PerfInput { precision: Precision::FP32, ..PerfInput::sunway_nodes(model, nodes) },
+            PerfInput {
+                precision: Precision::FP32,
+                ..PerfInput::sunway_nodes(model, nodes)
+            },
         ),
     ] {
         let p = project(&input);

@@ -9,7 +9,7 @@
 use bagualu::data::TokenDistribution;
 use bagualu::model::config::ModelConfig;
 use bagualu::model::moe::GateKind;
-use bagualu::trainer::{TrainConfig, Trainer, TrainReport};
+use bagualu::trainer::{TrainConfig, TrainReport, Trainer};
 
 const STEPS: usize = 120;
 

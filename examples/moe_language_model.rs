@@ -29,7 +29,10 @@ const SEQ: usize = 8;
 const STEPS: usize = 150;
 
 fn main() {
-    let model_cfg = ModelConfig { n_experts: 8, ..ModelConfig::tiny() };
+    let model_cfg = ModelConfig {
+        n_experts: 8,
+        ..ModelConfig::tiny()
+    };
     let task = SyntheticLM::new(model_cfg.vocab, TokenDistribution::Zipf(0.8), 77);
     let ckpt_dir = std::env::temp_dir().join(format!("bagualu-example-{}", std::process::id()));
     std::fs::create_dir_all(&ckpt_dir).unwrap();
@@ -38,10 +41,12 @@ fn main() {
 
     let finals = run_ranks_map(NRANKS, move |comm| {
         let rank = comm.rank();
-        let mut model =
-            DistTransformer::new(model_cfg, 2024, rank, NRANKS, A2aKind::Pairwise);
+        let mut model = DistTransformer::new(model_cfg, 2024, rank, NRANKS, A2aKind::Pairwise);
         let mut opt = MixedPrecision::new(
-            AdamConfig { lr: 1e-2, ..Default::default() },
+            AdamConfig {
+                lr: 1e-2,
+                ..Default::default()
+            },
             DType::BF16,
         );
         opt.quantize_model(&mut model);
@@ -59,7 +64,10 @@ fn main() {
             model.zero_grad();
             last_loss = loss;
             if rank == 0 && step % 25 == 0 {
-                println!("step {step:>4}: loss {loss:.4} (ppl {:.2})", perplexity(loss));
+                println!(
+                    "step {step:>4}: loss {loss:.4} (ppl {:.2})",
+                    perplexity(loss)
+                );
             }
         }
 

@@ -24,12 +24,12 @@ fn main() {
 
     let cfg = TrainConfig {
         model,
-        nranks: 4,                 // data-parallel × expert-parallel width
-        batch_per_rank: 4,         // sequences per rank per step
+        nranks: 4,         // data-parallel × expert-parallel width
+        batch_per_rank: 4, // sequences per rank per step
         seq: 8,
         steps: 100,
         lr: 1e-2,
-        dtype: DType::BF16,        // mixed precision with fp32 masters
+        dtype: DType::BF16, // mixed precision with fp32 masters
         a2a: A2aKind::Hierarchical { supernode_size: 2 },
         data: TokenDistribution::Zipf(0.8),
         ..Default::default()
@@ -55,6 +55,9 @@ fn main() {
         report.tokens_per_sec,
         report.skipped_steps
     );
-    assert!(report.final_loss() < report.loss_curve[0], "the model must learn");
+    assert!(
+        report.final_loss() < report.loss_curve[0],
+        "the model must learn"
+    );
     println!("ok: loss decreased — the full MoDa pipeline works end to end.");
 }

@@ -34,7 +34,10 @@ fn main() {
         stream.len(),
         bpe.bytes_per_token(CORPUS)
     );
-    assert!(stream.len() > SEQ * 2, "corpus too short after tokenization");
+    assert!(
+        stream.len() > SEQ * 2,
+        "corpus too short after tokenization"
+    );
 
     // 2. Model: RoPE decoder with a small expert pool.
     let cfg = ModelConfig {
@@ -50,8 +53,15 @@ fn main() {
     };
     let mut rng = Rng::seed_from(2026);
     let mut model = Transformer::new(cfg, &mut rng);
-    let mut opt = Adam::new(AdamConfig { lr: 3e-3, ..Default::default() });
-    println!("model: {} parameters (RoPE, {} experts)\n", model.num_params(), cfg.n_experts);
+    let mut opt = Adam::new(AdamConfig {
+        lr: 3e-3,
+        ..Default::default()
+    });
+    println!(
+        "model: {} parameters (RoPE, {} experts)\n",
+        model.num_params(),
+        cfg.n_experts
+    );
 
     // 3. Train on random windows of the real token stream.
     let mut data_rng = Rng::seed_from(7);

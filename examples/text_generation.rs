@@ -17,15 +17,28 @@ use bagualu::optim::schedule::LrSchedule;
 use bagualu::tensor::rng::Rng;
 
 fn main() {
-    let cfg = ModelConfig { vocab: 32, ..ModelConfig::tiny() };
+    let cfg = ModelConfig {
+        vocab: 32,
+        ..ModelConfig::tiny()
+    };
     let mut rng = Rng::seed_from(11);
     let mut model = Transformer::new(cfg, &mut rng);
     let task = SyntheticLM::new(cfg.vocab, TokenDistribution::Uniform, 11);
-    let mut opt = Adam::new(AdamConfig { lr: 0.0, ..Default::default() });
-    let schedule =
-        LrSchedule::WarmupCosine { peak: 2e-2, warmup: 20, total: 400, floor: 1e-3 };
+    let mut opt = Adam::new(AdamConfig {
+        lr: 0.0,
+        ..Default::default()
+    });
+    let schedule = LrSchedule::WarmupCosine {
+        peak: 2e-2,
+        warmup: 20,
+        total: 400,
+        floor: 1e-3,
+    };
 
-    println!("training a {}-param MoE decoder on the synthetic grammar…", model.num_params());
+    println!(
+        "training a {}-param MoE decoder on the synthetic grammar…",
+        model.num_params()
+    );
     for step in 0..400 {
         let (tokens, targets) = task.batch(4, 8, 0, step);
         let stats = model.train_batch(&tokens, &targets, 4, 8);
@@ -33,7 +46,11 @@ fn main() {
         opt.step(&mut model);
         model.zero_grad();
         if step % 80 == 0 {
-            println!("  step {step:>3}: loss {:.4} (lr {:.4})", stats.ce_loss, schedule.at(step));
+            println!(
+                "  step {step:>3}: loss {:.4} (lr {:.4})",
+                stats.ce_loss,
+                schedule.at(step)
+            );
         }
     }
 
@@ -45,11 +62,19 @@ fn main() {
         let out = model.generate(&prompt, 8);
         let pretty: Vec<String> = out.iter().map(|t| t.to_string()).collect();
         // Count how many generated transitions follow the grammar.
-        let follow = out.windows(2).filter(|w| w[1] == task.target_of(w[0])).count();
+        let follow = out
+            .windows(2)
+            .filter(|w| w[1] == task.target_of(w[0]))
+            .count();
         correct += follow;
         total += out.len() - 1;
-        println!("  [{}] → {}  ({follow}/{} transitions on-grammar)",
-            prompt.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", "),
+        println!(
+            "  [{}] → {}  ({follow}/{} transitions on-grammar)",
+            prompt
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             pretty.join(" "),
             out.len() - 1
         );

@@ -93,8 +93,7 @@ fn alltoallv_total_volume_is_conserved() {
     // Whatever is sent is received, exactly once.
     let n = 6;
     let sums = run_ranks_map(n, |c| {
-        let parts: Vec<Vec<f32>> =
-            (0..n).map(|d| vec![1.0f32; (c.rank() + d) % 4]).collect();
+        let parts: Vec<Vec<f32>> = (0..n).map(|d| vec![1.0f32; (c.rank() + d) % 4]).collect();
         let sent: usize = parts.iter().map(|p| p.len()).sum();
         let got = alltoallv(&c, parts);
         let received: usize = got.iter().map(|p| p.len()).sum();

@@ -26,7 +26,10 @@ fn base() -> TrainConfig {
 fn training_is_deterministic() {
     let a = Trainer::new(base()).run();
     let b = Trainer::new(base()).run();
-    assert_eq!(a.loss_curve, b.loss_curve, "same config must give identical curves");
+    assert_eq!(
+        a.loss_curve, b.loss_curve,
+        "same config must give identical curves"
+    );
     assert_eq!(a.imbalance_curve, b.imbalance_curve);
 }
 
@@ -41,7 +44,10 @@ fn different_seeds_differ() {
 fn all_gate_kinds_learn() {
     for gate in [GateKind::Top1, GateKind::Top2, GateKind::Balanced] {
         let cfg = TrainConfig {
-            model: ModelConfig { gate, ..ModelConfig::tiny() },
+            model: ModelConfig {
+                gate,
+                ..ModelConfig::tiny()
+            },
             steps: 60,
             ..base()
         };
@@ -57,7 +63,11 @@ fn all_gate_kinds_learn() {
 
 #[test]
 fn a2a_choice_does_not_change_results() {
-    let flat = Trainer::new(TrainConfig { nranks: 4, ..base() }).run();
+    let flat = Trainer::new(TrainConfig {
+        nranks: 4,
+        ..base()
+    })
+    .run();
     let hier = Trainer::new(TrainConfig {
         nranks: 4,
         a2a: A2aKind::Hierarchical { supernode_size: 2 },
@@ -65,14 +75,22 @@ fn a2a_choice_does_not_change_results() {
     })
     .run();
     for (a, b) in flat.loss_curve.iter().zip(&hier.loss_curve) {
-        assert!((a - b).abs() < 1e-4, "a2a algorithm changed training: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "a2a algorithm changed training: {a} vs {b}"
+        );
     }
 }
 
 #[test]
 fn precision_regimes_all_converge() {
     for dtype in [DType::F32, DType::BF16, DType::F16] {
-        let r = Trainer::new(TrainConfig { dtype, steps: 60, ..base() }).run();
+        let r = Trainer::new(TrainConfig {
+            dtype,
+            steps: 60,
+            ..base()
+        })
+        .run();
         assert!(
             r.final_loss() < r.loss_curve[0] * 0.5,
             "{dtype} failed: {} -> {}",
@@ -85,7 +103,11 @@ fn precision_regimes_all_converge() {
 
 #[test]
 fn dense_model_trains_through_the_same_pipeline() {
-    let cfg = TrainConfig { model: ModelConfig::tiny_dense(), steps: 40, ..base() };
+    let cfg = TrainConfig {
+        model: ModelConfig::tiny_dense(),
+        steps: 40,
+        ..base()
+    };
     let r = Trainer::new(cfg).run();
     assert!(r.final_loss() < r.loss_curve[0] * 0.6);
     // No MoE layers: imbalance is the neutral 1.0 and nothing is dropped.
@@ -110,7 +132,10 @@ fn burst_data_stresses_but_does_not_break_training() {
 #[test]
 fn rope_model_trains_distributed() {
     let cfg = TrainConfig {
-        model: ModelConfig { rope: true, ..ModelConfig::tiny() },
+        model: ModelConfig {
+            rope: true,
+            ..ModelConfig::tiny()
+        },
         nranks: 4,
         steps: 40,
         ..base()
@@ -126,7 +151,10 @@ fn rope_model_trains_distributed() {
 
 #[test]
 fn throughput_and_token_accounting() {
-    let cfg = TrainConfig { steps: 10, ..base() };
+    let cfg = TrainConfig {
+        steps: 10,
+        ..base()
+    };
     let r = Trainer::new(cfg).run();
     assert_eq!(r.total_tokens, 2 * 2 * 8 * 10);
     assert!(r.tokens_per_sec > 0.0);

@@ -24,24 +24,24 @@ const NRANKS: usize = 2;
 const BATCH: usize = 4;
 const SEQ: usize = 8;
 
-fn train_phase(
-    dir: &Path,
-    restore: bool,
-    start_step: usize,
-    steps: usize,
-) -> Vec<f32> {
-    let model_cfg = ModelConfig { n_experts: 4, ..ModelConfig::tiny() };
+fn train_phase(dir: &Path, restore: bool, start_step: usize, steps: usize) -> Vec<f32> {
+    let model_cfg = ModelConfig {
+        n_experts: 4,
+        ..ModelConfig::tiny()
+    };
     let task = SyntheticLM::new(model_cfg.vocab, TokenDistribution::Uniform, 55);
     let (task_ref, dir_ref) = (&task, dir);
     let mut curves = run_ranks_map(NRANKS, move |comm| {
         let rank = comm.rank();
-        let mut model =
-            DistTransformer::new(model_cfg, 404, rank, NRANKS, A2aKind::Pairwise);
+        let mut model = DistTransformer::new(model_cfg, 404, rank, NRANKS, A2aKind::Pairwise);
         if restore {
             load_params_sharded(dir_ref.join(format!("rank{rank}")), &mut model, 1)
                 .expect("restore must succeed");
         }
-        let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        });
         let mut losses = Vec::with_capacity(steps);
         for step in start_step..start_step + steps {
             let (tokens, targets) = task_ref.batch(BATCH, SEQ, rank, step);
@@ -69,7 +69,10 @@ fn checkpoint_restart_continues_training() {
     let phase1 = train_phase(&dir, false, 0, 25);
     let initial = phase1[0];
     let before_crash = *phase1.last().unwrap();
-    assert!(before_crash < initial * 0.5, "phase 1 must learn: {initial} -> {before_crash}");
+    assert!(
+        before_crash < initial * 0.5,
+        "phase 1 must learn: {initial} -> {before_crash}"
+    );
 
     // "Crash": everything is gone except the checkpoint files.
 
@@ -88,7 +91,10 @@ fn checkpoint_restart_continues_training() {
     );
     // And training keeps improving.
     let final_loss = *phase2.last().unwrap();
-    assert!(final_loss <= resumed * 1.1, "no further progress: {resumed} -> {final_loss}");
+    assert!(
+        final_loss <= resumed * 1.1,
+        "no further progress: {resumed} -> {final_loss}"
+    );
 
     // Control: a run that does NOT restore starts from scratch.
     let cold = train_phase(&dir, false, 25, 1);

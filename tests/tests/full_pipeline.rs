@@ -62,11 +62,20 @@ fn tokenize_train_checkpoint_repartition_generate() {
             NRANKS,
             A2aKind::Hierarchical { supernode_size: 1 },
         );
-        let mut opt =
-            MixedPrecision::new(AdamConfig { lr: 0.0, ..Default::default() }, DType::BF16);
+        let mut opt = MixedPrecision::new(
+            AdamConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
+            DType::BF16,
+        );
         opt.quantize_model(&mut model);
-        let schedule =
-            LrSchedule::WarmupCosine { peak: 5e-3, warmup: 10, total: 200, floor: 5e-4 };
+        let schedule = LrSchedule::WarmupCosine {
+            peak: 5e-3,
+            warmup: 10,
+            total: 200,
+            floor: 5e-4,
+        };
         let mut data_rng = Rng::for_rank(33, rank);
         let mut last = f32::NAN;
         let mut first = f32::NAN;
@@ -96,13 +105,18 @@ fn tokenize_train_checkpoint_repartition_generate() {
         (first, last)
     });
     for (rank, (first, last)) in losses.iter().enumerate() {
-        assert!(last < &(first * 0.2), "rank {rank} did not learn: {first} -> {last}");
+        assert!(
+            last < &(first * 0.2),
+            "rank {rank} did not learn: {first} -> {last}"
+        );
     }
 
     // ---- 4. Restore into a single-rank *local* model (repartitioning from
     // 2 distributed shards to 1 full model) and generate text.
     let mut local = Transformer::new(cfg, &mut Rng::seed_from(1));
-    let paths: Vec<_> = (0..NRANKS).map(|r| dir.join(format!("rank{r}.bglu"))).collect();
+    let paths: Vec<_> = (0..NRANKS)
+        .map(|r| dir.join(format!("rank{r}.bglu")))
+        .collect();
     load_params_from_files(&paths, &mut local).unwrap();
 
     let prompt = bpe.encode("the gate");

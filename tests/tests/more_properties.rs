@@ -5,8 +5,8 @@ use bagualu::comm::timed::{LinkCost, TwoLevelCost};
 use bagualu::model::param::{HasParams, Param};
 use bagualu::optim::adam::{Adam, AdamConfig};
 use bagualu::optim::schedule::LrSchedule;
-use bagualu::tokenizer::Bpe;
 use bagualu::tensor::Tensor;
+use bagualu::tokenizer::Bpe;
 use proptest::prelude::*;
 
 struct One {
@@ -112,7 +112,10 @@ fn tied_and_untied_models_share_everything_but_the_head() {
     use bagualu::model::transformer::Transformer;
     use bagualu::tensor::rng::Rng;
     let base = ModelConfig::tiny();
-    let tied = ModelConfig { tie_embeddings: true, ..base };
+    let tied = ModelConfig {
+        tie_embeddings: true,
+        ..base
+    };
     let mut a = Transformer::new(base, &mut Rng::seed_from(1));
     let mut b = Transformer::new(tied, &mut Rng::seed_from(1));
     let names = |m: &mut Transformer| {

@@ -60,15 +60,21 @@ fn sgd_momentum_learns() {
 
 #[test]
 fn adam_learns() {
-    let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: 1e-2,
+        ..Default::default()
+    });
     let (f, l) = train(|m| opt.step(m));
     assert_learned("adam", f, l);
 }
 
 #[test]
 fn adamw_learns() {
-    let mut opt =
-        Adam::new(AdamConfig { lr: 1e-2, weight_decay: 0.01, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: 1e-2,
+        weight_decay: 0.01,
+        ..Default::default()
+    });
     let (f, l) = train(|m| opt.step(m));
     assert_learned("adamw", f, l);
 }
@@ -93,8 +99,13 @@ fn adafactor_learns_with_sublinear_state() {
 #[test]
 fn mixed_precision_learns_in_every_dtype() {
     for dtype in [DType::F32, DType::BF16, DType::F16] {
-        let mut opt =
-            MixedPrecision::new(AdamConfig { lr: 1e-2, ..Default::default() }, dtype);
+        let mut opt = MixedPrecision::new(
+            AdamConfig {
+                lr: 1e-2,
+                ..Default::default()
+            },
+            dtype,
+        );
         let cfg = ModelConfig::tiny();
         let mut rng = Rng::seed_from(321);
         let mut model = Transformer::new(cfg, &mut rng);

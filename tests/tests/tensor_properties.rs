@@ -2,7 +2,7 @@
 
 use bagualu_tensor::ops::{matmul, matmul_nt, matmul_tn, softmax_rows};
 use bagualu_tensor::rng::Rng;
-use bagualu_tensor::{BF16, DType, Tensor, F16};
+use bagualu_tensor::{DType, Tensor, BF16, F16};
 use proptest::prelude::*;
 
 fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the builder/group/bench-function surface the workspace's
+//! benches use, timing each benchmark with `std::time::Instant` and
+//! printing a one-line median + throughput summary. No statistical
+//! analysis, plots, or baselines — the benches here are smoke/inspection
+//! tools, and this keeps them runnable without crates.io access.
+//!
+//! The harness also runs (and instantly completes) under `cargo test`,
+//! which builds `harness = false` bench targets with `--test`: any CLI
+//! argument beginning with `--` that we don't recognize switches the run
+//! into list/no-op mode, mirroring real criterion's behavior.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark throughput annotation; scales the printed rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// True when invoked by `cargo test` (e.g. with `--test`): skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args()
+            .skip(1)
+            .any(|a| a == "--test" || a == "--list" || a.starts_with("--format"));
+        Criterion {
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name: String = id.into();
+        run_benchmark(self, &name, None, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups; kept for parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        run_benchmark(self.criterion, &full, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(c: &mut Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if c.test_mode {
+        // Single untimed iteration so `cargo test` still exercises the code.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Warm-up doubles as calibration: find an iteration count whose total
+    // runtime fills one sample's share of the measurement window.
+    let mut iters: u64 = 1;
+    let warm_deadline = Instant::now() + c.warm_up_time;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        if Instant::now() >= warm_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+    let per_sample = c.measurement_time / c.sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" thrpt: {}/s", human_bytes(n as f64 / median.as_secs_f64()))
+        }
+        Throughput::Elements(n) => {
+            format!(
+                " thrpt: {} elem/s",
+                human_count(n as f64 / median.as_secs_f64())
+            )
+        }
+    });
+    println!(
+        "{name:<40} time: [{}]{}",
+        human_time(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.0} B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x < 1_000.0 {
+        format!("{x:.0}")
+    } else if x < 1_000_000.0 {
+        format!("{:.1}K", x / 1_000.0)
+    } else if x < 1_000_000_000.0 {
+        format!("{:.1}M", x / 1_000_000.0)
+    } else {
+        format!("{:.2}B", x / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group; both the struct-ish and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        c.test_mode = false;
+        trivial(&mut c);
+    }
+
+    #[test]
+    fn ungrouped_bench_function() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,69 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// How many elements a collection strategy may produce.
+pub trait SizeRange {
+    /// Pick a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Half-open, as in proptest: `1..12` yields lengths 1..=11.
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// `Vec<T>` strategy with element strategy `element` and length in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn fixed_size_vec() {
+        let mut rng = TestRng::for_test("fixed");
+        let v = vec(0u32..100, 7usize).generate(&mut rng);
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let mut rng = TestRng::for_test("nested");
+        for _ in 0..50 {
+            let v = vec(vec(1usize..8, 1..3), 1..12).generate(&mut rng);
+            assert!((1..12).contains(&v.len()));
+            for inner in &v {
+                assert!((1..3).contains(&inner.len()));
+                assert!(inner.iter().all(|&x| (1..8).contains(&x)));
+            }
+        }
+    }
+}

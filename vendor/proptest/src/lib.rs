@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the proptest API its test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * range strategies for the primitive numeric types,
+//! * [`any`] for full-range primitives,
+//! * string strategies from a small regex subset (char classes, groups,
+//!   `{lo,hi}` repetition, `\PC`),
+//! * [`collection::vec`], tuple strategies, and `prop_map`.
+//!
+//! Differences from real proptest: case generation is **deterministic**
+//! (seeded from the test name, overridable via `PROPTEST_SEED`), and there
+//! is **no shrinking** — a failing case panics with the generated inputs
+//! left to the assertion message. For the property suites in this
+//! workspace, which assert exact or tolerance-based algebraic identities,
+//! that trade keeps CI runs reproducible at a fraction of the complexity.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run each property case; a panic in the body fails the test with the
+/// case index and the name of the property in the message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Reject the current case when the assumption fails. The shim simply
+/// skips to the next case (expanding to `continue` in the case loop), so
+/// heavy rejection rates silently shrink the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert a property; panics (failing the current case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality of two expressions within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality of two expressions within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..17, b in -5i32..5, x in 0.25f32..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (1usize..4, 10u64..20),
+            mapped in (0usize..5).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+            prop_assert_eq!(mapped % 2, 0);
+        }
+
+        #[test]
+        fn regex_classes_generate_members(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn regex_groups_repeat(s in "x(\\.y){1,3}") {
+            prop_assert!(s.starts_with('x'));
+            let tail = &s[1..];
+            prop_assert_eq!(tail.len() % 2, 0);
+            prop_assert!(tail.len() >= 2 && tail.len() <= 6);
+        }
+
+        #[test]
+        fn non_control_class_is_printable(s in "\\PC{0,20}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn any_covers_u16(bits in any::<u16>()) {
+            let _roundtrip = u16::from_le_bytes(bits.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("stable");
+        let mut b = crate::test_runner::TestRng::for_test("stable");
+        for _ in 0..32 {
+            assert_eq!(
+                (0usize..1000).generate(&mut a),
+                (0usize..1000).generate(&mut b)
+            );
+        }
+    }
+}

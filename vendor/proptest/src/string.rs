@@ -1,0 +1,229 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — enough for the patterns in this workspace's tests:
+//!
+//! * literal characters,
+//! * escaped literals (`\.`, `\[`, ...),
+//! * `\PC` — any printable (non-control) character, drawn from a mixed
+//!   ASCII/Unicode pool,
+//! * character classes `[...]` with ranges (`[a-z]`, `[ -~]`) and literal
+//!   members (`[a-z ]`),
+//! * groups `(...)`,
+//! * repetition `{n}` and `{lo,hi}` (inclusive bounds, applied to the
+//!   preceding atom).
+//!
+//! Anything outside this subset panics with the offending pattern so a new
+//! test pattern fails loudly instead of generating garbage.
+
+use crate::test_runner::TestRng;
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_seq(&mut pattern.chars().collect::<Vec<_>>().as_slice(), pattern);
+    let mut out = String::new();
+    emit_seq(&atoms, rng, &mut out);
+    out
+}
+
+enum Atom {
+    Lit(char),
+    /// Printable non-control (`\PC`).
+    Printable,
+    /// Char class: explicit member list, pre-expanded from ranges.
+    Class(Vec<char>),
+    Group(Vec<Repeated>),
+}
+
+struct Repeated {
+    atom: Atom,
+    lo: usize,
+    hi: usize,
+}
+
+/// Parse a sequence of repeated atoms until end of input or an
+/// unbalanced `)` (left for the caller).
+fn parse_seq(input: &mut &[char], pattern: &str) -> Vec<Repeated> {
+    let mut out = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        *input = &input[1..];
+        let atom = match c {
+            '\\' => {
+                let e = take(input, pattern);
+                if e == 'P' {
+                    let k = take(input, pattern);
+                    assert_eq!(k, 'C', "unsupported \\P{k} in regex {pattern:?}");
+                    Atom::Printable
+                } else {
+                    Atom::Lit(e)
+                }
+            }
+            '[' => Atom::Class(parse_class(input, pattern)),
+            '(' => {
+                let inner = parse_seq(input, pattern);
+                let close = take(input, pattern);
+                assert_eq!(close, ')', "unbalanced group in regex {pattern:?}");
+                Atom::Group(inner)
+            }
+            '{' | '}' | '*' | '+' | '?' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            other => Atom::Lit(other),
+        };
+        let (lo, hi) = parse_repeat(input, pattern);
+        out.push(Repeated { atom, lo, hi });
+    }
+    out
+}
+
+/// Parse an optional trailing `{n}` / `{lo,hi}`; default is exactly once.
+fn parse_repeat(input: &mut &[char], pattern: &str) -> (usize, usize) {
+    if input.first() != Some(&'{') {
+        return (1, 1);
+    }
+    *input = &input[1..];
+    let mut body = String::new();
+    loop {
+        let c = take(input, pattern);
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    let parse = |s: &str| -> usize {
+        s.parse()
+            .unwrap_or_else(|_| panic!("bad repeat count {s:?} in regex {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+/// Parse the body of a `[...]` class (after the `[`), expanding ranges.
+fn parse_class(input: &mut &[char], pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    loop {
+        let c = take(input, pattern);
+        match c {
+            ']' => break,
+            '\\' => members.push(take(input, pattern)),
+            _ => {
+                // `x-y` range, unless `-` is last before `]`.
+                if input.first() == Some(&'-') && input.get(1) != Some(&']') {
+                    *input = &input[1..];
+                    let end = take(input, pattern);
+                    assert!(c <= end, "inverted class range in regex {pattern:?}");
+                    for u in c as u32..=end as u32 {
+                        if let Some(ch) = char::from_u32(u) {
+                            members.push(ch);
+                        }
+                    }
+                } else {
+                    members.push(c);
+                }
+            }
+        }
+    }
+    assert!(!members.is_empty(), "empty char class in regex {pattern:?}");
+    members
+}
+
+fn take(input: &mut &[char], pattern: &str) -> char {
+    let c = *input
+        .first()
+        .unwrap_or_else(|| panic!("truncated regex {pattern:?}"));
+    *input = &input[1..];
+    c
+}
+
+fn emit_seq(atoms: &[Repeated], rng: &mut TestRng, out: &mut String) {
+    for rep in atoms {
+        let n = if rep.lo == rep.hi {
+            rep.lo
+        } else {
+            rep.lo + rng.below((rep.hi - rep.lo + 1) as u64) as usize
+        };
+        for _ in 0..n {
+            emit_atom(&rep.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Printable => out.push(printable(rng)),
+        Atom::Class(members) => out.push(members[rng.below(members.len() as u64) as usize]),
+        Atom::Group(inner) => emit_seq(inner, rng, out),
+    }
+}
+
+/// A printable non-control char: mostly ASCII, occasionally wider Unicode
+/// so multi-byte handling gets exercised.
+fn printable(rng: &mut TestRng) -> char {
+    match rng.below(8) {
+        0 => {
+            // Latin-1 supplement and some BMP letters/symbols.
+            const POOL: &[char] = &[
+                'é', 'ß', 'Ω', 'π', 'λ', '中', '文', '→', '±', '≈', '∑', '日',
+            ];
+            POOL[rng.below(POOL.len() as u64) as usize]
+        }
+        _ => char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dotted_identifier_pattern() {
+        let mut rng = TestRng::for_test("dotted");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}(\\.[a-z]{1,8}){0,2}", &mut rng);
+            for part in s.split('.') {
+                assert!(
+                    (1..=8).contains(&part.len()) && part.chars().all(|c| c.is_ascii_lowercase()),
+                    "bad part {part:?} in {s:?}"
+                );
+            }
+            assert!(s.split('.').count() <= 3);
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        let mut rng = TestRng::for_test("ascii");
+        for _ in 0..100 {
+            let s = generate_matching("[ -~]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_literal_space() {
+        let mut rng = TestRng::for_test("space");
+        let s = generate_matching("[a-z ]{50}", &mut rng);
+        assert_eq!(s.len(), 50);
+        assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut rng = TestRng::for_test("pc");
+        for _ in 0..100 {
+            let s = generate_matching("\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

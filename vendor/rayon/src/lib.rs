@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the one parallel-iterator shape the tensor kernels use —
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — on top of
+//! `std::thread::scope`. Each call partitions the chunk list across up to
+//! `current_num_threads()` scoped threads; chunks are disjoint `&mut`
+//! slices so the closure runs without synchronization, exactly as with
+//! real rayon. No global pool: spawn cost is paid per call, which is
+//! acceptable at the matrix sizes this workspace parallelizes (the small
+//! ones take the sequential path before ever reaching here).
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    /// Extension trait: parallel mutable chunking of slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: zero chunk size");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over disjoint mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        pub fn enumerate(self) -> ParEnumerate<'a, T> {
+            ParEnumerate {
+                items: self.chunks.into_iter().enumerate().collect(),
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            run_parallel(self.chunks, &f);
+        }
+    }
+
+    /// Enumerated parallel iterator.
+    pub struct ParEnumerate<'a, T> {
+        items: Vec<(usize, &'a mut [T])>,
+    }
+
+    impl<'a, T: Send> ParEnumerate<'a, T> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            run_parallel(self.items, &f);
+        }
+    }
+
+    /// Split `items` into contiguous batches, one scoped thread per batch.
+    fn run_parallel<I: Send, F: Fn(I) + Sync>(mut items: Vec<I>, f: &F) {
+        let nthreads = super::current_num_threads().min(items.len()).max(1);
+        if nthreads <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let per = items.len().div_ceil(nthreads);
+        std::thread::scope(|s| {
+            while !items.is_empty() {
+                let take = per.min(items.len());
+                let batch: Vec<I> = items.drain(..take).collect();
+                s.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_once() {
+        let mut v = vec![0u64; 1000];
+        v.as_mut_slice()
+            .par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(_i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+            });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_indices_match_offsets() {
+        let mut v = vec![0usize; 64];
+        v.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i;
+                }
+            });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<f32> = Vec::new();
+        v.as_mut_slice()
+            .par_chunks_mut(4)
+            .enumerate()
+            .for_each(|_| panic!("no chunks"));
+    }
+}
