@@ -10,6 +10,7 @@
 mod args;
 
 use args::Args;
+use bagualu::comm::FaultPlan;
 use bagualu::data::TokenDistribution;
 use bagualu::hw::{MachineConfig, Precision};
 use bagualu::metrics::{format_flops, format_params, format_si};
@@ -21,7 +22,7 @@ use bagualu::parallel::moe_dist::A2aKind;
 use bagualu::perfmodel::{project, PerfInput};
 use bagualu::tensor::rng::Rng;
 use bagualu::tensor::DType;
-use bagualu::trainer::{TrainConfig, Trainer};
+use bagualu::trainer::{FtConfig, TrainConfig, Trainer};
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -61,6 +62,8 @@ fn print_help() {
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
     eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
+    eprintln!("            --ckpt-dir PATH --ckpt-every N (checkpoint/restart recovery)");
+    eprintln!("            --crash R@S[,R@S…] (inject rank R crash at step S) --max-restarts N");
     eprintln!("  project   performance projection on the simulated machine");
     eprintln!("            --preset 1.93t|14.5t|174t --nodes N --precision fp32|half");
     eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
@@ -130,6 +133,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "seed",
         "no-overlap",
         "bucket-kib",
+        "ckpt-dir",
+        "ckpt-every",
+        "crash",
+        "max-restarts",
     ])?;
     use bagualu::model::moe::GateKind;
     let gate = match args.get("gate", "top2").as_str() {
@@ -186,7 +193,45 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         cfg.steps,
         cfg.dtype
     );
-    let report = Trainer::new(cfg).run();
+
+    // Fault-tolerant path: any checkpoint/crash flag routes through run_ft.
+    let ckpt_dir = args.get("ckpt-dir", "");
+    let crash_spec = args.get("crash", "");
+    let report = if !ckpt_dir.is_empty() || !crash_spec.is_empty() {
+        let mut plan = FaultPlan::new(cfg.seed);
+        for part in crash_spec.split(',').filter(|s| !s.is_empty()) {
+            let (r, s) = part
+                .split_once('@')
+                .ok_or_else(|| format!("bad --crash spec: {part} (want rank@step)"))?;
+            let rank: usize = r.trim().parse().map_err(|_| format!("bad rank: {r}"))?;
+            let step: usize = s.trim().parse().map_err(|_| format!("bad step: {s}"))?;
+            if rank >= cfg.nranks {
+                return Err(format!("--crash rank {rank} out of range (ranks={nranks})"));
+            }
+            plan = plan.crash(rank, step);
+        }
+        let dir = if ckpt_dir.is_empty() {
+            std::env::temp_dir().join(format!("bagualu-train-ckpt-{}", std::process::id()))
+        } else {
+            ckpt_dir.clone().into()
+        };
+        let ft = FtConfig {
+            plan,
+            ckpt_every: args.get_parse("ckpt-every", 10usize)?,
+            max_restarts: args.get_parse("max-restarts", 3usize)?,
+            ..FtConfig::new(dir)
+        };
+        let report = Trainer::new(cfg).run_ft(&ft);
+        if report.restarts > 0 {
+            println!(
+                "recovered from {} failure(s): {} step(s) re-executed, {:.2}s lost",
+                report.restarts, report.lost_steps, report.recovery_time_s
+            );
+        }
+        report
+    } else {
+        Trainer::new(cfg).run()
+    };
     for (i, l) in report.loss_curve.iter().enumerate() {
         if i % 10 == 0 || i + 1 == report.loss_curve.len() {
             println!(

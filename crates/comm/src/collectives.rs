@@ -571,6 +571,128 @@ pub fn gather<C: Communicator>(c: &C, root: usize, data: Vec<f32>) -> Vec<Vec<f3
     }
 }
 
+// ------------------------------------------------- failure-aware collectives
+
+use crate::fault::{CommError, FtCommunicator};
+use std::time::Duration;
+
+/// Recursive-doubling all-reduce that **detects silent peers** instead of
+/// hanging: every receive carries `timeout`, and a peer already known dead
+/// fails fast with [`CommError::PeerDead`]. Latency-optimal, so it doubles
+/// as the per-step heartbeat of the fault-tolerant trainer — a returned
+/// error is the signal to abandon the step and recover from a checkpoint.
+///
+/// The failure mode is detection, not completion: once any receive errors
+/// the collective gives up (other ranks either also error or already have
+/// their result). Callers must treat an `Err` as "this communicator is
+/// compromised" and tear the world down — exactly what the checkpoint
+/// restart loop does.
+pub fn allreduce_ft<C: FtCommunicator>(
+    c: &C,
+    mut data: Vec<f32>,
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<Vec<f32>, CommError> {
+    let n = c.size();
+    if n == 1 {
+        return Ok(data);
+    }
+    let rank = c.rank();
+    let r = n.next_power_of_two() >> if n.is_power_of_two() { 0 } else { 1 };
+    let rem = n - r;
+
+    // Fold (non-power-of-two): evens below 2·rem hand off and sit out.
+    let vrank = if rank < 2 * rem {
+        if rank.is_multiple_of(2) {
+            c.try_send(rank + 1, TAG_RD, data.clone().into())?;
+            None
+        } else {
+            let got = c.recv_timeout(rank - 1, TAG_RD, timeout)?.into_f32();
+            op.apply(&mut data, &got);
+            Some(rank / 2)
+        }
+    } else {
+        Some(rank - rem)
+    };
+
+    if let Some(v) = vrank {
+        let real = |v: usize| if v < rem { 2 * v + 1 } else { v + rem };
+        let mut mask = 1usize;
+        while mask < r {
+            let partner = real(v ^ mask);
+            c.try_send(partner, TAG_RD, data.clone().into())?;
+            let got = c.recv_timeout(partner, TAG_RD, timeout)?.into_f32();
+            op.apply(&mut data, &got);
+            mask <<= 1;
+        }
+    }
+
+    // Unfold: odd ranks return the result to their even partner.
+    if rank < 2 * rem {
+        if rank.is_multiple_of(2) {
+            data = c.recv_timeout(rank + 1, TAG_RD, timeout)?.into_f32();
+        } else {
+            c.try_send(rank - 1, TAG_RD, data.clone().into())?;
+        }
+    }
+    Ok(data)
+}
+
+/// Binomial-tree broadcast with dead/silent-peer detection, the
+/// failure-aware twin of [`broadcast`]. Same error contract as
+/// [`allreduce_ft`].
+pub fn broadcast_ft<C: FtCommunicator>(
+    c: &C,
+    root: usize,
+    msg: Option<Vec<f32>>,
+    timeout: Duration,
+) -> Result<Vec<f32>, CommError> {
+    let n = c.size();
+    let rank = c.rank();
+    assert_eq!(
+        rank == root,
+        msg.is_some(),
+        "msg must be Some exactly at root"
+    );
+    if n == 1 {
+        return Ok(msg.expect("single-rank broadcast has the message"));
+    }
+    let vrank = (rank + n - root) % n;
+    let real = |v: usize| (v + root) % n;
+
+    let mut buf = msg;
+    let mut mask = 1usize;
+    if vrank != 0 {
+        while mask < n {
+            if vrank & mask != 0 {
+                buf = Some(
+                    c.recv_timeout(real(vrank - mask), TAG_BCAST, timeout)?
+                        .into_f32(),
+                );
+                break;
+            }
+            mask <<= 1;
+        }
+    } else {
+        mask = n.next_power_of_two();
+    }
+    let buf = buf.expect("broadcast: no data received");
+    mask >>= 1;
+    while mask > 0 {
+        if vrank & mask == 0 && vrank + mask < n && vrank & (mask - 1) == 0 {
+            c.try_send(real(vrank + mask), TAG_BCAST, buf.clone().into())?;
+        }
+        mask >>= 1;
+    }
+    Ok(buf)
+}
+
+/// Failure-aware barrier: an [`allreduce_ft`] over one scalar. Unlike the
+/// transport barrier this cannot hang on a dead rank — it errors.
+pub fn barrier_ft<C: FtCommunicator>(c: &C, timeout: Duration) -> Result<(), CommError> {
+    allreduce_ft(c, vec![1.0], ReduceOp::Sum, timeout).map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -864,5 +986,70 @@ mod tests {
         assert_eq!(a, vec![2.0, 10.0, 0.0]);
         ReduceOp::Min.apply(&mut a, &[3.0, 3.0, 3.0]);
         assert_eq!(a, vec![2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn ft_collectives_match_plain_ones_without_faults() {
+        let t = Duration::from_secs(10);
+        for n in [1usize, 2, 3, 4, 7] {
+            run_ranks(n, |c| {
+                let got = allreduce_ft(&c, vec![c.rank() as f32 + 1.0; 8], ReduceOp::Sum, t)
+                    .expect("no faults, must succeed");
+                let want = (n * (n + 1) / 2) as f32;
+                assert_eq!(got, vec![want; 8], "allreduce_ft n={n}");
+
+                let msg = (c.rank() == 0).then(|| vec![2.5f32; 4]);
+                let got = broadcast_ft(&c, 0, msg, t).expect("broadcast_ft");
+                assert_eq!(got, vec![2.5; 4]);
+
+                barrier_ft(&c, t).expect("barrier_ft");
+            });
+        }
+    }
+
+    #[test]
+    fn ft_allreduce_detects_a_crashed_rank() {
+        use crate::harness::{run_ranks_ft, RankOutcome};
+        use crate::shm::World;
+        let world = World::new(4);
+        let outcomes = run_ranks_ft(&world, |c| {
+            if c.rank() == 2 {
+                panic!("injected crash before the collective");
+            }
+            allreduce_ft(&c, vec![1.0; 4], ReduceOp::Sum, Duration::from_secs(5))
+        });
+        assert!(matches!(outcomes[2], RankOutcome::Crashed(_)));
+        // Every survivor detects the failure (PeerDead directly, or a
+        // timeout if its partner aborted mid-collective) — nobody hangs.
+        for (r, o) in outcomes.iter().enumerate() {
+            if r != 2 {
+                assert!(
+                    matches!(o, RankOutcome::TimedOut(_)),
+                    "rank {r} should have detected the crash: {o:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ft_allreduce_times_out_on_a_dropped_message() {
+        use crate::fault::FaultPlan;
+        use crate::harness::{run_ranks_ft, RankOutcome};
+        use crate::shm::World;
+        use std::sync::Arc;
+        // Drop rank 1's first message: rank 0's receive must time out (or
+        // see rank 1 abort), never hang.
+        let rt = crate::fault::FaultRuntime::new(FaultPlan::new(3).drop_nth(1, 0), 2);
+        let world = World::new_with_faults(2, Arc::new(rt));
+        let outcomes = run_ranks_ft(&world, |c| {
+            allreduce_ft(&c, vec![1.0], ReduceOp::Sum, Duration::from_millis(200))
+        });
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o, RankOutcome::TimedOut(_))),
+            "a dropped message must surface as a timeout: {outcomes:?}"
+        );
+        assert_eq!(world.fault_stats().expect("plan armed").dropped, 1);
     }
 }

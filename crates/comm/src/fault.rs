@@ -1,0 +1,462 @@
+//! Deterministic fault injection and the error-carrying comm surface.
+//!
+//! At 96,000 nodes component failure during a run is the expected case, so
+//! the transport must be testable *under* faults, not only without them.
+//! This module provides:
+//!
+//! * [`FaultPlan`] — a declarative, seeded schedule of faults (rank crash
+//!   at a training step, nth-message drop/delay/corruption, probabilistic
+//!   drops). Plans are pure data; [`FaultRuntime`] is the live state that
+//!   a [`crate::shm::World`] consults on every send. Every decision is
+//!   deterministic given the plan (per-rank message counters and per-rank
+//!   seeded RNG streams), so a failing schedule replays exactly.
+//! * [`CommError`] — what failure-aware operations return instead of
+//!   hanging: a receive that exceeded its deadline, a peer known to be
+//!   dead, or a malformed communicator split.
+//! * [`FtCommunicator`] — the failure-aware extension of
+//!   [`crate::shm::Communicator`]: `recv_timeout`, `try_send`, and dead-rank
+//!   bookkeeping. `ShmComm` implements it natively; `TimedComm` forwards
+//!   and keeps charging virtual time on the successful paths.
+//!
+//! Detection semantics: a *crashed* rank is marked dead (by the harness's
+//! panic trap or by the rank itself before aborting), which wakes every
+//! blocked receiver; `recv_timeout` then fails fast with
+//! [`CommError::PeerDead`]. A *silent* fault (dropped message, stalled
+//! sender) is detected only by the timeout. Payload corruption is silent at
+//! the transport level by design — it is caught downstream by the
+//! checkpoint CRC or by divergence checks, mirroring how real networks
+//! deliver bit flips past the NIC.
+
+use crate::payload::Payload;
+use crate::shm::Communicator;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One scheduled fault. `rank` is always a **world** rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// The rank panics at the start of training step `at_step`. The
+    /// trainer (or any step-structured driver) polls
+    /// [`FaultRuntime::should_crash`]; the transport itself has no step
+    /// notion. Fires once, even across checkpoint-restart replays.
+    Crash { rank: usize, at_step: usize },
+    /// Silently discard the `nth` message sent by `from` (0-based over the
+    /// rank's lifetime sends, timing headers included).
+    DropNth { from: usize, nth: u64 },
+    /// Hold the `nth` message sent by `from` for `millis` before delivery
+    /// (the sender blocks, modeling a stalled link).
+    DelayNth { from: usize, nth: u64, millis: u64 },
+    /// Flip one bit in the `nth` message sent by `from`.
+    CorruptNth { from: usize, nth: u64 },
+    /// Drop each message sent by `from` independently with probability
+    /// `prob`, decided by a per-rank seeded RNG stream.
+    DropProb { from: usize, prob: f64 },
+}
+
+/// A deterministic, seeded schedule of faults. Pure data — clone it freely,
+/// hand it to [`FaultRuntime::new`] to arm it against a world.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    events: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, zero overhead beyond a null check.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[FaultSpec] {
+        &self.events
+    }
+
+    /// Crash `rank` at the start of step `at_step` (fires once).
+    pub fn crash(mut self, rank: usize, at_step: usize) -> FaultPlan {
+        self.events.push(FaultSpec::Crash { rank, at_step });
+        self
+    }
+
+    /// Drop the `nth` message `from` sends.
+    pub fn drop_nth(mut self, from: usize, nth: u64) -> FaultPlan {
+        self.events.push(FaultSpec::DropNth { from, nth });
+        self
+    }
+
+    /// Delay the `nth` message `from` sends by `millis`.
+    pub fn delay_nth(mut self, from: usize, nth: u64, millis: u64) -> FaultPlan {
+        self.events.push(FaultSpec::DelayNth { from, nth, millis });
+        self
+    }
+
+    /// Flip one bit in the `nth` message `from` sends.
+    pub fn corrupt_nth(mut self, from: usize, nth: u64) -> FaultPlan {
+        self.events.push(FaultSpec::CorruptNth { from, nth });
+        self
+    }
+
+    /// Drop each of `from`'s messages with probability `prob`.
+    pub fn drop_prob(mut self, from: usize, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.events.push(FaultSpec::DropProb { from, prob });
+        self
+    }
+
+    /// Steps at which any rank is scheduled to crash, ascending.
+    pub fn crash_steps(&self) -> Vec<usize> {
+        let mut steps: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultSpec::Crash { at_step, .. } => Some(*at_step),
+                _ => None,
+            })
+            .collect();
+        steps.sort_unstable();
+        steps
+    }
+}
+
+/// What the transport should do with a message about to be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendAction {
+    Deliver,
+    Drop,
+    Delay(Duration),
+    Corrupt,
+}
+
+/// Counters of faults actually injected, for reports and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub dropped: u64,
+    pub delayed: u64,
+    pub corrupted: u64,
+    pub crashes_fired: u64,
+}
+
+/// Live state of an armed [`FaultPlan`]: per-rank send counters and RNG
+/// streams, plus one-shot flags so an event fires exactly once even when a
+/// checkpoint-restart loop replays the schedule across several worlds.
+/// Share one runtime (via `Arc`) across all restart attempts of a run.
+#[derive(Debug)]
+pub struct FaultRuntime {
+    plan: FaultPlan,
+    /// One-shot latch per plan event, indexed like `plan.events`.
+    fired: Vec<AtomicBool>,
+    /// Lifetime messages sent, per world rank (headers included).
+    send_seq: Vec<AtomicU64>,
+    /// Per-rank xorshift state for probabilistic faults; seeded from
+    /// `plan.seed` so decisions are independent of thread interleaving.
+    rng: Vec<AtomicU64>,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    corrupted: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl FaultRuntime {
+    pub fn new(plan: FaultPlan, nranks: usize) -> FaultRuntime {
+        let fired = (0..plan.events.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let send_seq = (0..nranks).map(|_| AtomicU64::new(0)).collect();
+        let rng = (0..nranks)
+            .map(|r| {
+                AtomicU64::new(splitmix(
+                    plan.seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ))
+            })
+            .collect();
+        FaultRuntime {
+            plan,
+            fired,
+            send_seq,
+            rng,
+            dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            crashes_fired: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Should `rank` crash at the start of `step`? One-shot: the first call
+    /// that matches a crash event claims it, so a restarted run replaying
+    /// the same steps does not crash again on the same event.
+    pub fn should_crash(&self, rank: usize, step: usize) -> bool {
+        for (i, e) in self.plan.events.iter().enumerate() {
+            if let FaultSpec::Crash { rank: r, at_step } = e {
+                if *r == rank
+                    && *at_step == step
+                    && self.fired[i]
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    self.crashes.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Decide the fate of the next message sent by world rank `from`, and
+    /// advance that rank's send counter. Called by the transport.
+    pub(crate) fn on_send(&self, from: usize) -> SendAction {
+        let nth = self.send_seq[from].fetch_add(1, Ordering::Relaxed);
+        for (i, e) in self.plan.events.iter().enumerate() {
+            let action = match *e {
+                FaultSpec::DropNth { from: f, nth: n } if f == from && n == nth => {
+                    Some(SendAction::Drop)
+                }
+                FaultSpec::DelayNth {
+                    from: f,
+                    nth: n,
+                    millis,
+                } if f == from && n == nth => {
+                    Some(SendAction::Delay(Duration::from_millis(millis)))
+                }
+                FaultSpec::CorruptNth { from: f, nth: n } if f == from && n == nth => {
+                    Some(SendAction::Corrupt)
+                }
+                _ => None,
+            };
+            if let Some(a) = action {
+                if self.fired[i]
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    self.record(a);
+                    return a;
+                }
+            }
+        }
+        // Probabilistic drops: not one-shot, drawn from the rank's stream.
+        for e in &self.plan.events {
+            if let FaultSpec::DropProb { from: f, prob } = *e {
+                if f == from && self.next_unit(from) < prob {
+                    self.record(SendAction::Drop);
+                    return SendAction::Drop;
+                }
+            }
+        }
+        SendAction::Deliver
+    }
+
+    fn record(&self, a: SendAction) {
+        match a {
+            SendAction::Drop => self.dropped.fetch_add(1, Ordering::Relaxed),
+            SendAction::Delay(_) => self.delayed.fetch_add(1, Ordering::Relaxed),
+            SendAction::Corrupt => self.corrupted.fetch_add(1, Ordering::Relaxed),
+            SendAction::Deliver => 0,
+        };
+    }
+
+    /// Next uniform in [0, 1) from `rank`'s xorshift stream.
+    fn next_unit(&self, rank: usize) -> f64 {
+        let mut x = self.rng[rank].load(Ordering::Relaxed);
+        loop {
+            let mut y = x;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            match self.rng[rank].compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return (y >> 11) as f64 / (1u64 << 53) as f64,
+                Err(cur) => x = cur,
+            }
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1 // xorshift state must be nonzero
+}
+
+/// Flip one deterministic bit of a payload in place (the injected
+/// "bit rot"). The bit index derives from the payload length so repeated
+/// runs corrupt identically.
+pub(crate) fn corrupt_payload(p: &mut Payload) {
+    match p {
+        Payload::F32(v) => {
+            let bit = v.len() % 23;
+            if let Some(x) = v.first_mut() {
+                *x = f32::from_bits(x.to_bits() ^ (1 << bit));
+            }
+        }
+        Payload::U64(v) => {
+            let bit = v.len() % 63;
+            if let Some(x) = v.first_mut() {
+                *x ^= 1 << bit;
+            }
+        }
+    }
+}
+
+/// Why a failure-aware communication operation gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadline. The peer may be
+    /// dead, stalled, or the message may have been dropped in flight.
+    Timeout {
+        src: usize,
+        tag: u64,
+        waited_ms: u64,
+    },
+    /// The peer is known dead (its thread panicked or aborted); no message
+    /// can ever arrive from it.
+    PeerDead { peer: usize },
+    /// A communicator split was malformed (inconsistent colors/ordering).
+    InvalidSplit { rank: usize, detail: String },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                src,
+                tag,
+                waited_ms,
+            } => write!(
+                f,
+                "receive from rank {src} (tag {tag}) timed out after {waited_ms} ms"
+            ),
+            CommError::PeerDead { peer } => write!(f, "peer rank {peer} is dead"),
+            CommError::InvalidSplit { rank, detail } => {
+                write!(f, "invalid communicator split at rank {rank}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Failure-aware extension of [`Communicator`]: deadline receives, sends
+/// that refuse dead destinations, and dead-rank bookkeeping. Collectives
+/// built on this trait (e.g. [`crate::collectives::allreduce_ft`]) return
+/// [`CommError`] instead of hanging on a lost peer.
+pub trait FtCommunicator: Communicator {
+    /// Like [`Communicator::recv`] but gives up after `timeout`, and fails
+    /// fast with [`CommError::PeerDead`] when `src` is marked dead and no
+    /// matching message is already queued.
+    fn recv_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError>;
+
+    /// Like [`Communicator::send`] but returns [`CommError::PeerDead`]
+    /// instead of silently writing into a dead rank's mailbox.
+    fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError>;
+
+    /// Mark this rank dead and wake every blocked receiver in the world.
+    /// Called by the harness when a rank panics or aborts.
+    fn mark_self_dead(&self);
+
+    /// Is the given **group** rank marked dead?
+    fn is_dead(&self, group_rank: usize) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_accumulates_events() {
+        let p = FaultPlan::new(7)
+            .crash(1, 10)
+            .drop_nth(0, 3)
+            .delay_nth(2, 5, 20)
+            .corrupt_nth(1, 8)
+            .drop_prob(0, 0.5);
+        assert_eq!(p.events().len(), 5);
+        assert_eq!(p.crash_steps(), vec![10]);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn crash_fires_exactly_once() {
+        let rt = FaultRuntime::new(FaultPlan::new(1).crash(2, 5), 4);
+        assert!(!rt.should_crash(2, 4));
+        assert!(!rt.should_crash(1, 5));
+        assert!(rt.should_crash(2, 5));
+        // Replaying the same step after restart must not crash again.
+        assert!(!rt.should_crash(2, 5));
+        assert_eq!(rt.stats().crashes_fired, 1);
+    }
+
+    #[test]
+    fn nth_message_faults_hit_the_right_message() {
+        let rt = FaultRuntime::new(FaultPlan::new(1).drop_nth(0, 2).corrupt_nth(1, 0), 2);
+        assert_eq!(rt.on_send(0), SendAction::Deliver); // msg 0
+        assert_eq!(rt.on_send(0), SendAction::Deliver); // msg 1
+        assert_eq!(rt.on_send(0), SendAction::Drop); // msg 2
+        assert_eq!(rt.on_send(0), SendAction::Deliver); // msg 3
+        assert_eq!(rt.on_send(1), SendAction::Corrupt); // rank 1 msg 0
+        assert_eq!(rt.on_send(1), SendAction::Deliver);
+        let s = rt.stats();
+        assert_eq!((s.dropped, s.corrupted, s.delayed), (1, 1, 0));
+    }
+
+    #[test]
+    fn probabilistic_drops_are_deterministic_given_seed() {
+        let decide = |seed: u64| -> Vec<bool> {
+            let rt = FaultRuntime::new(FaultPlan::new(seed).drop_prob(0, 0.3), 1);
+            (0..64).map(|_| rt.on_send(0) == SendAction::Drop).collect()
+        };
+        assert_eq!(decide(42), decide(42));
+        assert_ne!(decide(42), decide(43));
+        let hits = decide(42).iter().filter(|&&b| b).count();
+        assert!(hits > 5 && hits < 40, "p=0.3 over 64 draws gave {hits}");
+    }
+
+    #[test]
+    fn corrupt_changes_exactly_one_bit() {
+        let mut p: Payload = vec![1.0f32, 2.0].into();
+        corrupt_payload(&mut p);
+        let v = p.into_f32();
+        assert_ne!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+
+        let mut p: Payload = vec![8u64].into();
+        corrupt_payload(&mut p);
+        assert_ne!(p.into_u64()[0], 8);
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = CommError::Timeout {
+            src: 3,
+            tag: 7,
+            waited_ms: 250,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("250 ms"));
+        assert!(CommError::PeerDead { peer: 1 }
+            .to_string()
+            .contains("rank 1"));
+    }
+}

@@ -1,6 +1,15 @@
 //! Rank thread harness: spawn one thread per rank, join, propagate panics.
+//!
+//! Fault-aware variants: [`run_ranks_ft`] traps per-rank panics and comm
+//! errors into [`RankOutcome`]s (marking the failed rank dead so survivors'
+//! timeout receives resolve instead of hanging), and [`run_ranks_deadline`]
+//! is the deadlock watchdog for tests — a mismatched-tag hang fails within
+//! the deadline with a diagnostic instead of stalling CI.
 
+use crate::fault::CommError;
 use crate::shm::{ShmComm, World};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// Run `f` on `n` ranks, one OS thread each. Panics in any rank are
 /// propagated to the caller after all threads have been joined.
@@ -47,6 +56,114 @@ where
     (world.bytes_sent(), world.messages_sent())
 }
 
+/// How one rank of a fault-tolerant run ended.
+#[derive(Debug)]
+pub enum RankOutcome<R> {
+    /// The rank's closure returned normally.
+    Ok(R),
+    /// The rank panicked (fault-injected crash or a bug); the payload is
+    /// the panic message.
+    Crashed(String),
+    /// The rank aborted on a communication error — a deadline receive
+    /// timed out or a peer was found dead.
+    TimedOut(CommError),
+}
+
+impl<R> RankOutcome<R> {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RankOutcome::Ok(_))
+    }
+
+    /// The result of a successful rank, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            RankOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Run `f` on every rank of `world`, trapping failures per rank instead of
+/// propagating them. A rank that panics or returns `Err` is marked **dead**
+/// in the world before its thread exits, which wakes every blocked
+/// receiver: survivors' `recv_timeout`/failure-aware collectives resolve
+/// with [`CommError::PeerDead`] promptly instead of waiting out their full
+/// deadline. Returns one [`RankOutcome`] per rank, in rank order.
+pub fn run_ranks_ft<F, R>(world: &World, f: F) -> Vec<RankOutcome<R>>
+where
+    F: Fn(ShmComm) -> Result<R, CommError> + Send + Sync,
+    R: Send,
+{
+    let comms = world.comms();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, c)| {
+                s.spawn(move || {
+                    let world_rank = c.world_rank_of(rank);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(c)));
+                    let outcome = match result {
+                        Ok(Ok(r)) => RankOutcome::Ok(r),
+                        Ok(Err(e)) => RankOutcome::TimedOut(e),
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic payload>".into());
+                            RankOutcome::Crashed(msg)
+                        }
+                    };
+                    // Mark death from inside the failing thread, before any
+                    // join: survivors blocked on this rank wake immediately
+                    // with `PeerDead` instead of waiting out their timeout.
+                    if !outcome.is_ok() {
+                        world.mark_dead(world_rank);
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| unreachable!("rank closure is catch_unwind-wrapped"))
+            })
+            .collect()
+    })
+}
+
+/// Watchdog wrapper for comm tests: run `f` on `n` ranks, but fail with a
+/// diagnostic panic if the whole world has not finished within `deadline` —
+/// a mismatched tag or a swallowed message then costs seconds, not a CI
+/// job timeout. Rank panics propagate as usual when the run does finish.
+///
+/// On deadline expiry the stuck rank threads are leaked (they are blocked
+/// on condvars and cannot be cancelled); the test process reaps them at
+/// exit.
+pub fn run_ranks_deadline<F>(n: usize, deadline: Duration, f: F)
+where
+    F: Fn(ShmComm) + Send + Sync + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| run_ranks(n, f)));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(())) => {}
+        Ok(Err(panic)) => resume_unwind(panic),
+        Err(_) => panic!(
+            "deadlock watchdog: {n} ranks still running after {deadline:?} — \
+             likely a mismatched (src, tag) pair, a missing send, or a \
+             dropped message with no timeout on the receive"
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +181,65 @@ mod tests {
         run_ranks(4, |c| {
             if c.rank() == 2 {
                 panic!("rank 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn ft_collects_outcomes_instead_of_propagating() {
+        use crate::fault::FtCommunicator;
+        let world = World::new(3);
+        let outcomes = run_ranks_ft(&world, |c| {
+            match c.rank() {
+                0 => Ok(c.rank()),
+                1 => panic!("injected: rank 1 dies"),
+                // Rank 2 waits on the dead rank 1 and must resolve, not hang.
+                _ => c
+                    .recv_timeout(1, 9, Duration::from_secs(5))
+                    .map(|_| usize::MAX),
+            }
+        });
+        assert!(matches!(outcomes[0], RankOutcome::Ok(0)));
+        assert!(matches!(&outcomes[1], RankOutcome::Crashed(m) if m.contains("rank 1 dies")));
+        assert!(matches!(
+            &outcomes[2],
+            RankOutcome::TimedOut(CommError::PeerDead { peer: 1 })
+        ));
+        assert!(world.is_dead(1));
+        assert!(!world.is_dead(0));
+    }
+
+    #[test]
+    fn deadline_passes_fast_runs_through() {
+        run_ranks_deadline(4, Duration::from_secs(30), |c| {
+            let peer = c.size() - 1 - c.rank();
+            if peer != c.rank() {
+                c.send(peer, 1, vec![c.rank() as u64].into());
+                assert_eq!(c.recv(peer, 1).into_u64(), vec![peer as u64]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock watchdog")]
+    fn deadline_catches_a_mismatched_tag_hang() {
+        // Rank 1 receives on a tag nobody sends: a classic deadlock that
+        // would stall CI forever without the watchdog.
+        run_ranks_deadline(2, Duration::from_millis(300), |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f32].into());
+            } else {
+                c.recv(0, 8);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn deadline_still_propagates_rank_panics() {
+        run_ranks_deadline(2, Duration::from_secs(30), |c| {
+            if c.rank() == 1 {
+                panic!("boom");
             }
         });
     }

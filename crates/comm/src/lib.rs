@@ -18,20 +18,26 @@
 //! * [`collectives`] — the collective algorithms, generic over any
 //!   [`Communicator`],
 //! * [`harness`] — `run_ranks`, which spawns one thread per rank and joins
-//!   them, propagating panics.
+//!   them, propagating panics,
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   error-carrying surface ([`CommError`], [`FtCommunicator`]) that turns
+//!   dead/silent peers into prompt errors instead of hangs; the harness's
+//!   [`harness::run_ranks_ft`] collects per-rank [`harness::RankOutcome`]s.
 
 pub mod collectives;
+pub mod fault;
 pub mod harness;
 pub mod payload;
 pub mod shm;
 pub mod timed;
 
 pub use collectives::{
-    allgather, allreduce, allreduce_recursive_doubling, alltoall, alltoallv,
-    alltoallv_hierarchical, alltoallv_u64, broadcast, bucket_tag, bucketed_allreduce, gather,
-    reduce_scatter, ReduceOp, RingAllreduce,
+    allgather, allreduce, allreduce_ft, allreduce_recursive_doubling, alltoall, alltoallv,
+    alltoallv_hierarchical, alltoallv_u64, barrier_ft, broadcast, broadcast_ft, bucket_tag,
+    bucketed_allreduce, gather, reduce_scatter, ReduceOp, RingAllreduce,
 };
-pub use harness::run_ranks;
+pub use fault::{CommError, FaultPlan, FaultRuntime, FaultSpec, FaultStats, FtCommunicator};
+pub use harness::{run_ranks, run_ranks_deadline, run_ranks_ft, RankOutcome};
 pub use payload::Payload;
 pub use shm::{
     CommFamily, CommStats, Communicator, FamilyStats, SendRequest, ShmComm, ShmRecv, World,

@@ -14,11 +14,15 @@
 //!   data-parallel groups), with message isolation via a per-group context
 //!   id baked into the mailbox key.
 
+use crate::fault::{
+    corrupt_payload, CommError, FaultRuntime, FaultStats, FtCommunicator, SendAction,
+};
 use crate::payload::Payload;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Handle for an initiated send. Sends into the unbounded mailboxes are
 /// eagerly buffered, so the handle is born complete; it exists so call
@@ -238,6 +242,11 @@ struct Shared {
     total_bytes: AtomicU64,
     total_msgs: AtomicU64,
     families: FamilyCounters,
+    /// Armed fault schedule, consulted on every send (None = no faults).
+    faults: Option<Arc<FaultRuntime>>,
+    /// Per-world-rank dead flags; set once a rank's thread panics or
+    /// aborts, after which receives from it fail fast instead of hanging.
+    dead: Vec<AtomicBool>,
 }
 
 impl Shared {
@@ -277,6 +286,18 @@ pub struct World {
 impl World {
     /// Create a world of `n` ranks.
     pub fn new(n: usize) -> World {
+        World::build(n, None)
+    }
+
+    /// Create a world whose transport runs under an armed fault schedule.
+    /// Pass the same `Arc<FaultRuntime>` to successive worlds of a
+    /// checkpoint-restart loop so one-shot events fire exactly once across
+    /// attempts.
+    pub fn new_with_faults(n: usize, faults: Arc<FaultRuntime>) -> World {
+        World::build(n, Some(faults))
+    }
+
+    fn build(n: usize, faults: Option<Arc<FaultRuntime>>) -> World {
         assert!(n > 0, "world must have at least one rank");
         let boxes = (0..n)
             .map(|_| Mailbox {
@@ -292,9 +313,31 @@ impl World {
                 total_bytes: AtomicU64::new(0),
                 total_msgs: AtomicU64::new(0),
                 families: FamilyCounters::default(),
+                faults,
+                dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
             size: n,
         }
+    }
+
+    /// Mark a world rank dead and wake every blocked receiver so waits on
+    /// the dead rank resolve to [`CommError::PeerDead`] promptly.
+    pub fn mark_dead(&self, world_rank: usize) {
+        self.shared.dead[world_rank].store(true, Ordering::SeqCst);
+        for mbox in &self.shared.boxes {
+            let _guard = mbox.state.lock();
+            mbox.arrived.notify_all();
+        }
+    }
+
+    /// Is the given world rank marked dead?
+    pub fn is_dead(&self, world_rank: usize) -> bool {
+        self.shared.dead[world_rank].load(Ordering::SeqCst)
+    }
+
+    /// Counters of faults injected so far, when a plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.shared.faults.as_ref().map(|f| f.stats())
     }
 
     /// One communicator handle per rank, in rank order.
@@ -370,7 +413,9 @@ impl ShmComm {
             let mut my_new = None;
             for (r, &c) in colors.iter().enumerate() {
                 let grp = &groups[&c];
-                let grank = grp.iter().position(|&x| x == r).unwrap() as u64;
+                let grank = grp.iter().position(|&x| x == r).unwrap_or_else(|| {
+                    panic!("split: rank {r} is missing from its own color-{c} group {grp:?}")
+                }) as u64;
                 // members as world ranks
                 let mut msg = vec![ctx_of[&c], grank, grp.len() as u64];
                 msg.extend(grp.iter().map(|&p| self.members[p] as u64));
@@ -389,6 +434,13 @@ impl ShmComm {
     }
 
     fn from_split_msg(parent: &ShmComm, msg: Vec<u64>) -> ShmComm {
+        assert!(
+            msg.len() >= 3 && msg.len() == 3 + msg[2] as usize,
+            "split: malformed group message at rank {} ({} words: {:?})",
+            parent.rank,
+            msg.len(),
+            &msg[..msg.len().min(8)],
+        );
         let ctx = msg[0];
         let rank = msg[1] as usize;
         let len = msg[2] as usize;
@@ -423,10 +475,32 @@ impl ShmComm {
         }
         let state = &mut *state;
         let payload = state.queues.get_mut(&key)?.pop_front()?;
-        state.tickets.get_mut(&key).unwrap().claimed += 1;
+        state
+            .tickets
+            .get_mut(&key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "claim: ticket entry vanished for (ctx {}, src {}, tag {})",
+                    key.0, key.1, key.2
+                )
+            })
+            .claimed += 1;
         // A claim may unblock a later-ticket waiter on the same key.
         mbox.arrived.notify_all();
         Some(payload)
+    }
+
+    /// Retract an abandoned (timed-out) receive so later receives on the
+    /// same key are not blocked behind a ghost ticket. Receives are posted
+    /// only by this rank's own thread, so an abandoned synchronous receive
+    /// is always the newest ticket on its key.
+    fn cancel_recv(&self, state: &mut MailboxState, req: &ShmRecv) {
+        let key = (self.ctx, req.src, req.tag);
+        if let Some(t) = state.tickets.get_mut(&key) {
+            if t.posted == req.ticket + 1 && t.claimed <= req.ticket {
+                t.posted -= 1;
+            }
+        }
     }
 }
 
@@ -453,6 +527,17 @@ impl Communicator for ShmComm {
     }
 
     fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        let mut payload = payload;
+        if let Some(f) = &self.shared.faults {
+            match f.on_send(self.members[self.rank]) {
+                SendAction::Deliver => {}
+                // Dropped in flight: never enqueued, never counted as sent.
+                SendAction::Drop => return,
+                // A stalled link: the sender blocks for the delay.
+                SendAction::Delay(d) => std::thread::sleep(d),
+                SendAction::Corrupt => corrupt_payload(&mut payload),
+            }
+        }
         let world_dst = self.members[dst];
         let bytes = payload.wire_bytes() as u64;
         self.shared.total_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -513,7 +598,15 @@ impl Communicator for ShmComm {
             if turn {
                 let s = &mut *state;
                 if let Some(p) = s.queues.get_mut(&key).and_then(|q| q.pop_front()) {
-                    s.tickets.get_mut(&key).unwrap().claimed += 1;
+                    s.tickets
+                        .get_mut(&key)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "wait: ticket entry vanished for (ctx {}, src {}, tag {})",
+                                key.0, key.1, key.2
+                            )
+                        })
+                        .claimed += 1;
                     mbox.arrived.notify_all();
                     return p;
                 }
@@ -529,6 +622,70 @@ impl Communicator for ShmComm {
 
     fn stats(&self) -> Option<CommStats> {
         Some(self.shared.snapshot_stats())
+    }
+}
+
+impl FtCommunicator for ShmComm {
+    fn recv_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        let deadline = Instant::now() + timeout;
+        let world_src = self.members[src];
+        let req = self.irecv(src, tag);
+        let mbox = self.my_mailbox();
+        let key = (self.ctx, req.src, req.tag);
+        let mut state = mbox.state.lock();
+        loop {
+            // Claim like `wait`: only at our ticket's turn, FIFO preserved.
+            let turn = state
+                .tickets
+                .get(&key)
+                .is_some_and(|t| t.claimed == req.ticket);
+            if turn {
+                let s = &mut *state;
+                if let Some(p) = s.queues.get_mut(&key).and_then(|q| q.pop_front()) {
+                    s.tickets
+                        .get_mut(&key)
+                        .expect("ticket entry exists while claiming")
+                        .claimed += 1;
+                    mbox.arrived.notify_all();
+                    return Ok(p);
+                }
+            }
+            // Queued messages drain first; only then does death fail fast.
+            if self.shared.dead[world_src].load(Ordering::SeqCst) {
+                self.cancel_recv(&mut state, &req);
+                return Err(CommError::PeerDead { peer: src });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.cancel_recv(&mut state, &req);
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited_ms: timeout.as_millis() as u64,
+                });
+            }
+            mbox.arrived.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        if self.shared.dead[self.members[dst]].load(Ordering::SeqCst) {
+            return Err(CommError::PeerDead { peer: dst });
+        }
+        self.send(dst, tag, payload);
+        Ok(())
+    }
+
+    fn mark_self_dead(&self) {
+        self.shared.dead[self.members[self.rank]].store(true, Ordering::SeqCst);
+        for mbox in &self.shared.boxes {
+            let _guard = mbox.state.lock();
+            mbox.arrived.notify_all();
+        }
+    }
+
+    fn is_dead(&self, group_rank: usize) -> bool {
+        self.shared.dead[self.members[group_rank]].load(Ordering::SeqCst)
     }
 }
 

@@ -9,120 +9,295 @@
 //! magic "BGLU" | version u32 | n_params u64
 //! repeat n_params times:
 //!   name_len u64 | name utf-8 | ndim u64 | dims u64 × ndim | data f32-LE × Π dims
+//!   | crc32 u32                                     (v2 only; over the record)
+//! trailer "BGLT" | n_params u64                     (v2 only)
 //! ```
+//!
+//! **Crash consistency (v2).** A checkpoint that survives a failure must
+//! never decode as garbage: writes go to `<path>.tmp` and are renamed into
+//! place only after an fsync, so a crash mid-write leaves the previous file
+//! intact; every record carries a CRC32 so a flipped bit fails loudly; and
+//! the trailer makes truncation at a record boundary detectable. Version 1
+//! files (no CRCs, no trailer) still load.
 
 use bagualu_model::param::HasParams;
 use bagualu_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"BGLU";
-const VERSION: u32 = 1;
+const TRAILER_MAGIC: &[u8; 4] = b"BGLT";
+const VERSION: u32 = 2;
 
-fn write_param(w: &mut impl Write, name: &str, value: &Tensor) -> io::Result<u64> {
-    let mut written = 0u64;
-    let name_bytes = name.as_bytes();
-    w.write_all(&(name_bytes.len() as u64).to_le_bytes())?;
-    w.write_all(name_bytes)?;
-    written += 8 + name_bytes.len() as u64;
-    let shape = value.shape();
-    w.write_all(&(shape.len() as u64).to_le_bytes())?;
-    written += 8;
-    for &d in shape {
-        w.write_all(&(d as u64).to_le_bytes())?;
-        written += 8;
+// ------------------------------------------------------------------- CRC32
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
     }
-    for &v in value.as_slice() {
-        w.write_all(&v.to_le_bytes())?;
+    table
+};
+
+/// Incremental IEEE CRC-32.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
     }
-    written += 4 * value.len() as u64;
-    Ok(written)
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+// ------------------------------------------------------------------ writing
+
+/// Serialize one parameter record (without its CRC) into bytes.
+fn encode_param(name: &str, value: &Tensor) -> Vec<u8> {
+    let name_bytes = name.as_bytes();
+    let shape = value.shape();
+    let mut buf = Vec::with_capacity(8 + name_bytes.len() + 8 + 8 * shape.len() + 4 * value.len());
+    buf.extend_from_slice(&(name_bytes.len() as u64).to_le_bytes());
+    buf.extend_from_slice(name_bytes);
+    buf.extend_from_slice(&(shape.len() as u64).to_le_bytes());
+    for &d in shape {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in value.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+fn write_param(w: &mut impl Write, name: &str, value: &Tensor) -> io::Result<u64> {
+    let record = encode_param(name, value);
+    let mut crc = Crc32::new();
+    crc.update(&record);
+    w.write_all(&record)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+    Ok(record.len() as u64 + 4)
+}
+
+fn write_header(w: &mut impl Write, n_params: u64) -> io::Result<u64> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&n_params.to_le_bytes())?;
+    Ok(16)
+}
+
+fn write_trailer(w: &mut impl Write, n_params: u64) -> io::Result<u64> {
+    w.write_all(TRAILER_MAGIC)?;
+    w.write_all(&n_params.to_le_bytes())?;
+    Ok(12)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".tmp");
+    PathBuf::from(s)
+}
+
+/// Write a full checkpoint file atomically: serialize to `<path>.tmp`,
+/// fsync, then rename over `path`. Returns bytes written.
+fn write_checkpoint_atomic(path: &Path, names: &[String], tensors: &[Tensor]) -> io::Result<u64> {
+    let tmp = tmp_path(path);
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = BufWriter::new(file);
+    let mut total = write_header(&mut w, names.len() as u64)?;
+    for (name, t) in names.iter().zip(tensors) {
+        total += write_param(&mut w, name, t)?;
+    }
+    total += write_trailer(&mut w, names.len() as u64)?;
+    w.flush()?;
+    let file = w.into_inner().map_err(|e| e.into_error())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(total)
+}
+
+// ------------------------------------------------------------------ reading
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u64(r: &mut impl Read, crc: &mut Crc32) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
+    crc.update(&buf);
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_param(r: &mut impl Read) -> io::Result<(String, Tensor)> {
-    let name_len = read_u64(r)? as usize;
+/// Read one record. `limit` is the file size: every length field is checked
+/// against it so a corrupted field fails cleanly instead of attempting an
+/// absurd allocation. For v2, the record CRC is verified; v1 records carry
+/// none, so the accumulated CRC is simply discarded.
+fn read_param(r: &mut impl Read, version: u32, limit: u64) -> io::Result<(String, Tensor)> {
+    let mut crc = Crc32::new();
+
+    let name_len = read_u64(r, &mut crc)? as usize;
+    if name_len as u64 > limit {
+        return Err(bad(format!("name length {name_len} exceeds file size")));
+    }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
-    let name =
-        String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let ndim = read_u64(r)? as usize;
+    crc.update(&name);
+    let name = String::from_utf8(name).map_err(|e| bad(e.to_string()))?;
+
+    let ndim = read_u64(r, &mut crc)? as usize;
+    if ndim > 64 {
+        return Err(bad(format!("{name}: implausible rank {ndim}")));
+    }
     let mut shape = Vec::with_capacity(ndim);
     for _ in 0..ndim {
-        shape.push(read_u64(r)? as usize);
+        shape.push(read_u64(r, &mut crc)? as usize);
     }
-    let n: usize = shape.iter().product();
-    let mut bytes = vec![0u8; n * 4];
+    let n = shape
+        .iter()
+        .try_fold(1usize, |a, &d| a.checked_mul(d))
+        .ok_or_else(|| bad(format!("{name}: shape {shape:?} overflows")))?;
+    let byte_len = n
+        .checked_mul(4)
+        .filter(|&b| b as u64 <= limit)
+        .ok_or_else(|| {
+            bad(format!(
+                "{name}: data size for shape {shape:?} exceeds file"
+            ))
+        })?;
+    let mut bytes = vec![0u8; byte_len];
     r.read_exact(&mut bytes)?;
+    crc.update(&bytes);
     let data: Vec<f32> = bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
+
+    if version >= 2 {
+        let mut stored = [0u8; 4];
+        r.read_exact(&mut stored)?;
+        let stored = u32::from_le_bytes(stored);
+        let computed = crc.finish();
+        if stored != computed {
+            return Err(bad(format!(
+                "{name}: checksum mismatch (stored {stored:#010x}, computed {computed:#010x}) — \
+                 checkpoint is corrupted"
+            )));
+        }
+    }
     Ok((name, Tensor::from_vec(data, &shape)))
 }
 
-fn write_header(w: &mut impl Write, n_params: u64) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&n_params.to_le_bytes())?;
-    Ok(())
-}
-
-fn read_header(r: &mut impl Read) -> io::Result<u64> {
+/// Header → `(version, n_params)`. Accepts v1 and v2.
+fn read_header(r: &mut impl Read) -> io::Result<(u32, u64)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a BGLU checkpoint",
-        ));
+        return Err(bad("not a BGLU checkpoint"));
     }
     let mut ver = [0u8; 4];
     r.read_exact(&mut ver)?;
     let ver = u32::from_le_bytes(ver);
-    if ver != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {ver}"),
-        ));
+    if ver == 0 || ver > VERSION {
+        return Err(bad(format!("unsupported checkpoint version {ver}")));
     }
-    read_u64(r)
+    let n = read_u64(r, &mut Crc32::new())?;
+    Ok((ver, n))
 }
 
-/// Save every parameter of `model` to one file. Returns bytes written.
-pub fn save_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Result<u64> {
+fn read_trailer(r: &mut impl Read, n_params: u64) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|_| {
+        bad("truncated checkpoint: trailer missing (crash mid-write or truncation)")
+    })?;
+    if &magic != TRAILER_MAGIC {
+        return Err(bad("corrupted checkpoint: bad trailer magic"));
+    }
+    let echoed = read_u64(r, &mut Crc32::new())?;
+    if echoed != n_params {
+        return Err(bad(format!(
+            "corrupted checkpoint: trailer records {echoed} params, header {n_params}"
+        )));
+    }
+    Ok(())
+}
+
+/// Read every `(name, tensor)` record of a checkpoint file, verifying
+/// integrity (v2: per-record CRC32 + trailer; v1: structure only).
+fn read_params_file(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
+    let file = std::fs::File::open(path)?;
+    let limit = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let (version, n) = read_header(&mut r)?;
+    if n > limit {
+        return Err(bad(format!("param count {n} exceeds file size {limit}")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(read_param(&mut r, version, limit)?);
+    }
+    if version >= 2 {
+        read_trailer(&mut r, n)?;
+    } else {
+        // Genuine v1 files end exactly after the last record. Trailing
+        // bytes mean this is really a v2 file whose version field was
+        // corrupted into 1 — refuse rather than skip its CRCs.
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(bad(
+                "trailing bytes after a version-1 record set — corrupted header?",
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn collect_params(model: &mut dyn HasParams) -> (Vec<String>, Vec<Tensor>) {
     let mut names = Vec::new();
     let mut tensors = Vec::new();
     model.visit_params(&mut |p| {
         names.push(p.name.clone());
         tensors.push(p.value.clone());
     });
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    write_header(&mut w, names.len() as u64)?;
-    let mut total = 16u64;
-    for (name, t) in names.iter().zip(&tensors) {
-        total += write_param(&mut w, name, t)?;
-    }
-    w.flush()?;
-    Ok(total)
+    (names, tensors)
+}
+
+// ------------------------------------------------------------------ public
+
+/// Save every parameter of `model` to one file (atomically: tmp + rename).
+/// Returns bytes written.
+pub fn save_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Result<u64> {
+    let (names, tensors) = collect_params(model);
+    write_checkpoint_atomic(path.as_ref(), &names, &tensors)
 }
 
 /// Load parameter values by name from a single checkpoint file. Every
 /// parameter of `model` must be present with a matching shape; extra
 /// entries in the file are ignored (they belong to other shards' views).
 pub fn load_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Result<()> {
-    let file = std::fs::File::open(path)?;
-    let mut r = BufReader::new(file);
-    let n = read_header(&mut r)?;
     let mut map = std::collections::HashMap::new();
-    for _ in 0..n {
-        let (name, t) = read_param(&mut r)?;
+    for (name, t) in read_params_file(path.as_ref())? {
         map.insert(name, t);
     }
     let mut missing = Vec::new();
@@ -139,17 +314,14 @@ pub fn load_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Res
     if missing.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            missing.join("; "),
-        ))
+        Err(bad(missing.join("; ")))
     }
 }
 
 /// Save `model`'s parameters split round-robin across `shards` files named
-/// `shard<k>.bglu` under `dir`. Returns total bytes written. Sharding walks
-/// the deterministic parameter order, so any model with the same structure
-/// can reload with [`load_params_sharded`].
+/// `shard<k>.bglu` under `dir`, each written atomically. Returns total
+/// bytes written. Sharding walks the deterministic parameter order, so any
+/// model with the same structure can reload with [`load_params_sharded`].
 pub fn save_params_sharded(
     dir: impl AsRef<Path>,
     model: &mut dyn HasParams,
@@ -157,24 +329,14 @@ pub fn save_params_sharded(
 ) -> io::Result<u64> {
     assert!(shards > 0);
     std::fs::create_dir_all(&dir)?;
-    let mut names = Vec::new();
-    let mut tensors = Vec::new();
-    model.visit_params(&mut |p| {
-        names.push(p.name.clone());
-        tensors.push(p.value.clone());
-    });
+    let (names, tensors) = collect_params(model);
     let mut total = 0u64;
     for s in 0..shards {
         let idx: Vec<usize> = (s..names.len()).step_by(shards).collect();
+        let shard_names: Vec<String> = idx.iter().map(|&i| names[i].clone()).collect();
+        let shard_tensors: Vec<Tensor> = idx.iter().map(|&i| tensors[i].clone()).collect();
         let path = dir.as_ref().join(format!("shard{s}.bglu"));
-        let file = std::fs::File::create(path)?;
-        let mut w = BufWriter::new(file);
-        write_header(&mut w, idx.len() as u64)?;
-        total += 16;
-        for &i in &idx {
-            total += write_param(&mut w, &names[i], &tensors[i])?;
-        }
-        w.flush()?;
+        total += write_checkpoint_atomic(&path, &shard_names, &shard_tensors)?;
     }
     Ok(total)
 }
@@ -193,11 +355,7 @@ pub fn load_params_from_files(
 ) -> io::Result<()> {
     let mut map = std::collections::HashMap::new();
     for path in paths {
-        let file = std::fs::File::open(path)?;
-        let mut r = BufReader::new(file);
-        let n = read_header(&mut r)?;
-        for _ in 0..n {
-            let (name, t) = read_param(&mut r)?;
+        for (name, t) in read_params_file(path.as_ref())? {
             map.insert(name, t);
         }
     }
@@ -215,10 +373,7 @@ pub fn load_params_from_files(
     if missing.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            missing.join("; "),
-        ))
+        Err(bad(missing.join("; ")))
     }
 }
 
@@ -231,11 +386,7 @@ pub fn load_params_sharded(
     let mut map = std::collections::HashMap::new();
     for s in 0..shards {
         let path = dir.as_ref().join(format!("shard{s}.bglu"));
-        let file = std::fs::File::open(path)?;
-        let mut r = BufReader::new(file);
-        let n = read_header(&mut r)?;
-        for _ in 0..n {
-            let (name, t) = read_param(&mut r)?;
+        for (name, t) in read_params_file(&path)? {
             map.insert(name, t);
         }
     }
@@ -247,10 +398,7 @@ pub fn load_params_sharded(
     if missing.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("missing/mismatched: {}", missing.join(", ")),
-        ))
+        Err(bad(format!("missing/mismatched: {}", missing.join(", "))))
     }
 }
 
@@ -268,6 +416,20 @@ mod tests {
         d
     }
 
+    /// Replicate the version-1 writer (no CRCs, no trailer) so v1 files can
+    /// be produced for the compatibility test.
+    fn save_params_v1(path: &Path, model: &mut dyn HasParams) {
+        let (names, tensors) = collect_params(model);
+        let mut w = BufWriter::new(std::fs::File::create(path).unwrap());
+        w.write_all(MAGIC).unwrap();
+        w.write_all(&1u32.to_le_bytes()).unwrap();
+        w.write_all(&(names.len() as u64).to_le_bytes()).unwrap();
+        for (name, t) in names.iter().zip(&tensors) {
+            w.write_all(&encode_param(name, t)).unwrap();
+        }
+        w.flush().unwrap();
+    }
+
     #[test]
     fn round_trip_restores_exact_values() {
         let dir = tmpdir("mono");
@@ -277,8 +439,30 @@ mod tests {
         let bytes = save_params(&path, &mut a).unwrap();
         assert!(bytes > 0);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        // The staging file is gone after the atomic rename.
+        assert!(!tmp_path(&path).exists());
 
         let mut b = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(2));
+        load_params(&path, &mut b).unwrap();
+        let mut vals_a = Vec::new();
+        a.visit_params(&mut |p| vals_a.push(p.value.clone()));
+        let mut i = 0;
+        b.visit_params(&mut |p| {
+            assert!(p.value.approx_eq(&vals_a[i], 0.0), "param {i} differs");
+            i += 1;
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn loads_version_1_checkpoints() {
+        let dir = tmpdir("v1");
+        let path = dir.join("old.bglu");
+        let mut rng = Rng::seed_from(11);
+        let mut a = Transformer::new(ModelConfig::tiny(), &mut rng);
+        save_params_v1(&path, &mut a);
+
+        let mut b = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(12));
         load_params(&path, &mut b).unwrap();
         let mut vals_a = Vec::new();
         a.visit_params(&mut |p| vals_a.push(p.value.clone()));
@@ -360,11 +544,26 @@ mod tests {
     fn rejects_wrong_magic() {
         let dir = tmpdir("magic");
         let path = dir.join("bad.bglu");
-        std::fs::write(&path, b"NOPE\x01\x00\x00\x00").unwrap();
+        std::fs::write(&path, b"NOPE\x02\x00\x00\x00").unwrap();
         let mut rng = Rng::seed_from(5);
         let mut m = Transformer::new(ModelConfig::tiny(), &mut rng);
         let err = load_params(&path, &mut m).unwrap_err();
         assert!(err.to_string().contains("not a BGLU checkpoint"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let dir = tmpdir("ver");
+        let path = dir.join("future.bglu");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut m = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(5));
+        let err = load_params(&path, &mut m).unwrap_err();
+        assert!(err.to_string().contains("unsupported checkpoint version"));
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -383,6 +582,41 @@ mod tests {
         };
         let mut b = Transformer::new(other, &mut Rng::seed_from(7));
         assert!(load_params(&path, &mut b).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("m.bglu");
+        let mut a = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(8));
+        let bytes = save_params(&path, &mut a).unwrap();
+        // Chop off the trailer (simulates a crash mid-write on a filesystem
+        // without the atomic rename).
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..(bytes as usize - 6)]).unwrap();
+        let mut b = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(9));
+        assert!(load_params(&path, &mut b).is_err(), "truncation must fail");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_single_flipped_bit_in_data() {
+        let dir = tmpdir("flip");
+        let path = dir.join("m.bglu");
+        let mut a = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(10));
+        save_params(&path, &mut a).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip one bit deep inside the tensor data region.
+        let mid = data.len() / 2;
+        data[mid] ^= 0x10;
+        std::fs::write(&path, &data).unwrap();
+        let mut b = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(9));
+        let err = load_params(&path, &mut b).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "want checksum error, got: {err}"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn targets_are_bijective() {
         let task = SyntheticLM::new(64, TokenDistribution::Uniform, 1);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for t in 0..64 {
             let y = task.target_of(t);
             assert!(!seen[y], "target {y} repeated");

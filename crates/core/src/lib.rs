@@ -50,7 +50,7 @@ pub use checkpoint::{
 };
 pub use perfmodel::{PerfInput, Projection, StepBreakdown};
 pub use tokenizer::Bpe;
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{FtConfig, TrainConfig, TrainReport, Trainer};
 
 // Re-export the sub-crates under one roof for downstream users.
 pub use bagualu_comm as comm;

@@ -11,9 +11,10 @@
 //!    overflow flag is all-reduced so every replica stays in lockstep).
 
 use crate::data::{SyntheticLM, TokenDistribution};
-use bagualu_comm::collectives::{allreduce_recursive_doubling, ReduceOp};
-use bagualu_comm::harness::run_ranks_map;
-use bagualu_comm::shm::{CommStats, Communicator};
+use bagualu_comm::collectives::{allreduce_recursive_doubling, barrier_ft, ReduceOp};
+use bagualu_comm::fault::{FaultPlan, FaultRuntime, FtCommunicator};
+use bagualu_comm::harness::{run_ranks_ft, run_ranks_map, RankOutcome};
+use bagualu_comm::shm::{CommStats, Communicator, World};
 use bagualu_model::config::ModelConfig;
 use bagualu_model::loss::cross_entropy;
 use bagualu_model::param::HasParams;
@@ -25,7 +26,9 @@ use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::sync::{backward_and_sync_overlapped, sync_grads};
 use bagualu_tensor::DType;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Full training-run configuration.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +122,15 @@ pub struct TrainReport {
     /// Transport traffic totals, per collective family, when the
     /// communicator collects them.
     pub comm_stats: Option<CommStats>,
+    /// Times the run restarted from a checkpoint after a failure
+    /// (always 0 under [`Trainer::run`]).
+    pub restarts: usize,
+    /// Steps that had to be re-executed because they post-dated the last
+    /// consistent checkpoint when a failure struck (summed over restarts).
+    pub lost_steps: usize,
+    /// Wall-clock seconds consumed by attempts that ended in a failure —
+    /// detection, plus any re-executed work those attempts performed.
+    pub recovery_time_s: f64,
 }
 
 impl TrainReport {
@@ -141,6 +153,42 @@ impl TrainReport {
             ));
         }
         out
+    }
+}
+
+/// Fault-tolerance configuration for [`Trainer::run_ft`].
+///
+/// Kept separate from [`TrainConfig`] (which stays `Copy`): this carries a
+/// fault schedule and a checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Deterministic fault schedule injected into the transport.
+    pub plan: FaultPlan,
+    /// Checkpoint directory: `step<N>/rank<r>.bglu` shards plus a
+    /// `MANIFEST` naming the latest complete step.
+    pub ckpt_dir: PathBuf,
+    /// Checkpoint every this many steps (0 = never).
+    pub ckpt_every: usize,
+    /// Give up (panic) after this many restarts.
+    pub max_restarts: usize,
+    /// How long a rank waits at a step-boundary heartbeat before declaring
+    /// its peers dead.
+    pub heartbeat_ms: u64,
+    /// Start from this step, restoring `ckpt_dir`'s checkpoint for it
+    /// (0 = fresh start).
+    pub resume_step: usize,
+}
+
+impl FtConfig {
+    pub fn new(ckpt_dir: impl Into<PathBuf>) -> FtConfig {
+        FtConfig {
+            plan: FaultPlan::none(),
+            ckpt_dir: ckpt_dir.into(),
+            ckpt_every: 5,
+            max_restarts: 3,
+            heartbeat_ms: 1000,
+            resume_step: 0,
+        }
     }
 }
 
@@ -185,44 +233,172 @@ impl Trainer {
             ..report
         }
     }
+
+    /// Run with fault injection and checkpoint/restart recovery.
+    ///
+    /// Each rank heartbeats at every step boundary ([`barrier_ft`]) and
+    /// checkpoints its shard every `ft.ckpt_every` steps; rank 0 then
+    /// publishes a `MANIFEST` naming the step (atomically, so a failure
+    /// mid-checkpoint leaves the previous consistent set in charge). When a
+    /// rank crashes, survivors detect it within `ft.heartbeat_ms`, the
+    /// world is torn down, and a fresh world restores the last manifest
+    /// step and resumes — with a fresh optimizer (Adam moments are not
+    /// checkpointed; the run is bit-identical to a fault-free run started
+    /// from the restored step, which is what the tests pin down).
+    ///
+    /// With an empty [`FaultPlan`] and `ckpt_every: 0` this computes
+    /// exactly what [`Trainer::run`] computes, plus the heartbeats.
+    pub fn run_ft(&self, ft: &FtConfig) -> TrainReport {
+        let cfg = self.cfg;
+        let start = Instant::now();
+        let faults = Arc::new(FaultRuntime::new(ft.plan.clone(), cfg.nranks));
+
+        let mut loss = vec![f32::NAN; cfg.steps];
+        let mut aux = vec![f32::NAN; cfg.steps];
+        let mut imb = vec![f64::NAN; cfg.steps];
+        let mut dropr = vec![f64::NAN; cfg.steps];
+        let mut eval: std::collections::BTreeMap<usize, f32> = Default::default();
+        let mut restarts = 0usize;
+        let mut lost_steps = 0usize;
+        let mut recovery_time_s = 0.0f64;
+        let mut start_step = ft.resume_step;
+
+        loop {
+            let attempt_start = Instant::now();
+            // The fault runtime is shared across attempts: one-shot events
+            // (a crash at step N) stay consumed on the re-execution of N.
+            let world = World::new_with_faults(cfg.nranks, Arc::clone(&faults));
+            let ftc = ft.clone();
+            let frt = Arc::clone(&faults);
+            let outcomes = run_ranks_ft(&world, move |c| {
+                rank_main_ft(cfg, &ftc, start_step, &frt, &c)
+            });
+
+            let mut completed: Option<TrainReport> = None;
+            let mut failed = false;
+            let mut through = start_step;
+            for o in outcomes {
+                match o {
+                    RankOutcome::Ok(Attempt::Completed(r)) => completed = Some(*r),
+                    RankOutcome::Ok(Attempt::Aborted(seg)) => {
+                        failed = true;
+                        through = through.max(seg.through);
+                        splice(start_step, &seg.loss, &mut loss);
+                        splice(start_step, &seg.aux, &mut aux);
+                        splice(start_step, &seg.imbalance, &mut imb);
+                        splice(start_step, &seg.drop, &mut dropr);
+                        eval.extend(seg.eval.iter().copied());
+                    }
+                    // A genuine panic (not an injected crash): recover from
+                    // it like any other failure, up to max_restarts.
+                    RankOutcome::Crashed(_) | RankOutcome::TimedOut(_) => failed = true,
+                }
+            }
+
+            if let Some(report) = completed {
+                assert!(!failed, "ranks disagreed on completion");
+                splice(start_step, &report.loss_curve, &mut loss);
+                splice(start_step, &report.aux_curve, &mut aux);
+                splice(start_step, &report.imbalance_curve, &mut imb);
+                splice(start_step, &report.drop_curve, &mut dropr);
+                eval.extend(report.eval_curve.iter().copied());
+                let elapsed = start.elapsed().as_secs_f64();
+                return TrainReport {
+                    loss_curve: loss,
+                    aux_curve: aux,
+                    imbalance_curve: imb,
+                    drop_curve: dropr,
+                    eval_curve: eval.into_iter().collect(),
+                    tokens_per_sec: report.total_tokens as f64 / elapsed,
+                    restarts,
+                    lost_steps,
+                    recovery_time_s,
+                    ..report
+                };
+            }
+
+            recovery_time_s += attempt_start.elapsed().as_secs_f64();
+            restarts += 1;
+            assert!(
+                restarts <= ft.max_restarts,
+                "giving up after {restarts} restarts (failure at step {through}, \
+                 max_restarts={})",
+                ft.max_restarts
+            );
+            let restored = read_manifest(&ft.ckpt_dir).unwrap_or(ft.resume_step);
+            lost_steps += through.saturating_sub(restored);
+            start_step = restored;
+        }
+    }
 }
 
-fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
-    let mut model = DistTransformer::new(cfg.model, cfg.seed, comm.rank(), comm.size(), cfg.a2a);
-    let mut opt = MixedPrecision::new(
-        AdamConfig {
+/// Everything one rank needs to execute training steps, factored out of
+/// `rank_main` so the fault-tolerant driver can restore a checkpoint into
+/// it and resume from an arbitrary step.
+struct RankState {
+    cfg: TrainConfig,
+    model: DistTransformer,
+    opt: MixedPrecision,
+    zopt: bagualu_parallel::zero::ZeroAdam,
+    task: SyntheticLM,
+    loss_curve: Vec<f32>,
+    aux_curve: Vec<f32>,
+    imbalance_curve: Vec<f64>,
+    drop_curve: Vec<f64>,
+    eval_curve: Vec<(usize, f32)>,
+    ring_steps: u64,
+    ring_steps_overlapped: u64,
+}
+
+impl RankState {
+    fn new<C: Communicator>(cfg: TrainConfig, comm: &C) -> RankState {
+        let mut model =
+            DistTransformer::new(cfg.model, cfg.seed, comm.rank(), comm.size(), cfg.a2a);
+        let mut opt = MixedPrecision::new(
+            AdamConfig {
+                lr: cfg.lr,
+                ..Default::default()
+            },
+            cfg.dtype,
+        );
+        if cfg.disable_loss_scaling {
+            opt = opt.with_scaler(bagualu_optim::scaler::LossScaler::disabled());
+        }
+        let zopt = bagualu_parallel::zero::ZeroAdam::new(AdamConfig {
             lr: cfg.lr,
             ..Default::default()
-        },
-        cfg.dtype,
-    );
-    if cfg.disable_loss_scaling {
-        opt = opt.with_scaler(bagualu_optim::scaler::LossScaler::disabled());
+        });
+        opt.quantize_model(&mut model);
+        let task = SyntheticLM::new(cfg.model.vocab, cfg.data, cfg.seed);
+        RankState {
+            cfg,
+            model,
+            opt,
+            zopt,
+            task,
+            loss_curve: Vec::with_capacity(cfg.steps),
+            aux_curve: Vec::with_capacity(cfg.steps),
+            imbalance_curve: Vec::with_capacity(cfg.steps),
+            drop_curve: Vec::with_capacity(cfg.steps),
+            eval_curve: Vec::new(),
+            ring_steps: 0,
+            ring_steps_overlapped: 0,
+        }
     }
-    let mut zopt = bagualu_parallel::zero::ZeroAdam::new(AdamConfig {
-        lr: cfg.lr,
-        ..Default::default()
-    });
-    opt.quantize_model(&mut model);
-    let task = SyntheticLM::new(cfg.model.vocab, cfg.data, cfg.seed);
 
-    let mut loss_curve = Vec::with_capacity(cfg.steps);
-    let mut aux_curve = Vec::with_capacity(cfg.steps);
-    let mut imbalance_curve = Vec::with_capacity(cfg.steps);
-    let mut drop_curve = Vec::with_capacity(cfg.steps);
-    let mut eval_curve = Vec::new();
+    /// Execute training step `step`: micro-batches, gradient sync,
+    /// optimizer update, cross-rank metric aggregation, optional eval.
+    fn step<C: Communicator>(&mut self, step: usize, comm: &C) {
+        let cfg = self.cfg;
+        let accum = cfg.grad_accum.max(1);
+        // Overlapped sync replaces backward + sync_grads on the *last*
+        // micro-batch only: earlier micro-batches still accumulate, so their
+        // dense gradients are not final and must not be reduced yet.
+        let use_overlap = cfg.overlap && !cfg.zero_optimizer;
 
-    let accum = cfg.grad_accum.max(1);
-    // Overlapped sync replaces backward + sync_grads on the *last*
-    // micro-batch only: earlier micro-batches still accumulate, so their
-    // dense gradients are not final and must not be reduced yet.
-    let use_overlap = cfg.overlap && !cfg.zero_optimizer;
-    let mut ring_steps = 0u64;
-    let mut ring_steps_overlapped = 0u64;
-    for step in 0..cfg.steps {
         if let Some(schedule) = cfg.schedule {
-            opt.set_lr(schedule.at(step));
-            zopt.set_lr(schedule.at(step));
+            self.opt.set_lr(schedule.at(step));
+            self.zopt.set_lr(schedule.at(step));
         }
 
         // Accumulate gradients over `accum` micro-batches before syncing.
@@ -231,49 +407,52 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
         let mut imb = 1.0f64;
         let mut dropr = 0.0f64;
         for micro in 0..accum {
-            let (tokens, targets) = task.batch(
+            let (tokens, targets) = self.task.batch(
                 cfg.batch_per_rank,
                 cfg.seq,
                 comm.rank(),
                 step * accum + micro,
             );
-            let logits = model.forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
+            let logits = self
+                .model
+                .forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
             let (micro_ce, mut dlogits) = cross_entropy(&logits, &targets);
             ce += micro_ce / accum as f32;
-            aux += model.aux_loss() / accum as f32;
+            aux += self.model.aux_loss() / accum as f32;
             // Routing statistics must be read here: backward consumes the
             // MoE layer caches that hold them.
-            let (i, d) = routing_stats(&model);
+            let (i, d) = routing_stats(&self.model);
             imb = i;
             dropr = d;
-            dlogits.scale(opt.loss_scale() / accum as f32);
+            dlogits.scale(self.opt.loss_scale() / accum as f32);
             if use_overlap && micro + 1 == accum {
-                let s = backward_and_sync_overlapped(&mut model, &dlogits, comm, cfg.bucket_bytes);
-                ring_steps += s.ring_steps as u64;
-                ring_steps_overlapped += s.ring_steps_overlapped as u64;
+                let s =
+                    backward_and_sync_overlapped(&mut self.model, &dlogits, comm, cfg.bucket_bytes);
+                self.ring_steps += s.ring_steps as u64;
+                self.ring_steps_overlapped += s.ring_steps_overlapped as u64;
             } else {
-                model.backward(&dlogits, comm);
+                self.model.backward(&dlogits, comm);
             }
         }
 
         if cfg.zero_optimizer {
             // ZeRO path: reduce-scatter + sharded update + all-gather,
             // replacing both the grad sync and the replicated step.
-            zopt.step(&mut model, comm);
+            self.zopt.step(&mut self.model, comm);
         } else {
             if !use_overlap {
-                sync_grads(&mut model, comm);
+                sync_grads(&mut self.model, comm);
             }
             if let Some(max_norm) = cfg.clip {
                 // Unscale before measuring the norm so clipping thresholds
                 // mean the same thing at every loss scale.
-                let inv = 1.0 / opt.loss_scale();
-                model.visit_params(&mut |p| p.grad.scale(inv));
-                clip_grad_norm(&mut model, max_norm);
-                let back = opt.loss_scale();
-                model.visit_params(&mut |p| p.grad.scale(back));
+                let inv = 1.0 / self.opt.loss_scale();
+                self.model.visit_params(&mut |p| p.grad.scale(inv));
+                clip_grad_norm(&mut self.model, max_norm);
+                let back = self.opt.loss_scale();
+                self.model.visit_params(&mut |p| p.grad.scale(back));
             }
-            let outcome = opt.step(&mut model);
+            let outcome = self.opt.step(&mut self.model);
             // Keep replicas in lockstep: if any rank overflowed, all did —
             // the gradients are identical post-allreduce for dense params,
             // and expert overflow is local; force agreement by reducing the
@@ -286,7 +465,7 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
             let agreed = allreduce_recursive_doubling(comm, vec![flag], ReduceOp::Max);
             debug_assert!(agreed[0] == flag || cfg.dtype != DType::F32);
         }
-        model.zero_grad();
+        self.model.zero_grad();
 
         // Aggregate the step metrics across ranks.
         // Control-path scalars ride the latency-optimal collective (E16).
@@ -296,57 +475,200 @@ fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
             ReduceOp::Sum,
         );
         let r = comm.size() as f32;
-        loss_curve.push(stats[0] / r);
-        aux_curve.push(stats[1] / r);
-        imbalance_curve.push((stats[2] / r) as f64);
-        drop_curve.push((stats[3] / r) as f64);
+        self.loss_curve.push(stats[0] / r);
+        self.aux_curve.push(stats[1] / r);
+        self.imbalance_curve.push((stats[2] / r) as f64);
+        self.drop_curve.push((stats[3] / r) as f64);
 
         // Held-out evaluation (forward only, no gradient contamination:
         // grads were just zeroed and the backward pass is never run).
         if let Some(every) = cfg.eval_every {
-            if step % every == 0 || step + 1 == cfg.steps {
+            if step.is_multiple_of(every) || step + 1 == cfg.steps {
                 // Step indices far outside the training stream.
                 let (tokens, targets) =
-                    task.batch(cfg.batch_per_rank, cfg.seq, comm.rank(), (1 << 20) + step);
-                let logits = model.forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
+                    self.task
+                        .batch(cfg.batch_per_rank, cfg.seq, comm.rank(), (1 << 20) + step);
+                let logits = self
+                    .model
+                    .forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
                 let (eval_ce, _) = cross_entropy(&logits, &targets);
                 let agg = allreduce_recursive_doubling(comm, vec![eval_ce], ReduceOp::Sum);
-                eval_curve.push((step, agg[0] / r));
+                self.eval_curve.push((step, agg[0] / r));
             }
         }
     }
 
-    // Pool the overlap counters globally so the fraction reflects the whole
-    // job, not just rank 0's slice of the rings.
-    let pooled = allreduce_recursive_doubling(
-        comm,
-        vec![ring_steps_overlapped as f32, ring_steps as f32],
-        ReduceOp::Sum,
-    );
-    let overlap_fraction = if pooled[1] > 0.0 {
-        (pooled[0] / pooled[1]) as f64
-    } else {
-        0.0
-    };
+    /// Pool run-wide counters and assemble the report. Uses blocking
+    /// collectives, so call only when every rank reached the end.
+    fn finish<C: Communicator>(self, comm: &C) -> TrainReport {
+        let cfg = self.cfg;
+        // Pool the overlap counters globally so the fraction reflects the
+        // whole job, not just rank 0's slice of the rings.
+        let pooled = allreduce_recursive_doubling(
+            comm,
+            vec![self.ring_steps_overlapped as f32, self.ring_steps as f32],
+            ReduceOp::Sum,
+        );
+        let overlap_fraction = if pooled[1] > 0.0 {
+            (pooled[0] / pooled[1]) as f64
+        } else {
+            0.0
+        };
 
-    // Snapshot transport counters after every rank has gone quiet, so the
-    // totals are stable and identical in meaning across ranks.
-    comm.barrier();
-    let comm_stats = comm.stats();
+        // Snapshot transport counters after every rank has gone quiet, so
+        // the totals are stable and identical in meaning across ranks.
+        comm.barrier();
+        let comm_stats = comm.stats();
 
-    let total_tokens = cfg.nranks * cfg.batch_per_rank * cfg.seq * cfg.steps * accum;
-    TrainReport {
-        loss_curve,
-        aux_curve,
-        imbalance_curve,
-        drop_curve,
-        tokens_per_sec: 0.0, // filled in by Trainer::run
-        skipped_steps: opt.skipped_steps,
-        total_tokens,
-        eval_curve,
-        overlap_fraction,
-        comm_stats,
+        let total_tokens =
+            cfg.nranks * cfg.batch_per_rank * cfg.seq * cfg.steps * cfg.grad_accum.max(1);
+        TrainReport {
+            loss_curve: self.loss_curve,
+            aux_curve: self.aux_curve,
+            imbalance_curve: self.imbalance_curve,
+            drop_curve: self.drop_curve,
+            tokens_per_sec: 0.0, // filled in by Trainer::run
+            skipped_steps: self.opt.skipped_steps,
+            total_tokens,
+            eval_curve: self.eval_curve,
+            overlap_fraction,
+            comm_stats,
+            restarts: 0,
+            lost_steps: 0,
+            recovery_time_s: 0.0,
+        }
     }
+}
+
+fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
+    let mut st = RankState::new(cfg, comm);
+    for step in 0..cfg.steps {
+        st.step(step, comm);
+    }
+    st.finish(comm)
+}
+
+/// What one rank's restart attempt produced.
+enum Attempt {
+    /// Ran through step `cfg.steps - 1`.
+    Completed(Box<TrainReport>),
+    /// Stopped early — an injected crash on this rank, or a failed
+    /// heartbeat because some peer stopped responding.
+    Aborted(Segment),
+}
+
+/// Metrics for the steps an aborted attempt did complete, starting at the
+/// attempt's start step. Identical on every rank (they are all-reduced), so
+/// the driver can splice any one rank's segment into the global curves.
+struct Segment {
+    /// First step that did NOT execute.
+    through: usize,
+    loss: Vec<f32>,
+    aux: Vec<f32>,
+    imbalance: Vec<f64>,
+    drop: Vec<f64>,
+    eval: Vec<(usize, f32)>,
+}
+
+fn abort(st: RankState, through: usize) -> Attempt {
+    Attempt::Aborted(Segment {
+        through,
+        loss: st.loss_curve,
+        aux: st.aux_curve,
+        imbalance: st.imbalance_curve,
+        drop: st.drop_curve,
+        eval: st.eval_curve,
+    })
+}
+
+/// The fault-tolerant per-rank loop: heartbeat → step → periodic
+/// checkpoint, resuming from `start_step` when restarted.
+fn rank_main_ft<C: FtCommunicator>(
+    cfg: TrainConfig,
+    ft: &FtConfig,
+    start_step: usize,
+    faults: &FaultRuntime,
+    comm: &C,
+) -> Result<Attempt, bagualu_comm::fault::CommError> {
+    let hb = Duration::from_millis(ft.heartbeat_ms.max(1));
+    let mut st = RankState::new(cfg, comm);
+    if start_step > 0 {
+        let path = ft
+            .ckpt_dir
+            .join(format!("step{start_step}"))
+            .join(format!("rank{}.bglu", comm.rank()));
+        crate::checkpoint::load_params(&path, &mut st.model).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: cannot restore step-{start_step} checkpoint: {e}",
+                comm.rank()
+            )
+        });
+        // Restore the working-precision invariant (no-op for f32); the
+        // optimizer captures master weights lazily at its first step, so
+        // they come from these restored values.
+        st.opt.quantize_model(&mut st.model);
+    }
+
+    for step in start_step..cfg.steps {
+        // Injected fail-stop crash: the rank flags itself dead and goes
+        // silent. Peers observe exactly what a real crash looks like —
+        // no more messages — while the harness still collects the metric
+        // segment this rank had already agreed on.
+        if faults.should_crash(comm.rank(), step) {
+            comm.mark_self_dead();
+            return Ok(abort(st, step));
+        }
+        // Step-boundary heartbeat: detects dead peers within `hb`. On
+        // failure, flag self dead too so detection cascades instead of
+        // every survivor waiting out its own full timeout.
+        if barrier_ft(comm, hb).is_err() {
+            comm.mark_self_dead();
+            return Ok(abort(st, step));
+        }
+        st.step(step, comm);
+
+        if ft.ckpt_every > 0 && (step + 1) % ft.ckpt_every == 0 && step + 1 < cfg.steps {
+            let next_step = step + 1;
+            let dir = ft.ckpt_dir.join(format!("step{next_step}"));
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create checkpoint dir {dir:?}: {e}"));
+            let path = dir.join(format!("rank{}.bglu", comm.rank()));
+            crate::checkpoint::save_params(&path, &mut st.model)
+                .unwrap_or_else(|e| panic!("cannot write checkpoint {path:?}: {e}"));
+            // All shards must be durable before the manifest advances;
+            // then rank 0 publishes the step atomically.
+            if barrier_ft(comm, hb).is_err() {
+                comm.mark_self_dead();
+                return Ok(abort(st, next_step));
+            }
+            if comm.rank() == 0 {
+                write_manifest(&ft.ckpt_dir, next_step);
+            }
+        }
+    }
+    Ok(Attempt::Completed(Box::new(st.finish(comm))))
+}
+
+/// Copy a curve segment computed from step `at` into the global curve.
+fn splice<T: Copy>(at: usize, src: &[T], dst: &mut [T]) {
+    for (i, &v) in src.iter().enumerate() {
+        if at + i < dst.len() {
+            dst[at + i] = v;
+        }
+    }
+}
+
+/// Publish `MANIFEST` naming the latest complete checkpoint step. Written
+/// to a staging file and renamed so readers never see a partial manifest.
+fn write_manifest(dir: &Path, step: usize) {
+    let tmp = dir.join("MANIFEST.tmp");
+    std::fs::write(&tmp, format!("{step}\n")).expect("write checkpoint manifest");
+    std::fs::rename(&tmp, dir.join("MANIFEST")).expect("publish checkpoint manifest");
+}
+
+fn read_manifest(dir: &Path) -> Option<usize> {
+    let text = std::fs::read_to_string(dir.join("MANIFEST")).ok()?;
+    text.split_whitespace().next()?.parse().ok()
 }
 
 /// Pull imbalance/drop statistics from the first MoE block's last routing.
@@ -568,6 +890,110 @@ mod tests {
         for (a, b) in blocking.loss_curve.iter().zip(&overlapped.loss_curve) {
             assert!((a - b).abs() < 1e-3, "accum+overlap diverged: {a} vs {b}");
         }
+    }
+
+    fn ft_tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("bagualu-ft-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn ft_run_with_empty_plan_matches_plain_run() {
+        let cfg = TrainConfig {
+            steps: 8,
+            ..Default::default()
+        };
+        let plain = Trainer::new(cfg).run();
+        let dir = ft_tmpdir("noop");
+        let ft = FtConfig {
+            ckpt_every: 0,
+            ..FtConfig::new(&dir)
+        };
+        let fault_free = Trainer::new(cfg).run_ft(&ft);
+        assert_eq!(fault_free.restarts, 0);
+        assert_eq!(fault_free.lost_steps, 0);
+        assert_eq!(plain.loss_curve, fault_free.loss_curve);
+        assert_eq!(plain.eval_curve, fault_free.eval_curve);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint_and_matches_reference() {
+        let cfg = TrainConfig {
+            steps: 10,
+            ..Default::default()
+        };
+        let dir = ft_tmpdir("crash");
+
+        // Rank 1 crashes at step 6; checkpoints land at steps 4 and 8.
+        let ft = FtConfig {
+            plan: FaultPlan::new(7).crash(1, 6),
+            ckpt_every: 4,
+            heartbeat_ms: 200,
+            ..FtConfig::new(&dir)
+        };
+        let faulted = Trainer::new(cfg).run_ft(&ft);
+        assert_eq!(faulted.restarts, 1, "one crash → one restart");
+        assert_eq!(faulted.lost_steps, 2, "crash at 6, restored from 4");
+        assert!(faulted.recovery_time_s > 0.0);
+        assert_eq!(faulted.loss_curve.len(), 10);
+        assert!(faulted.loss_curve.iter().all(|l| l.is_finite()));
+
+        // Reference: a fault-free run resumed from the same step-4
+        // checkpoint must produce bit-identical steps 4..10 — recovery adds
+        // nothing beyond what restart-from-checkpoint itself does.
+        let reference = Trainer::new(cfg).run_ft(&FtConfig {
+            ckpt_every: 0,
+            resume_step: 4,
+            ..FtConfig::new(&dir)
+        });
+        assert_eq!(reference.restarts, 0);
+        assert_eq!(faulted.loss_curve[4..], reference.loss_curve[4..]);
+        assert_eq!(faulted.final_loss(), reference.final_loss());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn crash_before_any_checkpoint_restarts_from_scratch() {
+        let cfg = TrainConfig {
+            steps: 6,
+            ..Default::default()
+        };
+        let dir = ft_tmpdir("scratch");
+        let ft = FtConfig {
+            plan: FaultPlan::new(3).crash(0, 2),
+            ckpt_every: 0, // never checkpoint: recovery = full re-run
+            heartbeat_ms: 200,
+            ..FtConfig::new(&dir)
+        };
+        let r = Trainer::new(cfg).run_ft(&ft);
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.lost_steps, 2, "steps 0 and 1 were re-executed");
+        // The re-run from scratch is deterministic, so the curve matches a
+        // plain fault-free run exactly.
+        let plain = Trainer::new(cfg).run();
+        assert_eq!(r.loss_curve, plain.loss_curve);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "giving up after")]
+    fn repeated_crashes_exhaust_max_restarts() {
+        let cfg = TrainConfig {
+            steps: 6,
+            ..Default::default()
+        };
+        let dir = ft_tmpdir("giveup");
+        let ft = FtConfig {
+            plan: FaultPlan::new(5).crash(0, 1).crash(0, 2).crash(0, 3),
+            ckpt_every: 0,
+            max_restarts: 2,
+            heartbeat_ms: 200,
+            ..FtConfig::new(&dir)
+        };
+        Trainer::new(cfg).run_ft(&ft);
     }
 
     #[test]

@@ -95,6 +95,31 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(dir);
     }
+
+    // Single-byte corruption anywhere in the file — header, version,
+    // lengths, payload, CRC, trailer — must be detected at load.
+    #[test]
+    fn any_single_byte_flip_fails_to_load(
+        spec in arb_spec(),
+        pos in any::<usize>(),
+        mask in 1u8..255,
+    ) {
+        let dir = tmp("flip");
+        let path = dir.join("bag.bglu");
+        let mut a = bag_from(&spec);
+        save_params(&path, &mut a).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = pos % bytes.len();
+        bytes[i] ^= mask;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut b = bag_from(&spec);
+        prop_assert!(
+            load_params(&path, &mut b).is_err(),
+            "flipping byte {i} of {} (mask {mask:#04x}) went undetected",
+            bytes.len()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

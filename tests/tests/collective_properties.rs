@@ -103,3 +103,19 @@ fn alltoallv_total_volume_is_conserved() {
     let total_recv: usize = sums.iter().map(|(_, r)| r).sum();
     assert_eq!(total_sent, total_recv);
 }
+
+/// The deadline harness passes well-behaved collective rounds straight
+/// through — and would convert any future deadlock in them into a fast,
+/// attributable failure instead of a hung test run.
+#[test]
+fn collective_round_completes_under_deadline_watchdog() {
+    use bagualu_comm::harness::run_ranks_deadline;
+    use std::time::Duration;
+
+    run_ranks_deadline(4, Duration::from_secs(30), |c| {
+        let summed = allreduce(&c, vec![c.rank() as f32; 16], ReduceOp::Sum);
+        assert!(summed.iter().all(|&v| v == 6.0));
+        let rows = allgather(&c, vec![c.rank() as f32]);
+        assert_eq!(rows, vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+    });
+}

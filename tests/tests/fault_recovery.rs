@@ -106,3 +106,77 @@ fn checkpoint_restart_continues_training() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The automated version of the scenario above: `Trainer::run_ft` detects
+/// injected crashes via the failure-aware collectives, restores the last
+/// manifest checkpoint, and resumes — twice in one run.
+#[test]
+fn trainer_recovers_from_two_crashes_automatically() {
+    use bagualu::comm::FaultPlan;
+    use bagualu::trainer::{FtConfig, TrainConfig, Trainer};
+
+    let dir = std::env::temp_dir().join(format!("bagualu-ft-auto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = TrainConfig {
+        steps: 10,
+        ..TrainConfig::default()
+    };
+    // Checkpoints at steps 3, 6, 9; rank 0 dies at step 3, rank 1 at 7.
+    let ft = FtConfig {
+        plan: FaultPlan::new(11).crash(0, 3).crash(1, 7),
+        ckpt_every: 3,
+        max_restarts: 3,
+        heartbeat_ms: 300,
+        ..FtConfig::new(&dir)
+    };
+    let r = Trainer::new(cfg).run_ft(&ft);
+    assert_eq!(r.restarts, 2);
+    // Crash at 3 lands exactly on the step-3 checkpoint (0 lost); crash at
+    // 7 rolls back to step 6 (1 step lost).
+    assert_eq!(r.lost_steps, 1);
+    assert_eq!(r.loss_curve.len(), 10);
+    assert!(r.loss_curve.iter().all(|l| l.is_finite()));
+    assert!(
+        r.final_loss() < r.loss_curve[0],
+        "recovered run must still learn: {} -> {}",
+        r.loss_curve[0],
+        r.final_loss()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dropped message inside a failure-aware collective surfaces as a
+/// timeout on every rank instead of a deadlock; the deadline harness
+/// guards the whole scenario in case detection itself regresses.
+#[test]
+fn dropped_message_times_out_under_watchdog() {
+    use bagualu::comm::shm::World;
+    use bagualu::comm::{allreduce_ft, FaultPlan, FaultRuntime, RankOutcome, ReduceOp};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let faults = std::sync::Arc::new(FaultRuntime::new(FaultPlan::new(21).drop_nth(1, 0), 3));
+        let world = World::new_with_faults(3, faults);
+        let outcomes = bagualu::comm::run_ranks_ft(&world, |c| {
+            allreduce_ft(
+                &c,
+                vec![c.rank() as f32],
+                ReduceOp::Sum,
+                Duration::from_millis(200),
+            )
+        });
+        tx.send(outcomes).unwrap();
+    });
+    let outcomes = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("deadlock: dropped message was never detected");
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o, RankOutcome::TimedOut(_))),
+        "someone must observe the drop"
+    );
+}

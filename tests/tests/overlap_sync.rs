@@ -37,14 +37,13 @@ fn cfg(n_experts: usize) -> ModelConfig {
     }
 }
 
+/// (dense_a, dense_b, expert_a, expert_b) gradient flats.
+type GradFlats = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
 /// Run one backward on each of two identical replicas of the same sharded
 /// model — one synced monolithically, one synced bucketed/overlapped — and
-/// return (dense_a, dense_b, expert_a, expert_b) gradient flats.
-fn grads_both_ways(
-    nranks: usize,
-    bucket_bytes: usize,
-    seed: u64,
-) -> Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)> {
+/// return the per-rank gradient flats.
+fn grads_both_ways(nranks: usize, bucket_bytes: usize, seed: u64) -> Vec<GradFlats> {
     let cfg = cfg(nranks * 2);
     let per_rank = 2usize;
     let seq = 4usize;
@@ -71,7 +70,7 @@ fn grads_both_ways(
             let (_, dlogits) = cross_entropy(&logits, tshard);
             if overlapped {
                 let stats = backward_and_sync_overlapped(&mut m, &dlogits, &c, bucket_bytes);
-                assert_eq!(stats.ring_steps, stats.buckets * 2 * (nranks - 1).max(0));
+                assert_eq!(stats.ring_steps, stats.buckets * 2 * (nranks - 1));
                 assert!(stats.ring_steps_overlapped <= stats.ring_steps);
                 assert!(stats.dense_scalars > 0);
             } else {
