@@ -109,7 +109,7 @@ pub fn run() {
             .unwrap_or(0);
         t.row(&[
             format!("{} KiB", bucket_bytes >> 10),
-            format!("{:.0}%", report.overlap_fraction * 100.0),
+            format!("{:.0}%", report.overlap_fraction.unwrap_or(0.0) * 100.0),
             format_si(traffic as f64, "B"),
         ]);
     }

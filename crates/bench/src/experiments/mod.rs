@@ -22,11 +22,12 @@ pub mod e19_kernel_tiling;
 pub mod e20_energy;
 pub mod e21_virtual_time;
 pub mod e22_fault_goodput;
+pub mod e23_trace_breakdown;
 
 /// All experiment ids, in order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// Run one experiment by id. Returns false for an unknown id.
@@ -54,6 +55,7 @@ pub fn run(id: &str) -> bool {
         "e20" => e20_energy::run(),
         "e21" => e21_virtual_time::run(),
         "e22" => e22_fault_goodput::run(),
+        "e23" => e23_trace_breakdown::run(),
         _ => return false,
     }
     true

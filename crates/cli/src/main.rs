@@ -62,6 +62,7 @@ fn print_help() {
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
     eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
+    eprintln!("            --trace FILE (write Chrome trace JSON + per-rank summary)");
     eprintln!("            --ckpt-dir PATH --ckpt-every N (checkpoint/restart recovery)");
     eprintln!("            --crash R@S[,R@S…] (inject rank R crash at step S) --max-restarts N");
     eprintln!("  project   performance projection on the simulated machine");
@@ -137,6 +138,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "ckpt-every",
         "crash",
         "max-restarts",
+        "trace",
     ])?;
     use bagualu::model::moe::GateKind;
     let gate = match args.get("gate", "top2").as_str() {
@@ -155,6 +157,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let nranks = args.get_parse("ranks", 2usize)?;
     let skew: f64 = args.get_parse("skew", 0.0f64)?;
     let zero = args.switch("zero");
+    let trace_path = args.get("trace", "");
     let cfg = TrainConfig {
         model: ModelConfig {
             n_experts: args.get_parse("experts", 4usize)?,
@@ -184,6 +187,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         },
         overlap: !args.switch("no-overlap"),
         bucket_bytes: args.get_parse("bucket-kib", 1024usize)? << 10,
+        trace: !trace_path.is_empty(),
         ..Default::default()
     };
     println!(
@@ -240,12 +244,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             );
         }
     }
+    let overlap = match report.overlap_fraction {
+        Some(f) => format!("overlap {:.0}%", f * 100.0),
+        None => "overlap n/a".to_string(),
+    };
     println!(
-        "final loss {:.4} | {} | skipped {} | overlap {:.0}%",
+        "final loss {:.4} | {} | skipped {} | {}",
         report.final_loss(),
         format_si(report.tokens_per_sec, "tok/s"),
         report.skipped_steps,
-        report.overlap_fraction * 100.0
+        overlap
     );
     if let Some(stats) = report.comm_stats {
         print!(
@@ -258,6 +266,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
         }
         println!();
+    }
+    if !trace_path.is_empty() {
+        let trace = report.trace.as_ref().expect("trace was enabled");
+        std::fs::write(&trace_path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+        println!("wrote Chrome trace to {trace_path} (open at https://ui.perfetto.dev)");
+        print!("{}", trace.summary());
     }
     if let Some(path) = {
         let p = args.get("csv", "");

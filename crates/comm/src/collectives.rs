@@ -18,8 +18,11 @@ use crate::shm::Communicator;
 /// Element-wise reduction applied by reduce collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
+    /// Element-wise addition.
     Sum,
+    /// Element-wise maximum.
     Max,
+    /// Element-wise minimum.
     Min,
 }
 

@@ -39,24 +39,52 @@ pub enum FaultSpec {
     /// trainer (or any step-structured driver) polls
     /// [`FaultRuntime::should_crash`]; the transport itself has no step
     /// notion. Fires once, even across checkpoint-restart replays.
-    Crash { rank: usize, at_step: usize },
+    Crash {
+        /// World rank that crashes.
+        rank: usize,
+        /// Training step at whose start the crash fires.
+        at_step: usize,
+    },
     /// Silently discard the `nth` message sent by `from` (0-based over the
     /// rank's lifetime sends, timing headers included).
-    DropNth { from: usize, nth: u64 },
+    DropNth {
+        /// Sending world rank.
+        from: usize,
+        /// 0-based index among `from`'s lifetime sends.
+        nth: u64,
+    },
     /// Hold the `nth` message sent by `from` for `millis` before delivery
     /// (the sender blocks, modeling a stalled link).
-    DelayNth { from: usize, nth: u64, millis: u64 },
+    DelayNth {
+        /// Sending world rank.
+        from: usize,
+        /// 0-based index among `from`'s lifetime sends.
+        nth: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
     /// Flip one bit in the `nth` message sent by `from`.
-    CorruptNth { from: usize, nth: u64 },
+    CorruptNth {
+        /// Sending world rank.
+        from: usize,
+        /// 0-based index among `from`'s lifetime sends.
+        nth: u64,
+    },
     /// Drop each message sent by `from` independently with probability
     /// `prob`, decided by a per-rank seeded RNG stream.
-    DropProb { from: usize, prob: f64 },
+    DropProb {
+        /// Sending world rank.
+        from: usize,
+        /// Per-message drop probability in `[0, 1]`.
+        prob: f64,
+    },
 }
 
 /// A deterministic, seeded schedule of faults. Pure data — clone it freely,
 /// hand it to [`FaultRuntime::new`] to arm it against a world.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
+    /// Seed for the probabilistic events' per-rank RNG streams.
     pub seed: u64,
     events: Vec<FaultSpec>,
 }
@@ -67,6 +95,7 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// An empty plan with a seed for later probabilistic events.
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -74,10 +103,12 @@ impl FaultPlan {
         }
     }
 
+    /// True when the plan schedules no faults.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
+    /// The scheduled fault events, in insertion order.
     pub fn events(&self) -> &[FaultSpec] {
         &self.events
     }
@@ -140,9 +171,13 @@ pub(crate) enum SendAction {
 /// Counters of faults actually injected, for reports and experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
+    /// Messages silently discarded in flight.
     pub dropped: u64,
+    /// Messages held back by an injected delay.
     pub delayed: u64,
+    /// Messages that had a bit flipped.
     pub corrupted: u64,
+    /// Crash events that actually fired (one-shot latches claimed).
     pub crashes_fired: u64,
 }
 
@@ -167,6 +202,7 @@ pub struct FaultRuntime {
 }
 
 impl FaultRuntime {
+    /// Arm `plan` against a world of `nranks` ranks.
     pub fn new(plan: FaultPlan, nranks: usize) -> FaultRuntime {
         let fired = (0..plan.events.len())
             .map(|_| AtomicBool::new(false))
@@ -191,10 +227,12 @@ impl FaultRuntime {
         }
     }
 
+    /// The plan this runtime was armed with.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
 
+    /// Counters of faults injected so far.
     pub fn stats(&self) -> FaultStats {
         FaultStats {
             dropped: self.dropped.load(Ordering::Relaxed),
@@ -325,15 +363,26 @@ pub enum CommError {
     /// No matching message arrived within the deadline. The peer may be
     /// dead, stalled, or the message may have been dropped in flight.
     Timeout {
+        /// Group rank the receive was posted against.
         src: usize,
+        /// Tag the receive was posted under.
         tag: u64,
+        /// How long the receive waited before giving up, milliseconds.
         waited_ms: u64,
     },
     /// The peer is known dead (its thread panicked or aborted); no message
     /// can ever arrive from it.
-    PeerDead { peer: usize },
+    PeerDead {
+        /// Group rank of the dead peer.
+        peer: usize,
+    },
     /// A communicator split was malformed (inconsistent colors/ordering).
-    InvalidSplit { rank: usize, detail: String },
+    InvalidSplit {
+        /// Group rank that observed the malformed split.
+        rank: usize,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {

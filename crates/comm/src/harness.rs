@@ -70,6 +70,7 @@ pub enum RankOutcome<R> {
 }
 
 impl<R> RankOutcome<R> {
+    /// Did the rank's closure return normally?
     pub fn is_ok(&self) -> bool {
         matches!(self, RankOutcome::Ok(_))
     }

@@ -17,12 +17,23 @@
 //!   splitting into sub-groups,
 //! * [`collectives`] — the collective algorithms, generic over any
 //!   [`Communicator`],
+//! * [`timed`] — [`TimedComm`], a wrapper that charges an analytical link
+//!   cost ([`LinkCost`] / [`TwoLevelCost`]) to a virtual clock, for
+//!   topology studies without real network hardware,
 //! * [`harness`] — `run_ranks`, which spawns one thread per rank and joins
 //!   them, propagating panics,
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
 //!   error-carrying surface ([`CommError`], [`FtCommunicator`]) that turns
 //!   dead/silent peers into prompt errors instead of hangs; the harness's
 //!   [`harness::run_ranks_ft`] collects per-rank [`harness::RankOutcome`]s.
+//!
+//! Observability: the transport reports per-family traffic through
+//! [`CommStats`] and, when a `bagualu-trace` collector is installed on the
+//! calling thread, mirrors every send/receive into per-family trace
+//! counters (`comm.sent.<family>.*` / `comm.recv.<family>.*`) and counts
+//! injected fault events. See `docs/OBSERVABILITY.md` at the repo root.
+
+#![warn(missing_docs)]
 
 pub mod collectives;
 pub mod fault;

@@ -131,6 +131,48 @@ impl CommFamily {
         CommFamily::ALL.iter().position(|&f| f == self).unwrap()
     }
 
+    /// Lower-case family label, used in reports and trace counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommFamily::Allreduce => "allreduce",
+            CommFamily::Broadcast => "broadcast",
+            CommFamily::Gather => "gather",
+            CommFamily::Alltoall => "alltoall",
+            CommFamily::Timing => "timing",
+            CommFamily::Control => "control",
+            CommFamily::Other => "other",
+        }
+    }
+
+    /// Trace counter names for traffic *sent* under this family:
+    /// `("comm.sent.<family>.bytes", "comm.sent.<family>.msgs")`. Static
+    /// strings because the tracer stores `&'static str` names.
+    pub fn sent_counter_names(self) -> (&'static str, &'static str) {
+        match self {
+            CommFamily::Allreduce => ("comm.sent.allreduce.bytes", "comm.sent.allreduce.msgs"),
+            CommFamily::Broadcast => ("comm.sent.broadcast.bytes", "comm.sent.broadcast.msgs"),
+            CommFamily::Gather => ("comm.sent.gather.bytes", "comm.sent.gather.msgs"),
+            CommFamily::Alltoall => ("comm.sent.alltoall.bytes", "comm.sent.alltoall.msgs"),
+            CommFamily::Timing => ("comm.sent.timing.bytes", "comm.sent.timing.msgs"),
+            CommFamily::Control => ("comm.sent.control.bytes", "comm.sent.control.msgs"),
+            CommFamily::Other => ("comm.sent.other.bytes", "comm.sent.other.msgs"),
+        }
+    }
+
+    /// Trace counter names for traffic *received* under this family:
+    /// `("comm.recv.<family>.bytes", "comm.recv.<family>.msgs")`.
+    pub fn recv_counter_names(self) -> (&'static str, &'static str) {
+        match self {
+            CommFamily::Allreduce => ("comm.recv.allreduce.bytes", "comm.recv.allreduce.msgs"),
+            CommFamily::Broadcast => ("comm.recv.broadcast.bytes", "comm.recv.broadcast.msgs"),
+            CommFamily::Gather => ("comm.recv.gather.bytes", "comm.recv.gather.msgs"),
+            CommFamily::Alltoall => ("comm.recv.alltoall.bytes", "comm.recv.alltoall.msgs"),
+            CommFamily::Timing => ("comm.recv.timing.bytes", "comm.recv.timing.msgs"),
+            CommFamily::Control => ("comm.recv.control.bytes", "comm.recv.control.msgs"),
+            CommFamily::Other => ("comm.recv.other.bytes", "comm.recv.other.msgs"),
+        }
+    }
+
     /// Attribute a tag to a family (see the tag constants in
     /// `collectives.rs` and the reserved high bits below / in `timed.rs`).
     pub fn of_tag(tag: u64) -> CommFamily {
@@ -157,14 +199,18 @@ impl CommFamily {
 /// Per-family traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FamilyStats {
+    /// Payload bytes sent under this family.
     pub bytes: u64,
+    /// Messages sent under this family.
     pub msgs: u64,
 }
 
 /// A snapshot of transport traffic, total and per collective family.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CommStats {
+    /// Payload bytes sent, all families.
     pub total_bytes: u64,
+    /// Messages sent, all families.
     pub total_msgs: u64,
     families: [FamilyStats; N_FAMILIES],
 }
@@ -178,6 +224,25 @@ impl CommStats {
     /// Iterate `(family, counters)` pairs in a fixed order.
     pub fn families(&self) -> impl Iterator<Item = (CommFamily, FamilyStats)> + '_ {
         CommFamily::ALL.iter().map(|&f| (f, self.family(f)))
+    }
+}
+
+/// Record per-family trace counters for one sent message. No-op unless the
+/// calling thread currently records a trace lane (one relaxed load).
+fn trace_sent(tag: u64, bytes: u64) {
+    if bagualu_trace::enabled() {
+        let (b, m) = CommFamily::of_tag(tag).sent_counter_names();
+        bagualu_trace::count(b, bytes);
+        bagualu_trace::count(m, 1);
+    }
+}
+
+/// Record per-family trace counters for one received (claimed) message.
+fn trace_recv(tag: u64, payload: &Payload) {
+    if bagualu_trace::enabled() {
+        let (b, m) = CommFamily::of_tag(tag).recv_counter_names();
+        bagualu_trace::count(b, payload.wire_bytes() as u64);
+        bagualu_trace::count(m, 1);
     }
 }
 
@@ -532,10 +597,16 @@ impl Communicator for ShmComm {
             match f.on_send(self.members[self.rank]) {
                 SendAction::Deliver => {}
                 // Dropped in flight: never enqueued, never counted as sent.
-                SendAction::Drop => return,
+                SendAction::Drop => {
+                    bagualu_trace::count(bagualu_trace::names::FAULT_DROPS, 1);
+                    return;
+                }
                 // A stalled link: the sender blocks for the delay.
                 SendAction::Delay(d) => std::thread::sleep(d),
-                SendAction::Corrupt => corrupt_payload(&mut payload),
+                SendAction::Corrupt => {
+                    bagualu_trace::count(bagualu_trace::names::FAULT_CORRUPTIONS, 1);
+                    corrupt_payload(&mut payload);
+                }
             }
         }
         let world_dst = self.members[dst];
@@ -545,6 +616,7 @@ impl Communicator for ShmComm {
         let fam = CommFamily::of_tag(tag).index();
         self.shared.families.bytes[fam].fetch_add(bytes, Ordering::Relaxed);
         self.shared.families.msgs[fam].fetch_add(1, Ordering::Relaxed);
+        trace_sent(tag, bytes);
         let mbox = &self.shared.boxes[world_dst];
         let mut state = mbox.state.lock();
         state
@@ -579,6 +651,9 @@ impl Communicator for ShmComm {
     fn test(&self, req: &mut ShmRecv) -> bool {
         if req.done.is_none() {
             req.done = self.try_claim(req);
+            if let Some(p) = &req.done {
+                trace_recv(req.tag, p);
+            }
         }
         req.done.is_some()
     }
@@ -608,6 +683,8 @@ impl Communicator for ShmComm {
                         })
                         .claimed += 1;
                     mbox.arrived.notify_all();
+                    drop(state);
+                    trace_recv(req.tag, &p);
                     return p;
                 }
             }
@@ -647,6 +724,8 @@ impl FtCommunicator for ShmComm {
                         .expect("ticket entry exists while claiming")
                         .claimed += 1;
                     mbox.arrived.notify_all();
+                    drop(state);
+                    trace_recv(req.tag, &p);
                     return Ok(p);
                 }
             }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 /// Cost of moving `bytes` between two ranks, seconds.
 pub trait LinkCost: Send + Sync {
+    /// Seconds charged for moving `bytes` from rank `from` to rank `to`.
     fn cost(&self, from: usize, to: usize, bytes: usize) -> f64;
 }
 
@@ -26,10 +27,15 @@ pub trait LinkCost: Send + Sync {
 /// the intra constants, others the inter constants.
 #[derive(Debug, Clone, Copy)]
 pub struct TwoLevelCost {
+    /// Ranks per supernode block (intra-block links are the fast ones).
     pub supernode_size: usize,
+    /// Intra-block latency, seconds.
     pub alpha_intra: f64,
-    pub beta_intra: f64, // seconds per byte
+    /// Intra-block inverse bandwidth, seconds per byte.
+    pub beta_intra: f64,
+    /// Inter-block latency, seconds.
     pub alpha_inter: f64,
+    /// Inter-block inverse bandwidth, seconds per byte.
     pub beta_inter: f64,
 }
 

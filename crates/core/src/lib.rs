@@ -8,7 +8,11 @@
 //! * [`bagualu_comm`] — rank communicator and collective algorithms,
 //! * [`bagualu_model`] — transformer + mixture-of-experts layers,
 //! * [`bagualu_optim`] — Adam, loss scaling, mixed precision,
-//! * [`bagualu_parallel`] — MoDa hybrid parallelism.
+//! * [`bagualu_parallel`] — MoDa hybrid parallelism,
+//! * [`bagualu_trace`] — per-rank structured tracing (spans, counters,
+//!   Chrome-trace export; see `docs/OBSERVABILITY.md`). Enable it with
+//!   [`trainer::TrainConfig::trace`] and read the result from
+//!   [`trainer::TrainReport::trace`].
 //!
 //! What this crate adds:
 //!
@@ -60,3 +64,4 @@ pub use bagualu_net as net;
 pub use bagualu_optim as optim;
 pub use bagualu_parallel as parallel;
 pub use bagualu_tensor as tensor;
+pub use bagualu_trace as trace;

@@ -26,6 +26,7 @@ use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::sync::{backward_and_sync_overlapped, sync_grads};
 use bagualu_tensor::DType;
+use bagualu_trace::{self as trace, names, Trace, TraceCollector, DRIVER_LANE};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -68,6 +69,9 @@ pub struct TrainConfig {
     pub overlap: bool,
     /// Bucket size for the overlapped gradient sync, bytes of f32 payload.
     pub bucket_bytes: usize,
+    /// Record a structured per-rank trace (spans + counters) of the run;
+    /// the merged [`Trace`] lands in [`TrainReport::trace`].
+    pub trace: bool,
 }
 
 impl Default for TrainConfig {
@@ -91,6 +95,7 @@ impl Default for TrainConfig {
             eval_every: None,
             overlap: true,
             bucket_bytes: 1 << 20,
+            trace: false,
         }
     }
 }
@@ -117,8 +122,12 @@ pub struct TrainReport {
     pub eval_curve: Vec<(usize, f32)>,
     /// Measured fraction of ring all-reduce steps that completed while
     /// backward compute was still running, aggregated over all ranks and
-    /// steps. `0.0` when overlap is disabled, single-rank, or ZeRO.
-    pub overlap_fraction: f64,
+    /// steps. `None` when the overlapped sync path did not run (overlap
+    /// disabled, or ZeRO); `Some(0.0)` when it ran but nothing could hide
+    /// (e.g. single rank — a ring of one has no steps).
+    pub overlap_fraction: Option<f64>,
+    /// The merged per-rank trace, when [`TrainConfig::trace`] was set.
+    pub trace: Option<Arc<Trace>>,
     /// Transport traffic totals, per collective family, when the
     /// communicator collects them.
     pub comm_stats: Option<CommStats>,
@@ -134,6 +143,7 @@ pub struct TrainReport {
 }
 
 impl TrainReport {
+    /// Last entry of the loss curve (NaN when no steps ran).
     pub fn final_loss(&self) -> f32 {
         *self.loss_curve.last().unwrap_or(&f32::NAN)
     }
@@ -225,11 +235,17 @@ impl Trainer {
     pub fn run(&self) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
-        let mut reports = run_ranks_map(cfg.nranks, move |c| rank_main(cfg, &c));
+        let collector = cfg.trace.then(TraceCollector::new);
+        let col = collector.clone();
+        let mut reports = run_ranks_map(cfg.nranks, move |c| {
+            let _lane = col.as_ref().map(|col| col.install(c.rank()));
+            rank_main(cfg, &c)
+        });
         let report = reports.swap_remove(0);
         let elapsed = start.elapsed().as_secs_f64();
         TrainReport {
             tokens_per_sec: report.total_tokens as f64 / elapsed,
+            trace: collector.map(|c| Arc::new(c.finish())),
             ..report
         }
     }
@@ -252,6 +268,9 @@ impl Trainer {
         let cfg = self.cfg;
         let start = Instant::now();
         let faults = Arc::new(FaultRuntime::new(ft.plan.clone(), cfg.nranks));
+        // One collector for the whole run: lanes from successive restart
+        // attempts append to the same per-rank timeline.
+        let collector = cfg.trace.then(TraceCollector::new);
 
         let mut loss = vec![f32::NAN; cfg.steps];
         let mut aux = vec![f32::NAN; cfg.steps];
@@ -265,12 +284,15 @@ impl Trainer {
 
         loop {
             let attempt_start = Instant::now();
+            let attempt_t0_ns = collector.as_ref().map(|c| c.now_ns());
             // The fault runtime is shared across attempts: one-shot events
             // (a crash at step N) stay consumed on the re-execution of N.
             let world = World::new_with_faults(cfg.nranks, Arc::clone(&faults));
             let ftc = ft.clone();
             let frt = Arc::clone(&faults);
+            let col = collector.clone();
             let outcomes = run_ranks_ft(&world, move |c| {
+                let _lane = col.as_ref().map(|col| col.install(c.rank()));
                 rank_main_ft(cfg, &ftc, start_step, &frt, &c)
             });
 
@@ -313,10 +335,22 @@ impl Trainer {
                     restarts,
                     lost_steps,
                     recovery_time_s,
+                    trace: collector.map(|c| Arc::new(c.finish())),
                     ..report
                 };
             }
 
+            // The failed attempt, recorded on the driver lane: its whole
+            // wall time is recovery (detection + re-executed work).
+            if let Some(col) = &collector {
+                col.record_span(
+                    DRIVER_LANE,
+                    names::RECOVERY,
+                    attempt_t0_ns.unwrap(),
+                    col.now_ns(),
+                );
+                col.record_count(DRIVER_LANE, names::RESTARTS, 1);
+            }
             recovery_time_s += attempt_start.elapsed().as_secs_f64();
             restarts += 1;
             assert!(
@@ -389,6 +423,7 @@ impl RankState {
     /// Execute training step `step`: micro-batches, gradient sync,
     /// optimizer update, cross-rank metric aggregation, optional eval.
     fn step<C: Communicator>(&mut self, step: usize, comm: &C) {
+        let _step_span = trace::span(names::STEP);
         let cfg = self.cfg;
         let accum = cfg.grad_accum.max(1);
         // Overlapped sync replaces backward + sync_grads on the *last*
@@ -413,9 +448,11 @@ impl RankState {
                 comm.rank(),
                 step * accum + micro,
             );
-            let logits = self
-                .model
-                .forward(&tokens, cfg.batch_per_rank, cfg.seq, comm);
+            let logits = {
+                let _span = trace::span(names::FORWARD);
+                self.model
+                    .forward(&tokens, cfg.batch_per_rank, cfg.seq, comm)
+            };
             let (micro_ce, mut dlogits) = cross_entropy(&logits, &targets);
             ce += micro_ce / accum as f32;
             aux += self.model.aux_loss() / accum as f32;
@@ -431,6 +468,7 @@ impl RankState {
                 self.ring_steps += s.ring_steps as u64;
                 self.ring_steps_overlapped += s.ring_steps_overlapped as u64;
             } else {
+                let _span = trace::span(names::BACKWARD);
                 self.model.backward(&dlogits, comm);
             }
         }
@@ -438,11 +476,13 @@ impl RankState {
         if cfg.zero_optimizer {
             // ZeRO path: reduce-scatter + sharded update + all-gather,
             // replacing both the grad sync and the replicated step.
+            let _span = trace::span(names::OPTIMIZER);
             self.zopt.step(&mut self.model, comm);
         } else {
             if !use_overlap {
                 sync_grads(&mut self.model, comm);
             }
+            let _span = trace::span(names::OPTIMIZER);
             if let Some(max_norm) = cfg.clip {
                 // Unscale before measuring the norm so clipping thresholds
                 // mean the same thing at every loss scale.
@@ -484,6 +524,7 @@ impl RankState {
         // grads were just zeroed and the backward pass is never run).
         if let Some(every) = cfg.eval_every {
             if step.is_multiple_of(every) || step + 1 == cfg.steps {
+                let _span = trace::span(names::EVAL);
                 // Step indices far outside the training stream.
                 let (tokens, targets) =
                     self.task
@@ -509,10 +550,16 @@ impl RankState {
             vec![self.ring_steps_overlapped as f32, self.ring_steps as f32],
             ReduceOp::Sum,
         );
-        let overlap_fraction = if pooled[1] > 0.0 {
-            (pooled[0] / pooled[1]) as f64
+        // Divide in f64: the f32 sums are exact (small integer counts), so
+        // this matches the trace-derived u64 ratio bit for bit.
+        let overlap_fraction = if cfg.overlap && !cfg.zero_optimizer {
+            Some(if pooled[1] > 0.0 {
+                pooled[0] as f64 / pooled[1] as f64
+            } else {
+                0.0
+            })
         } else {
-            0.0
+            None
         };
 
         // Snapshot transport counters after every rank has gone quiet, so
@@ -536,6 +583,7 @@ impl RankState {
             restarts: 0,
             lost_steps: 0,
             recovery_time_s: 0.0,
+            trace: None, // filled in by Trainer::run / run_ft
         }
     }
 }
@@ -628,6 +676,7 @@ fn rank_main_ft<C: FtCommunicator>(
         st.step(step, comm);
 
         if ft.ckpt_every > 0 && (step + 1) % ft.ckpt_every == 0 && step + 1 < cfg.steps {
+            let _span = trace::span(names::CHECKPOINT);
             let next_step = step + 1;
             let dir = ft.ckpt_dir.join(format!("step{next_step}"));
             std::fs::create_dir_all(&dir)
@@ -857,13 +906,12 @@ mod tests {
         for (a, b) in blocking.loss_curve.iter().zip(&overlapped.loss_curve) {
             assert!((a - b).abs() < 1e-3, "overlap changed training: {a} vs {b}");
         }
-        assert_eq!(blocking.overlap_fraction, 0.0);
-        assert!(
-            overlapped.overlap_fraction > 0.0,
-            "no measured overlap at 2 ranks: {}",
-            overlapped.overlap_fraction
-        );
-        assert!(overlapped.overlap_fraction <= 1.0);
+        assert_eq!(blocking.overlap_fraction, None, "overlap off → no fraction");
+        let of = overlapped
+            .overlap_fraction
+            .expect("overlap on → measured fraction");
+        assert!(of > 0.0, "no measured overlap at 2 ranks: {of}");
+        assert!(of <= 1.0);
         // The shared-memory transport counts traffic per collective family.
         let stats = overlapped.comm_stats.expect("ShmComm collects stats");
         use bagualu_comm::CommFamily;
@@ -890,6 +938,110 @@ mod tests {
         for (a, b) in blocking.loss_curve.iter().zip(&overlapped.loss_curve) {
             assert!((a - b).abs() < 1e-3, "accum+overlap diverged: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn trace_derived_overlap_matches_timer_derived_exactly() {
+        // The report's fraction is pooled by an f32 sum-allreduce of small
+        // integer counts (exact) and divided in f64; the trace derives the
+        // same integers from per-rank counters. The two must agree to 1e-9
+        // (in fact bit for bit).
+        let cfg = TrainConfig {
+            steps: 6,
+            bucket_bytes: 1 << 10, // many buckets: exercise the machinery
+            trace: true,
+            ..Default::default()
+        };
+        let r = Trainer::new(cfg).run();
+        let trace = r.trace.as_ref().expect("trace requested");
+        let from_trace = trace.overlap_fraction().expect("ring steps recorded");
+        let from_timer = r.overlap_fraction.expect("overlap enabled");
+        assert!(
+            (from_trace - from_timer).abs() < 1e-9,
+            "trace-derived {from_trace} vs timer-derived {from_timer}"
+        );
+    }
+
+    #[test]
+    fn trace_records_step_phases_and_comm_counters() {
+        let cfg = TrainConfig {
+            steps: 4,
+            eval_every: Some(2),
+            trace: true,
+            ..Default::default()
+        };
+        let r = Trainer::new(cfg).run();
+        let trace = r.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.ranks.len(), cfg.nranks);
+        for rank in 0..cfg.nranks {
+            let lane = trace.lane(rank).expect("lane per rank");
+            lane.check_balanced().expect("span stack balanced");
+            assert_eq!(lane.span_count(names::STEP), cfg.steps as u64);
+            // Training forwards only; eval forwards live inside EVAL spans.
+            assert_eq!(lane.span_count(names::FORWARD), cfg.steps as u64);
+            assert_eq!(lane.span_count(names::EVAL), 3, "evals at steps 0, 2, 3");
+            assert_eq!(lane.span_count(names::GRAD_SYNC), cfg.steps as u64);
+            assert!(lane.span_total_ns(names::STEP) >= lane.span_total_ns(names::FORWARD));
+        }
+        // Transport counters mirror CommStats exactly: every send the
+        // transport counted was recorded by the sending rank's lane.
+        let stats = r.comm_stats.expect("ShmComm collects stats");
+        for (family, fam_stats) in stats.families() {
+            let (bytes_name, msgs_name) = family.sent_counter_names();
+            assert_eq!(
+                trace.counter_total(bytes_name),
+                fam_stats.bytes,
+                "family {family:?} bytes"
+            );
+            assert_eq!(
+                trace.counter_total(msgs_name),
+                fam_stats.msgs,
+                "family {family:?} msgs"
+            );
+            // Everything sent was received (the run drained all queues).
+            let (rbytes, rmsgs) = family.recv_counter_names();
+            assert_eq!(trace.counter_total(rbytes), fam_stats.bytes);
+            assert_eq!(trace.counter_total(rmsgs), fam_stats.msgs);
+        }
+        let by_family = trace.sent_bytes_by_family();
+        let total: u64 = by_family.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, stats.total_bytes);
+        // The export is loadable (structurally valid) end to end.
+        bagualu_trace::chrome::validate_chrome_json(&trace.to_chrome_json())
+            .expect("chrome export valid");
+        assert_eq!(trace.total_dropped(), 0, "default capacity must not wrap");
+    }
+
+    #[test]
+    fn ft_trace_records_checkpoints_and_recovery() {
+        let cfg = TrainConfig {
+            steps: 10,
+            ..Default::default()
+        };
+        let dir = ft_tmpdir("trace");
+        let ft = FtConfig {
+            plan: FaultPlan::new(7).crash(1, 6),
+            ckpt_every: 4,
+            heartbeat_ms: 200,
+            ..FtConfig::new(&dir)
+        };
+        let r = Trainer::new(TrainConfig { trace: true, ..cfg }).run_ft(&ft);
+        assert_eq!(r.restarts, 1);
+        let trace = r.trace.as_ref().expect("trace requested");
+        // Driver lane: one recovery span, one restart counted.
+        let driver = trace.lane(DRIVER_LANE).expect("driver lane recorded");
+        assert_eq!(driver.span_count(names::RECOVERY), 1);
+        assert_eq!(driver.counter_total(names::RESTARTS), 1);
+        assert!(driver.span_total_ns(names::RECOVERY) > 0);
+        // Rank lanes span both attempts and stay balanced; checkpoints
+        // were recorded (steps 4 and 8 on each attempt's surviving ranks).
+        for rank in 0..cfg.nranks {
+            let lane = trace.lane(rank).expect("rank lane");
+            lane.check_balanced()
+                .expect("balanced across restart attempts");
+            assert!(lane.span_count(names::CHECKPOINT) >= 2);
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     fn ft_tmpdir(tag: &str) -> std::path::PathBuf {

@@ -12,6 +12,7 @@ use bagualu_model::ffn::FeedForward;
 use bagualu_model::moe::gate::{Gate, Routing};
 use bagualu_model::param::{HasParams, Param};
 use bagualu_tensor::Tensor;
+use bagualu_trace::{self as trace, names};
 
 /// Which all-to-all algorithm moves the tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,8 +140,12 @@ impl DistMoELayer {
                 buf
             })
             .collect();
-        let hdrs = alltoallv_u64(comm, hdr_parts);
-        let datas = self.a2a.run(comm, data_parts);
+        let (hdrs, datas) = {
+            let _span = trace::span(names::A2A_DISPATCH);
+            let hdrs = alltoallv_u64(comm, hdr_parts);
+            let datas = self.a2a.run(comm, data_parts);
+            (hdrs, datas)
+        };
 
         // ---- Group received tokens by local expert slot.
         let n_slots = self.local_experts.len();
@@ -179,7 +184,10 @@ impl DistMoELayer {
                 reply[src][pos * d..(pos + 1) * d].copy_from_slice(slot_outputs[slot].row(row));
             }
         }
-        let replies = self.a2a.run(comm, reply);
+        let replies = {
+            let _span = trace::span(names::A2A_COMBINE);
+            self.a2a.run(comm, reply)
+        };
 
         let n_assign = routing.assignments.len();
         let mut assign_out = Tensor::zeros(&[n_assign, d]);
@@ -240,7 +248,12 @@ impl DistMoELayer {
                 buf
             })
             .collect();
-        let dys = self.a2a.run(comm, dsend);
+        let dys = {
+            // Same direction as the forward dispatch: dY rows travel to the
+            // expert owners.
+            let _span = trace::span(names::A2A_DISPATCH);
+            self.a2a.run(comm, dsend)
+        };
 
         // ---- Expert backward, rows in forward order.
         let mut dreply: Vec<Vec<f32>> = (0..r)
@@ -257,7 +270,10 @@ impl DistMoELayer {
                 dreply[src][pos * d..(pos + 1) * d].copy_from_slice(dxe.row(row));
             }
         }
-        let dxs = self.a2a.run(comm, dreply);
+        let dxs = {
+            let _span = trace::span(names::A2A_COMBINE);
+            self.a2a.run(comm, dreply)
+        };
 
         // ---- Scatter input gradients back to tokens (weights already
         // folded in on the way out).

@@ -13,7 +13,7 @@
 //!
 //! * [`sync_grads`] — flatten everything after backward, one monolithic
 //!   blocking all-reduce (simple, zero overlap);
-//! * [`backward_and_sync_overlapped`] — a [`GradBucketer`] rides the
+//! * [`backward_and_sync_overlapped`] — a `GradBucketer` rides the
 //!   backward pass via `backward_with_grad_ready`, fills fixed-size
 //!   buckets in reverse parameter-visit order, launches each bucket's
 //!   ring all-reduce the moment it fills, and polls in-flight rings from
@@ -31,10 +31,12 @@ use bagualu_comm::collectives::{
 };
 use bagualu_comm::shm::Communicator;
 use bagualu_tensor::Tensor;
+use bagualu_trace::{self as trace, names};
 
 /// Synchronize gradients across the data-parallel group. Returns the number
 /// of dense gradient scalars reduced (for communication-volume accounting).
 pub fn sync_grads<C: Communicator>(model: &mut DistTransformer, comm: &C) -> usize {
+    let _span = trace::span(names::GRAD_SYNC);
     let r = comm.size() as f32;
 
     // Flatten dense grads in the deterministic visit order.
@@ -95,6 +97,10 @@ struct GradBucketer<'a, C: Communicator> {
     bucket_elems: usize,
     current: Vec<f32>,
     rings: Vec<RingAllreduce<C>>,
+    /// Wall time spent polling in-flight rings from inside the backward
+    /// hook, i.e. driving overlapped communication. Only accumulated while
+    /// a trace is being recorded.
+    poll_ns: u64,
 }
 
 impl<'a, C: Communicator> GradBucketer<'a, C> {
@@ -106,6 +112,7 @@ impl<'a, C: Communicator> GradBucketer<'a, C> {
             bucket_elems,
             current: Vec::new(),
             rings: Vec::new(),
+            poll_ns: 0,
         }
     }
 
@@ -121,7 +128,13 @@ impl<'a, C: Communicator> GradBucketer<'a, C> {
                 self.flush();
             }
         }
-        self.poll();
+        if trace::enabled() {
+            let t0 = std::time::Instant::now();
+            self.poll();
+            self.poll_ns += t0.elapsed().as_nanos() as u64;
+        } else {
+            self.poll();
+        }
     }
 
     /// Launch the current (possibly partial) bucket.
@@ -171,13 +184,16 @@ pub fn backward_and_sync_overlapped<C: Communicator>(
 ) -> SyncStats {
     let r = comm.size() as f32;
     let mut bucketer = GradBucketer::new(comm, bucket_bytes);
+    let backward_span = trace::span(names::BACKWARD);
     model.backward_with_grad_ready(dlogits, comm, &mut |p| {
         bucketer.push(p.grad.as_slice());
     });
     // Everything that completed by now was hidden under backward compute.
     let overlapped = bucketer.steps_done();
+    drop(backward_span);
     // The tail bucket only launches now: there is no compute left to hide
     // it behind, so its steps are exposed by construction.
+    let _sync_span = trace::span(names::GRAD_SYNC);
     bucketer.flush();
     while !bucketer.poll() {
         std::thread::yield_now();
@@ -189,6 +205,14 @@ pub fn backward_and_sync_overlapped<C: Communicator>(
         ring_steps: bucketer.steps_total(),
         ring_steps_overlapped: overlapped,
     };
+    if trace::enabled() {
+        trace::count(names::RING_STEPS, stats.ring_steps as u64);
+        trace::count(
+            names::RING_STEPS_OVERLAPPED,
+            stats.ring_steps_overlapped as u64,
+        );
+        trace::count(names::OVERLAP_POLL_NS, bucketer.poll_ns);
+    }
 
     // Scatter the reduced stream back in the exact ready order it was
     // gathered in; parameters may straddle bucket boundaries.

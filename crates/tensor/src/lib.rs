@@ -10,7 +10,7 @@
 //!   layouts used by forward and backward passes,
 //! * fused element-wise and reduction kernels (GELU, softmax, layer-norm
 //!   statistics, …),
-//! * bit-exact software [`F16`](dtype::F16) and [`BF16`](dtype::BF16) types so
+//! * bit-exact software [`F16`] and [`BF16`] types so
 //!   that mixed-precision *numerics* (rounding, underflow, loss-scale
 //!   dynamics) can be reproduced without half-precision hardware.
 //!

@@ -1,0 +1,295 @@
+//! Chrome trace-event export and the per-rank text summary.
+//!
+//! The JSON array produced by [`Trace::to_chrome_json`] follows the
+//! Trace Event Format (`ph: "B"/"E"` duration events, `ph: "C"` counters,
+//! `ph: "M"` metadata) and loads directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Events are emitted lane by lane — all of
+//! rank 0, then all of rank 1, … — so per-thread streams never interleave
+//! in the file; viewers key on `(pid, tid)` anyway, but the grouping keeps
+//! the export diffable and the balance checks local.
+
+use crate::trace::{EventKind, Trace};
+use crate::DRIVER_LANE;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Display id for a lane: ranks keep their index; the driver lane gets the
+/// next id after the highest rank so viewers show it as one more row.
+fn tid_of(lane: usize, max_rank: usize) -> usize {
+    if lane == DRIVER_LANE {
+        max_rank + 1
+    } else {
+        lane
+    }
+}
+
+fn lane_label(lane: usize) -> String {
+    if lane == DRIVER_LANE {
+        "driver".to_string()
+    } else {
+        format!("rank {lane}")
+    }
+}
+
+fn push_event(out: &mut String, name: &str, ph: char, ts_us: f64, tid: usize) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":0,\"tid\":{tid}}}"
+    );
+}
+
+impl Trace {
+    /// Export as Chrome trace-event JSON (one array, self-contained).
+    pub fn to_chrome_json(&self) -> String {
+        let max_rank = self
+            .ranks
+            .iter()
+            .map(|r| r.lane)
+            .filter(|&l| l != DRIVER_LANE)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::from("[\n");
+        let sep = |out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+        };
+
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{{\"name\":\"bagualu\"}}}}"
+        );
+        let mut first = false;
+
+        for lane in &self.ranks {
+            let tid = tid_of(lane.lane, max_rank);
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane_label(lane.lane)
+            );
+            // Running totals for this lane's counters.
+            let mut totals: HashMap<&'static str, u64> = HashMap::new();
+            // Skip orphan exits (possible after ring wrap) so the export
+            // stays loadable even on a truncated trace.
+            let mut depth: HashMap<&'static str, usize> = HashMap::new();
+            for e in &lane.events {
+                let ts_us = e.t_ns as f64 / 1000.0;
+                match e.kind {
+                    EventKind::Enter => {
+                        *depth.entry(e.name).or_default() += 1;
+                        sep(&mut out, &mut first);
+                        push_event(&mut out, e.name, 'B', ts_us, tid);
+                    }
+                    EventKind::Exit => {
+                        let d = depth.entry(e.name).or_default();
+                        if *d == 0 {
+                            continue; // orphan exit after a wrapped ring
+                        }
+                        *d -= 1;
+                        sep(&mut out, &mut first);
+                        push_event(&mut out, e.name, 'E', ts_us, tid);
+                    }
+                    EventKind::Count(delta) => {
+                        let total = totals.entry(e.name).or_default();
+                        *total += delta;
+                        let total = *total;
+                        sep(&mut out, &mut first);
+                        let _ = write!(
+                            out,
+                            "{{\"name\":\"{} ({})\",\"ph\":\"C\",\"ts\":{ts_us:.3},\
+                             \"pid\":0,\"tid\":{tid},\"args\":{{\"value\":{total}}}}}",
+                            e.name,
+                            lane_label(lane.lane)
+                        );
+                    }
+                }
+            }
+            // Close spans the ring wrap left open, at the lane's last
+            // timestamp, so viewers do not extend them to infinity.
+            let t_end = lane.events.last().map(|e| e.t_ns).unwrap_or(0) as f64 / 1000.0;
+            for (name, open) in depth {
+                for _ in 0..open {
+                    sep(&mut out, &mut first);
+                    push_event(&mut out, name, 'E', t_end, tid);
+                }
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Per-rank text summary: span counts and total time, plus final
+    /// counter values — the quick look that doesn't need a trace viewer.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for lane in &self.ranks {
+            let _ = writeln!(out, "{}:", lane_label(lane.lane));
+            let names = lane.span_names();
+            if !names.is_empty() {
+                let _ = writeln!(out, "  {:<14} {:>8} {:>12}", "span", "count", "total");
+                for name in names {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} {:>8} {:>9.3} ms",
+                        name,
+                        lane.span_count(name),
+                        lane.span_total_ns(name) as f64 / 1e6
+                    );
+                }
+            }
+            let counters = lane.counter_names();
+            if !counters.is_empty() {
+                let _ = writeln!(out, "  {:<40} {:>14}", "counter", "total");
+                for name in counters {
+                    let _ = writeln!(out, "  {:<40} {:>14}", name, lane.counter_total(name));
+                }
+            }
+            if lane.dropped > 0 {
+                let _ = writeln!(out, "  ({} events dropped by ring wrap)", lane.dropped);
+            }
+        }
+        out
+    }
+}
+
+/// Minimal structural validation of a Chrome trace JSON string: every
+/// event object parses as `key:value` pairs we emitted and B/E events
+/// balance per tid. Used by tests (the workspace has no JSON parser).
+pub fn validate_chrome_json(json: &str) -> Result<usize, String> {
+    let body = json
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("not a JSON array")?;
+    let mut n = 0usize;
+    let mut stacks: HashMap<String, Vec<String>> = HashMap::new();
+    for line in body.split(",\n") {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("event is not an object: {line}"));
+        }
+        let get = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\":");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            if let Some(quoted) = rest.strip_prefix('"') {
+                // String value: runs to the closing quote (we never emit
+                // escaped quotes).
+                Some(quoted[..quoted.find('"')?].to_string())
+            } else {
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                Some(rest[..end].to_string())
+            }
+        };
+        let ph = get("ph").ok_or_else(|| format!("event without ph: {line}"))?;
+        let tid = get("tid").unwrap_or_default();
+        let name = get("name").unwrap_or_default();
+        match ph.as_str() {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let top = stacks.entry(tid.clone()).or_default().pop();
+                if top.as_deref() != Some(name.as_str()) {
+                    return Err(format!(
+                        "tid {tid}: exit '{name}' does not match open '{top:?}'"
+                    ));
+                }
+            }
+            "C" | "M" => {}
+            other => return Err(format!("unknown ph '{other}'")),
+        }
+        n += 1;
+    }
+    for (tid, stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: spans left open: {stack:?}"));
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Event, RankTrace};
+
+    fn ev(t_ns: u64, name: &'static str, kind: EventKind) -> Event {
+        Event { t_ns, name, kind }
+    }
+
+    fn two_rank_trace() -> Trace {
+        let mut trace = Trace::default();
+        for lane in 0..2usize {
+            trace.ranks.push(RankTrace {
+                lane,
+                events: vec![
+                    ev(0, "step", EventKind::Enter),
+                    ev(100, "forward", EventKind::Enter),
+                    ev(150, "bytes", EventKind::Count(64)),
+                    ev(200, "forward", EventKind::Exit),
+                    ev(900, "step", EventKind::Exit),
+                ],
+                dropped: 0,
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn export_is_structurally_valid_and_grouped_by_lane() {
+        let json = two_rank_trace().to_chrome_json();
+        let n = validate_chrome_json(&json).expect("valid chrome trace");
+        // 1 process meta + per lane: 1 thread meta + 2 B + 2 E + 1 C.
+        assert_eq!(n, 1 + 2 * 6);
+        // Lane grouping: once tid 1 appears, tid 0 never recurs.
+        let first_t1 = json.find("\"tid\":1").unwrap();
+        assert!(!json[first_t1..].contains("\"tid\":0"));
+    }
+
+    #[test]
+    fn orphan_exits_are_skipped_and_open_spans_closed() {
+        let mut trace = Trace::default();
+        trace.ranks.push(RankTrace {
+            lane: 0,
+            events: vec![
+                ev(5, "lost", EventKind::Exit),   // orphan from a wrapped ring
+                ev(10, "step", EventKind::Enter), // never exited
+                ev(20, "bytes", EventKind::Count(1)),
+            ],
+            dropped: 3,
+        });
+        let json = trace.to_chrome_json();
+        validate_chrome_json(&json).expect("sanitized export still valid");
+    }
+
+    #[test]
+    fn driver_lane_renders_after_ranks() {
+        let mut trace = two_rank_trace();
+        trace.ranks.push(RankTrace {
+            lane: DRIVER_LANE,
+            events: vec![
+                ev(0, "recovery", EventKind::Enter),
+                ev(50, "recovery", EventKind::Exit),
+            ],
+            dropped: 0,
+        });
+        let json = trace.to_chrome_json();
+        validate_chrome_json(&json).expect("valid");
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("driver"));
+    }
+
+    #[test]
+    fn summary_lists_spans_and_counters() {
+        let s = two_rank_trace().summary();
+        assert!(s.contains("rank 0:"));
+        assert!(s.contains("step"));
+        assert!(s.contains("bytes"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Canonical span and counter names.
+//!
+//! Instrumentation sites across the workspace use these constants so that
+//! analysis code (experiment E23, the pinned agreement tests) never has to
+//! guess at strings. The taxonomy is documented in `docs/OBSERVABILITY.md`.
+
+/// One full training step (outermost per-step span).
+pub const STEP: &str = "step";
+/// Forward pass of one micro-batch (includes the loss computation).
+pub const FORWARD: &str = "forward";
+/// Backward pass of one micro-batch. Under the overlapped gradient sync
+/// this span also hosts the in-flight ring polling; the time spent driving
+/// rings inside it is reported by [`OVERLAP_POLL_NS`].
+pub const BACKWARD: &str = "backward";
+/// Exposed dense-gradient synchronization: the monolithic blocking
+/// all-reduce, or the tail drain of the bucketed overlapped sync.
+pub const GRAD_SYNC: &str = "grad_sync";
+/// MoE token dispatch all-to-all (forward: tokens out; backward: dY out).
+pub const A2A_DISPATCH: &str = "a2a_dispatch";
+/// MoE result combine all-to-all (forward: expert outputs back; backward:
+/// dX back).
+pub const A2A_COMBINE: &str = "a2a_combine";
+/// Optimizer update (replicated mixed-precision Adam or sharded ZeRO step,
+/// including the ZeRO reduce-scatter/all-gather).
+pub const OPTIMIZER: &str = "optimizer";
+/// Held-out evaluation forward pass.
+pub const EVAL: &str = "eval";
+/// Writing one checkpoint shard (including the durability barrier).
+pub const CHECKPOINT: &str = "checkpoint";
+/// One failed attempt in the fault-tolerant driver: detection plus the
+/// teardown of the attempt (recorded on [`crate::DRIVER_LANE`]).
+pub const RECOVERY: &str = "recovery";
+
+/// Ring all-reduce steps launched by the bucketed overlapped sync.
+pub const RING_STEPS: &str = "sync.ring_steps";
+/// Ring all-reduce steps that completed while backward compute was still
+/// running — the measured communication/computation overlap.
+pub const RING_STEPS_OVERLAPPED: &str = "sync.ring_steps_overlapped";
+/// Nanoseconds spent polling in-flight rings from inside the backward pass
+/// (the wall-clock footprint of the *hidden* communication).
+pub const OVERLAP_POLL_NS: &str = "sync.overlap_poll_ns";
+/// Messages dropped in flight by fault injection.
+pub const FAULT_DROPS: &str = "fault.drops";
+/// Payloads corrupted in flight by fault injection.
+pub const FAULT_CORRUPTIONS: &str = "fault.corruptions";
+/// Restarts performed by the fault-tolerant driver (driver lane).
+pub const RESTARTS: &str = "ft.restarts";

@@ -6,7 +6,7 @@
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
 //! * range strategies for the primitive numeric types,
-//! * [`any`] for full-range primitives,
+//! * `any` for full-range primitives,
 //! * string strategies from a small regex subset (char classes, groups,
 //!   `{lo,hi}` repetition, `\PC`),
 //! * [`collection::vec`], tuple strategies, and `prop_map`.
