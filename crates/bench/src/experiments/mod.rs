@@ -23,11 +23,12 @@ pub mod e20_energy;
 pub mod e21_virtual_time;
 pub mod e22_fault_goodput;
 pub mod e23_trace_breakdown;
+pub mod e24_wire_compression;
 
 /// All experiment ids, in order.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
 ];
 
 /// Run one experiment by id. Returns false for an unknown id.
@@ -56,6 +57,7 @@ pub fn run(id: &str) -> bool {
         "e21" => e21_virtual_time::run(),
         "e22" => e22_fault_goodput::run(),
         "e23" => e23_trace_breakdown::run(),
+        "e24" => e24_wire_compression::run(),
         _ => return false,
     }
     true

@@ -59,6 +59,7 @@ fn print_help() {
     eprintln!("  info      machine model and brain-scale preset tables");
     eprintln!("  train     run the functional MoDa trainer");
     eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
+    eprintln!("            --wire-dtype f32|f16|bf16 (compress comm traffic to 16-bit in flight)");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
     eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
@@ -125,6 +126,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "seq",
         "lr",
         "dtype",
+        "wire-dtype",
         "experts",
         "gate",
         "skew",
@@ -154,6 +156,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "fp16" => DType::F16,
         other => return Err(format!("unknown dtype: {other}")),
     };
+    let wire: bagualu::comm::WireDType = args
+        .get("wire-dtype", "f32")
+        .parse()
+        .map_err(|e| format!("--wire-dtype: {e}"))?;
     let nranks = args.get_parse("ranks", 2usize)?;
     let skew: f64 = args.get_parse("skew", 0.0f64)?;
     let zero = args.switch("zero");
@@ -188,14 +194,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         overlap: !args.switch("no-overlap"),
         bucket_bytes: args.get_parse("bucket-kib", 1024usize)? << 10,
         trace: !trace_path.is_empty(),
+        wire,
         ..Default::default()
     };
     println!(
-        "training {} params on {} ranks, {} steps, {} …",
+        "training {} params on {} ranks, {} steps, {} (wire {}) …",
         cfg.model.count_params(),
         cfg.nranks,
         cfg.steps,
-        cfg.dtype
+        cfg.dtype,
+        cfg.wire
     );
 
     // Fault-tolerant path: any checkpoint/crash flag routes through run_ft.

@@ -13,6 +13,7 @@
 //!   ones, which is the communication contribution this reproduction
 //!   studies (experiments E2/E3).
 
+use crate::payload::{Payload, WireDType};
 use crate::shm::Communicator;
 
 /// Element-wise reduction applied by reduce collectives.
@@ -63,6 +64,7 @@ pub(crate) mod tags {
     pub const TAG_H2_DAT: u64 = 108;
     pub const TAG_A2A_U64: u64 = 109;
     pub const TAG_RD: u64 = 110;
+    pub const TAG_A2A_U32: u64 = 111;
     /// Tag range for concurrently in-flight bucketed all-reduces; bucket
     /// `i` uses `TAG_BUCKET_BASE + i % (TAG_BUCKET_END - TAG_BUCKET_BASE)`.
     pub const TAG_BUCKET_BASE: u64 = 0x1000;
@@ -138,6 +140,12 @@ pub struct RingAllreduce<C: Communicator> {
     data: Vec<f32>,
     op: ReduceOp,
     tag: u64,
+    /// Element format on the wire. Each hop packs the outgoing chunk and
+    /// expands the incoming one; the reduction itself accumulates in `f32`
+    /// (`data` never stores 16-bit values), so compression costs exactly
+    /// one rounding per hop — the same behavior a compressing switch or
+    /// NIC would exhibit.
+    wire: WireDType,
     /// Steps completed so far, in `0..=total`.
     step: usize,
     /// `2(n-1)` for `n > 1`, `0` for a single rank.
@@ -148,13 +156,28 @@ pub struct RingAllreduce<C: Communicator> {
 impl<C: Communicator> RingAllreduce<C> {
     /// Begin the all-reduce: sends this rank's first chunk and posts the
     /// receive for step 0. Single-rank groups complete immediately.
+    /// Uncompressed (`f32`) wire; see [`RingAllreduce::start_wire`].
     pub fn start(c: &C, data: Vec<f32>, op: ReduceOp, tag: u64) -> RingAllreduce<C> {
+        RingAllreduce::start_wire(c, data, op, tag, WireDType::F32)
+    }
+
+    /// [`RingAllreduce::start`] with an explicit wire format: chunks are
+    /// packed to `wire` before every send and expanded back to `f32` on
+    /// receipt, halving bytes in flight for the 16-bit formats.
+    pub fn start_wire(
+        c: &C,
+        data: Vec<f32>,
+        op: ReduceOp,
+        tag: u64,
+        wire: WireDType,
+    ) -> RingAllreduce<C> {
         let n = c.size();
         let total = if n > 1 { 2 * (n - 1) } else { 0 };
         let mut ring = RingAllreduce {
             data,
             op,
             tag,
+            wire,
             step: 0,
             total,
             pending: None,
@@ -196,7 +219,7 @@ impl<C: Communicator> RingAllreduce<C> {
             (rank + n - (s - (n - 1))) % n
         };
         let chunk = self.data[bound(len, n, cs)..bound(len, n, cs + 1)].to_vec();
-        c.send(right, self.tag, chunk.into());
+        c.send(right, self.tag, Payload::pack(self.wire, chunk));
         self.pending = Some(c.irecv(left, self.tag));
     }
 
@@ -228,7 +251,7 @@ impl<C: Communicator> RingAllreduce<C> {
     pub fn poll(&mut self, c: &C) -> bool {
         while let Some(mut req) = self.pending.take() {
             if c.test(&mut req) {
-                let got = c.wait(req).into_f32();
+                let got = c.wait(req).into_floats();
                 self.complete(c, got);
             } else {
                 self.pending = Some(req);
@@ -241,7 +264,7 @@ impl<C: Communicator> RingAllreduce<C> {
     /// Block through the remaining steps and return the reduced buffer.
     pub fn finish(mut self, c: &C) -> Vec<f32> {
         while let Some(req) = self.pending.take() {
-            let got = c.wait(req).into_f32();
+            let got = c.wait(req).into_floats();
             self.complete(c, got);
         }
         debug_assert!(self.is_done());
@@ -261,6 +284,18 @@ pub fn allreduce<C: Communicator>(c: &C, data: Vec<f32>, op: ReduceOp) -> Vec<f3
     RingAllreduce::start(c, data, op, TAG_RING).finish(c)
 }
 
+/// [`allreduce`] with an explicit wire format — each of the `2(n-1)` hops
+/// rounds its chunk to `wire` in flight while the reduction accumulates in
+/// `f32`. `WireDType::F32` is bit-identical to [`allreduce`].
+pub fn allreduce_wire<C: Communicator>(
+    c: &C,
+    data: Vec<f32>,
+    op: ReduceOp,
+    wire: WireDType,
+) -> Vec<f32> {
+    RingAllreduce::start_wire(c, data, op, TAG_RING, wire).finish(c)
+}
+
 /// Tag for bucket index `i` (wraps within the reserved bucket range; the
 /// wrap is harmless because at most a handful of buckets are in flight and
 /// completion order within a tag is FIFO per sender).
@@ -277,10 +312,22 @@ pub fn bucketed_allreduce<C: Communicator>(
     buckets: Vec<Vec<f32>>,
     op: ReduceOp,
 ) -> Vec<Vec<f32>> {
+    bucketed_allreduce_wire(c, buckets, op, WireDType::F32)
+}
+
+/// [`bucketed_allreduce`] with an explicit wire format; every bucket's ring
+/// packs each hop to `wire`. `WireDType::F32` is bit-identical to the
+/// uncompressed path.
+pub fn bucketed_allreduce_wire<C: Communicator>(
+    c: &C,
+    buckets: Vec<Vec<f32>>,
+    op: ReduceOp,
+    wire: WireDType,
+) -> Vec<Vec<f32>> {
     let mut rings: Vec<RingAllreduce<C>> = buckets
         .into_iter()
         .enumerate()
-        .map(|(i, b)| RingAllreduce::start(c, b, op, bucket_tag(i)))
+        .map(|(i, b)| RingAllreduce::start_wire(c, b, op, bucket_tag(i), wire))
         .collect();
     // Round-robin until everything has drained; yield between sweeps so
     // peer rank threads get scheduled.
@@ -410,7 +457,19 @@ pub fn allgather<C: Communicator>(c: &C, local: Vec<f32>) -> Vec<Vec<f32>> {
 
 /// Pairwise-exchange all-to-all(v). `parts[d]` is the buffer for rank `d`
 /// (lengths may differ). Returns the received buffers indexed by source.
-pub fn alltoallv<C: Communicator>(c: &C, mut parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+pub fn alltoallv<C: Communicator>(c: &C, parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    alltoallv_wire(c, parts, WireDType::F32)
+}
+
+/// [`alltoallv`] with an explicit wire format: every sent part is packed to
+/// `wire` and expanded on receipt. The self-part never touches the wire and
+/// is returned unrounded, as on a real machine where local traffic stays in
+/// memory. `WireDType::F32` is bit-identical to [`alltoallv`].
+pub fn alltoallv_wire<C: Communicator>(
+    c: &C,
+    mut parts: Vec<Vec<f32>>,
+    wire: WireDType,
+) -> Vec<Vec<f32>> {
     let n = c.size();
     assert_eq!(parts.len(), n, "alltoallv: need one part per rank");
     let rank = c.rank();
@@ -419,8 +478,12 @@ pub fn alltoallv<C: Communicator>(c: &C, mut parts: Vec<Vec<f32>>) -> Vec<Vec<f3
     for s in 1..n {
         let to = (rank + s) % n;
         let from = (rank + n - s) % n;
-        c.send(to, TAG_A2A, std::mem::take(&mut parts[to]).into());
-        out[from] = c.recv(from, TAG_A2A).into_f32();
+        c.send(
+            to,
+            TAG_A2A,
+            Payload::pack(wire, std::mem::take(&mut parts[to])),
+        );
+        out[from] = c.recv(from, TAG_A2A).into_floats();
     }
     out
 }
@@ -453,6 +516,20 @@ pub fn alltoallv_hierarchical<C: Communicator>(
     parts: Vec<Vec<f32>>,
     supernode_size: usize,
 ) -> Vec<Vec<f32>> {
+    alltoallv_hierarchical_wire(c, parts, supernode_size, WireDType::F32)
+}
+
+/// [`alltoallv_hierarchical`] with an explicit wire format. Data bundles of
+/// *both* phases are packed per message, so a value that crosses supernodes
+/// is rounded twice (once per hop) — exactly what compressing each physical
+/// transfer implies; headers stay `u64` (they are counts, not tensors).
+/// `WireDType::F32` is bit-identical to [`alltoallv_hierarchical`].
+pub fn alltoallv_hierarchical_wire<C: Communicator>(
+    c: &C,
+    parts: Vec<Vec<f32>>,
+    supernode_size: usize,
+    wire: WireDType,
+) -> Vec<Vec<f32>> {
     let n = c.size();
     let s = supernode_size;
     assert!(
@@ -461,7 +538,7 @@ pub fn alltoallv_hierarchical<C: Communicator>(
     );
     let big_s = n / s; // number of supernodes
     if big_s == 1 {
-        return alltoallv(c, parts);
+        return alltoallv_wire(c, parts, wire);
     }
     assert_eq!(parts.len(), n);
     let rank = c.rank();
@@ -481,7 +558,7 @@ pub fn alltoallv_hierarchical<C: Communicator>(
             data.extend_from_slice(p);
         }
         c.send(peer, TAG_H1_HDR, header.into());
-        c.send(peer, TAG_H1_DAT, data.into());
+        c.send(peer, TAG_H1_DAT, Payload::pack(wire, data));
     }
     // Receive the bundle from every local peer (including self).
     let mut h1: Vec<Vec<u64>> = Vec::with_capacity(s);
@@ -489,7 +566,7 @@ pub fn alltoallv_hierarchical<C: Communicator>(
     for jp in 0..s {
         let peer = g * s + jp;
         h1.push(c.recv(peer, TAG_H1_HDR).into_u64());
-        d1.push(c.recv(peer, TAG_H1_DAT).into_f32());
+        d1.push(c.recv(peer, TAG_H1_DAT).into_floats());
     }
 
     // ---- Phase 2: inter-supernode exchange among same-local-index ranks.
@@ -519,14 +596,14 @@ pub fn alltoallv_hierarchical<C: Communicator>(
             data.extend_from_slice(&d1[jp][lo..hi]);
         }
         c.send(peer, TAG_H2_HDR, header.into());
-        c.send(peer, TAG_H2_DAT, data.into());
+        c.send(peer, TAG_H2_DAT, Payload::pack(wire, data));
     }
     // Receive one bundle per supernode; unpack by source local index.
     let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
     for t in 0..big_s {
         let peer = t * s + l;
         let header = c.recv(peer, TAG_H2_HDR).into_u64();
-        let data = c.recv(peer, TAG_H2_DAT).into_f32();
+        let data = c.recv(peer, TAG_H2_DAT).into_floats();
         let mut off = 0usize;
         for (jp, &len) in header.iter().enumerate() {
             let len = len as usize;
@@ -550,6 +627,24 @@ pub fn alltoallv_u64<C: Communicator>(c: &C, mut parts: Vec<Vec<u64>>) -> Vec<Ve
         let from = (rank + n - s) % n;
         c.send(to, TAG_A2A_U64, std::mem::take(&mut parts[to]).into());
         out[from] = c.recv(from, TAG_A2A_U64).into_u64();
+    }
+    out
+}
+
+/// Pairwise-exchange all-to-all(v) of `u32` metadata — the compact header
+/// channel for expert assignments and other ids that fit 4 bytes, halving
+/// header traffic vs [`alltoallv_u64`]. Same semantics as [`alltoallv`].
+pub fn alltoallv_u32<C: Communicator>(c: &C, mut parts: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    let n = c.size();
+    assert_eq!(parts.len(), n, "alltoallv_u32: need one part per rank");
+    let rank = c.rank();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    out[rank] = std::mem::take(&mut parts[rank]);
+    for s in 1..n {
+        let to = (rank + s) % n;
+        let from = (rank + n - s) % n;
+        c.send(to, TAG_A2A_U32, std::mem::take(&mut parts[to]).into());
+        out[from] = c.recv(from, TAG_A2A_U32).into_u32();
     }
     out
 }
@@ -1031,6 +1126,113 @@ mod tests {
                     "rank {r} should have detected the crash: {o:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn alltoallv_u32_routes_correctly() {
+        for n in [1usize, 2, 5] {
+            run_ranks(n, |c| {
+                let parts: Vec<Vec<u32>> =
+                    (0..n).map(|d| vec![c.rank() as u32, d as u32]).collect();
+                let got = alltoallv_u32(&c, parts);
+                for (src, buf) in got.iter().enumerate() {
+                    assert_eq!(buf, &vec![src as u32, c.rank() as u32]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn wire_f32_is_bit_identical_to_plain_paths() {
+        run_ranks(4, |c| {
+            let data: Vec<f32> = (0..33)
+                .map(|i| (c.rank() * 33 + i) as f32 * 0.013)
+                .collect();
+            let plain = allreduce(&c, data.clone(), ReduceOp::Sum);
+            let wired = allreduce_wire(&c, data, ReduceOp::Sum, WireDType::F32);
+            assert_eq!(plain, wired);
+
+            let parts: Vec<Vec<f32>> = (0..4).map(|d| vec![(c.rank() + d) as f32; d]).collect();
+            let a = alltoallv(&c, parts.clone());
+            let b = alltoallv_wire(&c, parts, WireDType::F32);
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn compressed_allreduce_tracks_f32_within_rounding() {
+        // Values in [-2, 2): bf16 carries an 8-bit significand, so each of
+        // the ≤ 2(n-1)+1 roundings a summand can see contributes ≲ 2^-8
+        // relative error.
+        for n in [2usize, 3, 5, 8] {
+            run_ranks(n, |c| {
+                let data: Vec<f32> = (0..50)
+                    .map(|i| ((c.rank() * 7 + i * 3) % 32) as f32 / 8.0 - 2.0)
+                    .collect();
+                let exact = allreduce(&c, data.clone(), ReduceOp::Sum);
+                for wire in [WireDType::F16, WireDType::BF16] {
+                    let approx = allreduce_wire(&c, data.clone(), ReduceOp::Sum, wire);
+                    let eps = match wire {
+                        WireDType::F16 => f32::exp2(-11.0),
+                        _ => f32::exp2(-8.0),
+                    };
+                    let hops = (2 * (n - 1) + 1) as f32;
+                    for (e, a) in exact.iter().zip(&approx) {
+                        let tol = hops * eps * (2.0 * n as f32) + 1e-6;
+                        assert!(
+                            (e - a).abs() <= tol,
+                            "n={n} wire={wire}: exact={e} approx={a} tol={tol}"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn hierarchical_wire_matches_single_round_trip_per_value_or_two() {
+        // Every element routed through the compressed hierarchical a2a is
+        // the result of at most two wire round trips of its original value
+        // (phase 1 and phase 2); values already representable in bf16 must
+        // come back bit-exact.
+        let n = 8;
+        run_ranks(n, |c| {
+            // Values < 128 fit bf16's 8-bit significand exactly, so even
+            // two per-hop roundings must return them unchanged.
+            let parts: Vec<Vec<f32>> = (0..n)
+                .map(|d| vec![(c.rank() * 16 + d) as f32; (c.rank() + d) % 3])
+                .collect();
+            let exact = alltoallv(&c, parts.clone());
+            let wired = alltoallv_hierarchical_wire(&c, parts, 4, WireDType::BF16);
+            for (src, (e, w)) in exact.iter().zip(&wired).enumerate() {
+                assert_eq!(e.len(), w.len(), "src {src}");
+                for (x, y) in e.iter().zip(w) {
+                    assert_eq!(x, y, "src {src}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn compressed_ring_halves_payload_bytes() {
+        use crate::shm::World;
+        let n = 4;
+        let len = 64; // divisible by n → equal 16-element chunks
+        for (wire, per_elem) in [(WireDType::F32, 4u64), (WireDType::BF16, 2u64)] {
+            let world = World::new(n);
+            let comms = world.comms();
+            std::thread::scope(|s| {
+                for c in comms {
+                    s.spawn(move || {
+                        let data = vec![c.rank() as f32; len];
+                        allreduce_wire(&c, data, ReduceOp::Sum, wire);
+                    });
+                }
+            });
+            // 2(n-1) hops per rank, len/n elements per hop.
+            let expect = (n as u64) * 2 * (n as u64 - 1) * (len as u64 / n as u64) * per_elem;
+            assert_eq!(world.bytes_sent(), expect, "wire={wire}");
         }
     }
 

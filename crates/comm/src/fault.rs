@@ -354,6 +354,18 @@ pub(crate) fn corrupt_payload(p: &mut Payload) {
                 *x ^= 1 << bit;
             }
         }
+        Payload::Half(_, v) => {
+            let bit = v.len() % 13;
+            if let Some(x) = v.first_mut() {
+                *x ^= 1 << bit;
+            }
+        }
+        Payload::U32(v) => {
+            let bit = v.len() % 31;
+            if let Some(x) = v.first_mut() {
+                *x ^= 1 << bit;
+            }
+        }
     }
 }
 

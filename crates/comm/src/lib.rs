@@ -12,7 +12,9 @@
 //!
 //! Layers:
 //!
-//! * [`payload`] — typed message payloads (`f32` tensors, `u64` metadata),
+//! * [`payload`] — typed message payloads (`f32` tensors, integer
+//!   metadata) plus the [`WireDType`] knob that compresses tensor traffic
+//!   to 16-bit FP16/BF16 elements in flight,
 //! * [`shm`] — the mailbox transport, [`ShmComm`], and communicator
 //!   splitting into sub-groups,
 //! * [`collectives`] — the collective algorithms, generic over any
@@ -43,13 +45,14 @@ pub mod shm;
 pub mod timed;
 
 pub use collectives::{
-    allgather, allreduce, allreduce_ft, allreduce_recursive_doubling, alltoall, alltoallv,
-    alltoallv_hierarchical, alltoallv_u64, barrier_ft, broadcast, broadcast_ft, bucket_tag,
-    bucketed_allreduce, gather, reduce_scatter, ReduceOp, RingAllreduce,
+    allgather, allreduce, allreduce_ft, allreduce_recursive_doubling, allreduce_wire, alltoall,
+    alltoallv, alltoallv_hierarchical, alltoallv_hierarchical_wire, alltoallv_u32, alltoallv_u64,
+    alltoallv_wire, barrier_ft, broadcast, broadcast_ft, bucket_tag, bucketed_allreduce,
+    bucketed_allreduce_wire, gather, reduce_scatter, ReduceOp, RingAllreduce,
 };
 pub use fault::{CommError, FaultPlan, FaultRuntime, FaultSpec, FaultStats, FtCommunicator};
 pub use harness::{run_ranks, run_ranks_deadline, run_ranks_ft, RankOutcome};
-pub use payload::Payload;
+pub use payload::{Payload, WireDType};
 pub use shm::{
     CommFamily, CommStats, Communicator, FamilyStats, SendRequest, ShmComm, ShmRecv, World,
 };

@@ -187,7 +187,7 @@ impl CommFamily {
             tags::TAG_BCAST => CommFamily::Broadcast,
             tags::TAG_RING | tags::TAG_RD => CommFamily::Allreduce,
             tags::TAG_AG => CommFamily::Gather,
-            tags::TAG_A2A..=tags::TAG_A2A_U64 => CommFamily::Alltoall,
+            tags::TAG_A2A..=tags::TAG_A2A_U64 | tags::TAG_A2A_U32 => CommFamily::Alltoall,
             t if (tags::TAG_BUCKET_BASE..tags::TAG_BUCKET_END).contains(&t) => {
                 CommFamily::Allreduce
             }
@@ -227,13 +227,28 @@ impl CommStats {
     }
 }
 
-/// Record per-family trace counters for one sent message. No-op unless the
-/// calling thread currently records a trace lane (one relaxed load).
-fn trace_sent(tag: u64, bytes: u64) {
+/// Trace counter slicing sent payload bytes by *element format* (the
+/// `comm.wire.*` axis, orthogonal to the per-family `comm.sent.*` axis).
+fn wire_counter_name(payload: &Payload) -> &'static str {
+    use bagualu_trace::names;
+    match payload.wire_label() {
+        "fp16" => names::WIRE_F16_BYTES,
+        "bf16" => names::WIRE_BF16_BYTES,
+        "u64" => names::WIRE_U64_BYTES,
+        "u32" => names::WIRE_U32_BYTES,
+        _ => names::WIRE_F32_BYTES,
+    }
+}
+
+/// Record per-family and per-wire-dtype trace counters for one sent
+/// message. No-op unless the calling thread currently records a trace lane
+/// (one relaxed load).
+fn trace_sent(tag: u64, payload: &Payload, bytes: u64) {
     if bagualu_trace::enabled() {
         let (b, m) = CommFamily::of_tag(tag).sent_counter_names();
         bagualu_trace::count(b, bytes);
         bagualu_trace::count(m, 1);
+        bagualu_trace::count(wire_counter_name(payload), bytes);
     }
 }
 
@@ -616,7 +631,7 @@ impl Communicator for ShmComm {
         let fam = CommFamily::of_tag(tag).index();
         self.shared.families.bytes[fam].fetch_add(bytes, Ordering::Relaxed);
         self.shared.families.msgs[fam].fetch_add(1, Ordering::Relaxed);
-        trace_sent(tag, bytes);
+        trace_sent(tag, &payload, bytes);
         let mbox = &self.shared.boxes[world_dst];
         let mut state = mbox.state.lock();
         state

@@ -9,6 +9,13 @@
 //! nodes pays `Θ(P)` cross-supernode latencies per node, while the
 //! **hierarchical all-to-all** pays only `Θ(S + s)` (supernode count plus
 //! supernode size) at the price of moving each byte up to three times.
+//!
+//! Every model here is affine in `bytes`: `t = Σ steps·α + bytes·β_eff`.
+//! Wire compression (`WireDType::{F16, BF16}`) halves `bytes` and therefore
+//! exactly halves the β term while leaving the α term untouched — the
+//! complement of the hierarchical algorithms, which attack α. Experiments
+//! feed these models *wire* bytes (`payload.wire_bytes()`), so projections
+//! pick up compression with no model changes.
 
 use bagualu_hw::MachineConfig;
 
@@ -305,6 +312,37 @@ mod tests {
         // Fully local traffic never touches the tapered links.
         let all_local = c.alltoall_with_locality(96_000, v, 1.0);
         assert!(all_local < local);
+    }
+
+    #[test]
+    fn halving_bytes_halves_the_beta_term_only() {
+        // 16-bit wire compression halves `bytes`. Because every model is
+        // affine in bytes, the bandwidth (β) term must halve exactly while
+        // the latency (α) term — the cost at bytes = 0 — stays fixed.
+        let c = cc(96_000);
+        let n = 96_000;
+        let b = 64 << 20;
+        let models: [(&str, &dyn Fn(usize) -> f64); 4] = [
+            ("ring", &|bytes| c.allreduce_ring(n, bytes)),
+            ("hier_ar", &|bytes| c.allreduce_hierarchical(n, bytes)),
+            ("pairwise", &|bytes| c.alltoall_pairwise(n, bytes)),
+            ("hier_a2a", &|bytes| c.alltoall_hierarchical(n, bytes)),
+        ];
+        for (name, t) in models {
+            let alpha = t(0);
+            let beta_full = t(b) - alpha;
+            let beta_half = t(b / 2) - alpha;
+            assert!(beta_full > 0.0, "{name}: β term must be positive");
+            let ratio = beta_half / beta_full;
+            assert!(
+                (ratio - 0.5).abs() < 1e-9,
+                "{name}: β must halve exactly, got ratio {ratio}"
+            );
+            // α unchanged by construction; the end-to-end speedup is
+            // strictly less than 2× whenever α > 0.
+            let speedup = t(b) / t(b / 2);
+            assert!(speedup > 1.0 && speedup < 2.0, "{name}: speedup {speedup}");
+        }
     }
 
     #[test]

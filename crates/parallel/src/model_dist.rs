@@ -193,6 +193,17 @@ impl DistTransformer {
         Self::from_local(&local, rank, nranks, a2a)
     }
 
+    /// Select the wire format for every MoE block's dispatch/combine
+    /// all-to-all traffic (the dense gradient wire is chosen separately at
+    /// the sync call sites). `WireDType::F32` is the lossless default.
+    pub fn set_wire_dtype(&mut self, wire: bagualu_comm::WireDType) {
+        for b in &mut self.blocks {
+            if let DistFfn::MoE(moe) = &mut b.ffn {
+                moe.set_wire(wire);
+            }
+        }
+    }
+
     /// Number of experts this rank owns per MoE block.
     pub fn local_experts_per_block(&self) -> usize {
         self.blocks

@@ -6,7 +6,8 @@
 //! (the dispatch plan is cached), so each expert runs one forward and one
 //! backward per step regardless of how many ranks fed it.
 
-use bagualu_comm::collectives::{alltoallv, alltoallv_hierarchical, alltoallv_u64};
+use bagualu_comm::collectives::{alltoallv_hierarchical_wire, alltoallv_u32, alltoallv_wire};
+use bagualu_comm::payload::WireDType;
 use bagualu_comm::shm::Communicator;
 use bagualu_model::ffn::FeedForward;
 use bagualu_model::moe::gate::{Gate, Routing};
@@ -25,11 +26,18 @@ pub enum A2aKind {
 }
 
 impl A2aKind {
-    fn run<C: Communicator>(self, comm: &C, parts: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    /// Run the selected all-to-all with token payloads packed to `wire` in
+    /// flight (`WireDType::F32` is the uncompressed baseline).
+    fn run_wire<C: Communicator>(
+        self,
+        comm: &C,
+        parts: Vec<Vec<f32>>,
+        wire: WireDType,
+    ) -> Vec<Vec<f32>> {
         match self {
-            A2aKind::Pairwise => alltoallv(comm, parts),
+            A2aKind::Pairwise => alltoallv_wire(comm, parts, wire),
             A2aKind::Hierarchical { supernode_size } => {
-                alltoallv_hierarchical(comm, parts, supernode_size)
+                alltoallv_hierarchical_wire(comm, parts, supernode_size, wire)
             }
         }
     }
@@ -48,6 +56,10 @@ pub struct DistMoELayer {
     pub rank: usize,
     pub nranks: usize,
     pub a2a: A2aKind,
+    /// Wire format for dispatch/combine token payloads (headers always
+    /// travel as `u32` ids). `F32` by default; set via
+    /// [`DistMoELayer::set_wire`] or `DistTransformer::set_wire_dtype`.
+    pub wire: WireDType,
     cache: Option<Cache>,
 }
 
@@ -87,8 +99,14 @@ impl DistMoELayer {
             rank,
             nranks,
             a2a,
+            wire: WireDType::F32,
             cache: None,
         }
+    }
+
+    /// Select the wire format for this layer's dispatch/combine traffic.
+    pub fn set_wire(&mut self, wire: WireDType) {
+        self.wire = wire;
     }
 
     /// Owner rank of a global expert.
@@ -122,11 +140,13 @@ impl DistMoELayer {
         for (i, a) in routing.assignments.iter().enumerate() {
             send_idx[self.owner(a.expert)].push(i);
         }
-        let hdr_parts: Vec<Vec<u64>> = send_idx
+        // Expert ids fit comfortably in 32 bits; a u32 header halves the
+        // dispatch-metadata traffic relative to the old u64 channel.
+        let hdr_parts: Vec<Vec<u32>> = send_idx
             .iter()
             .map(|idxs| {
                 idxs.iter()
-                    .map(|&i| routing.assignments[i].expert as u64)
+                    .map(|&i| routing.assignments[i].expert as u32)
                     .collect()
             })
             .collect();
@@ -142,8 +162,8 @@ impl DistMoELayer {
             .collect();
         let (hdrs, datas) = {
             let _span = trace::span(names::A2A_DISPATCH);
-            let hdrs = alltoallv_u64(comm, hdr_parts);
-            let datas = self.a2a.run(comm, data_parts);
+            let hdrs = alltoallv_u32(comm, hdr_parts);
+            let datas = self.a2a.run_wire(comm, data_parts, self.wire);
             (hdrs, datas)
         };
 
@@ -186,7 +206,7 @@ impl DistMoELayer {
         }
         let replies = {
             let _span = trace::span(names::A2A_COMBINE);
-            self.a2a.run(comm, reply)
+            self.a2a.run_wire(comm, reply, self.wire)
         };
 
         let n_assign = routing.assignments.len();
@@ -252,7 +272,7 @@ impl DistMoELayer {
             // Same direction as the forward dispatch: dY rows travel to the
             // expert owners.
             let _span = trace::span(names::A2A_DISPATCH);
-            self.a2a.run(comm, dsend)
+            self.a2a.run_wire(comm, dsend, self.wire)
         };
 
         // ---- Expert backward, rows in forward order.
@@ -272,7 +292,7 @@ impl DistMoELayer {
         }
         let dxs = {
             let _span = trace::span(names::A2A_COMBINE);
-            self.a2a.run(comm, dreply)
+            self.a2a.run_wire(comm, dreply, self.wire)
         };
 
         // ---- Scatter input gradients back to tokens (weights already

@@ -27,8 +27,9 @@
 
 use crate::model_dist::DistTransformer;
 use bagualu_comm::collectives::{
-    allreduce, allreduce_recursive_doubling, broadcast, bucket_tag, ReduceOp, RingAllreduce,
+    allreduce_recursive_doubling, allreduce_wire, broadcast, bucket_tag, ReduceOp, RingAllreduce,
 };
+use bagualu_comm::payload::WireDType;
 use bagualu_comm::shm::Communicator;
 use bagualu_tensor::Tensor;
 use bagualu_trace::{self as trace, names};
@@ -36,6 +37,18 @@ use bagualu_trace::{self as trace, names};
 /// Synchronize gradients across the data-parallel group. Returns the number
 /// of dense gradient scalars reduced (for communication-volume accounting).
 pub fn sync_grads<C: Communicator>(model: &mut DistTransformer, comm: &C) -> usize {
+    sync_grads_wire(model, comm, WireDType::F32)
+}
+
+/// [`sync_grads`] with an explicit wire format for the dense all-reduce:
+/// gradients are rounded to `wire` per ring hop while the reduction itself
+/// accumulates in `f32`. `WireDType::F32` is bit-identical to
+/// [`sync_grads`].
+pub fn sync_grads_wire<C: Communicator>(
+    model: &mut DistTransformer,
+    comm: &C,
+    wire: WireDType,
+) -> usize {
     let _span = trace::span(names::GRAD_SYNC);
     let r = comm.size() as f32;
 
@@ -44,7 +57,7 @@ pub fn sync_grads<C: Communicator>(model: &mut DistTransformer, comm: &C) -> usi
     model.visit_dense_params(&mut |p| flat.extend_from_slice(p.grad.as_slice()));
     let count = flat.len();
 
-    let mut reduced = allreduce(comm, flat, ReduceOp::Sum);
+    let mut reduced = allreduce_wire(comm, flat, ReduceOp::Sum, wire);
     let inv = 1.0 / r;
     for g in &mut reduced {
         *g *= inv;
@@ -95,6 +108,8 @@ impl SyncStats {
 struct GradBucketer<'a, C: Communicator> {
     comm: &'a C,
     bucket_elems: usize,
+    /// Element format each bucket's ring uses in flight.
+    wire: WireDType,
     current: Vec<f32>,
     rings: Vec<RingAllreduce<C>>,
     /// Wall time spent polling in-flight rings from inside the backward
@@ -104,12 +119,14 @@ struct GradBucketer<'a, C: Communicator> {
 }
 
 impl<'a, C: Communicator> GradBucketer<'a, C> {
-    fn new(comm: &'a C, bucket_bytes: usize) -> GradBucketer<'a, C> {
-        // f32 wire format: 4 bytes per scalar.
-        let bucket_elems = (bucket_bytes / 4).max(1);
+    fn new(comm: &'a C, bucket_bytes: usize, wire: WireDType) -> GradBucketer<'a, C> {
+        // `bucket_bytes` is a *wire* budget: a 16-bit wire fits twice the
+        // scalars per bucket, so fewer rings move the same gradient stream.
+        let bucket_elems = (bucket_bytes / wire.size_bytes()).max(1);
         GradBucketer {
             comm,
             bucket_elems,
+            wire,
             current: Vec::new(),
             rings: Vec::new(),
             poll_ns: 0,
@@ -144,8 +161,13 @@ impl<'a, C: Communicator> GradBucketer<'a, C> {
         }
         let data = std::mem::take(&mut self.current);
         let tag = bucket_tag(self.rings.len());
-        self.rings
-            .push(RingAllreduce::start(self.comm, data, ReduceOp::Sum, tag));
+        self.rings.push(RingAllreduce::start_wire(
+            self.comm,
+            data,
+            ReduceOp::Sum,
+            tag,
+            self.wire,
+        ));
     }
 
     /// Advance every in-flight ring without blocking; true when all done.
@@ -182,8 +204,23 @@ pub fn backward_and_sync_overlapped<C: Communicator>(
     comm: &C,
     bucket_bytes: usize,
 ) -> SyncStats {
+    backward_and_sync_overlapped_wire(model, dlogits, comm, bucket_bytes, WireDType::F32)
+}
+
+/// [`backward_and_sync_overlapped`] with an explicit wire format: every
+/// bucket's ring packs each hop to `wire` (reductions still accumulate in
+/// `f32`), and `bucket_bytes` budgets *wire* bytes — a 16-bit wire fits
+/// twice the scalars per bucket. `WireDType::F32` is bit-identical to
+/// [`backward_and_sync_overlapped`].
+pub fn backward_and_sync_overlapped_wire<C: Communicator>(
+    model: &mut DistTransformer,
+    dlogits: &Tensor,
+    comm: &C,
+    bucket_bytes: usize,
+    wire: WireDType,
+) -> SyncStats {
     let r = comm.size() as f32;
-    let mut bucketer = GradBucketer::new(comm, bucket_bytes);
+    let mut bucketer = GradBucketer::new(comm, bucket_bytes, wire);
     let backward_span = trace::span(names::BACKWARD);
     model.backward_with_grad_ready(dlogits, comm, &mut |p| {
         bucketer.push(p.grad.as_slice());

@@ -21,10 +21,12 @@
 
 pub mod dtype;
 pub mod ops;
+pub mod pack;
 pub mod rng;
 pub mod tensor;
 
 pub use dtype::{DType, BF16, F16};
+pub use pack::{pack_bf16, pack_f16, pack_slice, unpack_bf16, unpack_f16, unpack_slice};
 pub use tensor::Tensor;
 
 /// Commonly used items, for glob import in downstream crates.

@@ -39,6 +39,22 @@ pub const RING_STEPS_OVERLAPPED: &str = "sync.ring_steps_overlapped";
 /// Nanoseconds spent polling in-flight rings from inside the backward pass
 /// (the wall-clock footprint of the *hidden* communication).
 pub const OVERLAP_POLL_NS: &str = "sync.overlap_poll_ns";
+/// Payload bytes sent with 4-byte `f32` elements. The `comm.wire.*`
+/// counters slice the same sent bytes as the `comm.sent.<family>.*`
+/// counters, but by element format instead of collective family — the
+/// observable for wire-compression experiments (E24). They deliberately do
+/// **not** share the `comm.sent.` prefix, which `sent_bytes_by_family`
+/// pattern-matches.
+pub const WIRE_F32_BYTES: &str = "comm.wire.fp32.bytes";
+/// Payload bytes sent with 2-byte FP16 elements (see [`WIRE_F32_BYTES`]).
+pub const WIRE_F16_BYTES: &str = "comm.wire.fp16.bytes";
+/// Payload bytes sent with 2-byte BF16 elements (see [`WIRE_F32_BYTES`]).
+pub const WIRE_BF16_BYTES: &str = "comm.wire.bf16.bytes";
+/// Payload bytes sent as 8-byte `u64` metadata (see [`WIRE_F32_BYTES`]).
+pub const WIRE_U64_BYTES: &str = "comm.wire.u64.bytes";
+/// Payload bytes sent as 4-byte `u32` metadata (see [`WIRE_F32_BYTES`]).
+pub const WIRE_U32_BYTES: &str = "comm.wire.u32.bytes";
+
 /// Messages dropped in flight by fault injection.
 pub const FAULT_DROPS: &str = "fault.drops";
 /// Payloads corrupted in flight by fault injection.

@@ -4,9 +4,11 @@
 //! semantically identical to the pairwise one.
 
 use bagualu_comm::collectives::{
-    allgather, allreduce, alltoallv, alltoallv_hierarchical, broadcast, reduce_scatter, ReduceOp,
+    allgather, allreduce, alltoallv, alltoallv_hierarchical, broadcast, bucketed_allreduce,
+    bucketed_allreduce_wire, reduce_scatter, ReduceOp,
 };
 use bagualu_comm::harness::{run_ranks, run_ranks_map};
+use bagualu_comm::payload::WireDType;
 use bagualu_comm::shm::Communicator;
 use proptest::prelude::*;
 
@@ -59,6 +61,48 @@ proptest! {
             let flat = alltoallv(&c, parts.clone());
             let hier = alltoallv_hierarchical(&c, parts, sn_size);
             assert_eq!(flat, hier);
+        });
+    }
+
+    #[test]
+    fn compressed_bucketed_allreduce_tracks_f32(
+        n in 1usize..9,
+        lens in proptest::collection::vec(0usize..40, 1..4),
+        seed in 0u64..1000,
+    ) {
+        // For arbitrary rank counts and bucket shapes, the 16-bit wire must
+        // reproduce the f32 result within per-hop rounding: values are
+        // expanded to f32, accumulated, and re-rounded once per ring hop,
+        // so the relative error is bounded by hops · ulp(dtype). bf16 keeps
+        // 8 mantissa bits (2^-8 relative per rounding), f16 keeps 11.
+        run_ranks(n, move |c| {
+            let mk = |scale: f32| -> Vec<Vec<f32>> {
+                lens.iter().enumerate().map(|(b, &len)| {
+                    (0..len)
+                        .map(|i| {
+                            let v = ((c.rank() * 31 + b * 17 + i * 7 + seed as usize) % 23) as f32;
+                            (v - 11.0) * scale
+                        })
+                        .collect()
+                }).collect()
+            };
+            let exact = bucketed_allreduce(&c, mk(0.25), ReduceOp::Sum);
+            // The ring's reduce-scatter + all-gather rounds each value at
+            // most 2(n-1) times; add slack for the final sum magnitude.
+            for (wire, ulp) in [(WireDType::BF16, 1.0 / 256.0), (WireDType::F16, 1.0 / 2048.0)] {
+                let got = bucketed_allreduce_wire(&c, mk(0.25), ReduceOp::Sum, wire);
+                let tol_rel = 2.0 * n as f32 * ulp;
+                for (be, bg) in exact.iter().zip(&got) {
+                    assert_eq!(be.len(), bg.len());
+                    for (&e, &g) in be.iter().zip(bg.iter()) {
+                        let tol = (e.abs() * tol_rel).max(tol_rel);
+                        assert!(
+                            (e - g).abs() <= tol,
+                            "{wire} wire drifted: exact={e} got={g} tol={tol} n={n}"
+                        );
+                    }
+                }
+            }
         });
     }
 

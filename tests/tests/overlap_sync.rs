@@ -7,6 +7,7 @@
 //! in the last bits. The tolerance below covers that.
 
 use bagualu_comm::harness::run_ranks_map;
+use bagualu_comm::payload::WireDType;
 use bagualu_comm::shm::Communicator;
 use bagualu_model::config::ModelConfig;
 use bagualu_model::loss::cross_entropy;
@@ -14,7 +15,9 @@ use bagualu_model::moe::GateKind;
 use bagualu_model::transformer::Transformer;
 use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
-use bagualu_parallel::sync::{backward_and_sync_overlapped, sync_grads};
+use bagualu_parallel::sync::{
+    backward_and_sync_overlapped, backward_and_sync_overlapped_wire, sync_grads,
+};
 use bagualu_tensor::rng::Rng;
 use proptest::prelude::*;
 
@@ -43,7 +46,12 @@ type GradFlats = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
 /// Run one backward on each of two identical replicas of the same sharded
 /// model — one synced monolithically, one synced bucketed/overlapped — and
 /// return the per-rank gradient flats.
-fn grads_both_ways(nranks: usize, bucket_bytes: usize, seed: u64) -> Vec<GradFlats> {
+fn grads_both_ways(
+    nranks: usize,
+    bucket_bytes: usize,
+    seed: u64,
+    wire: WireDType,
+) -> Vec<GradFlats> {
     let cfg = cfg(nranks * 2);
     let per_rank = 2usize;
     let seq = 4usize;
@@ -69,7 +77,8 @@ fn grads_both_ways(nranks: usize, bucket_bytes: usize, seed: u64) -> Vec<GradFla
             let logits = m.forward(shard, per_rank, seq, &c);
             let (_, dlogits) = cross_entropy(&logits, tshard);
             if overlapped {
-                let stats = backward_and_sync_overlapped(&mut m, &dlogits, &c, bucket_bytes);
+                let stats =
+                    backward_and_sync_overlapped_wire(&mut m, &dlogits, &c, bucket_bytes, wire);
                 assert_eq!(stats.ring_steps, stats.buckets * 2 * (nranks - 1));
                 assert!(stats.ring_steps_overlapped <= stats.ring_steps);
                 assert!(stats.dense_scalars > 0);
@@ -114,10 +123,32 @@ proptest! {
         // 4 B; 64 B splits most tensors) up to "one bucket fits all".
         let bucket_bytes = [64usize, 1 << 10, 1 << 14, 1 << 22][bucket_sel];
         for (rank, (dense_a, dense_b, expert_a, expert_b)) in
-            grads_both_ways(nranks, bucket_bytes, seed).into_iter().enumerate()
+            grads_both_ways(nranks, bucket_bytes, seed, WireDType::F32).into_iter().enumerate()
         {
             assert_close(&dense_a, &dense_b, 1e-5, "dense grad", rank);
             assert_close(&expert_a, &expert_b, 1e-6, "expert grad", rank);
+        }
+    }
+
+    #[test]
+    fn bucketed_sync_over_bf16_wire_tracks_monolithic(
+        nranks_sel in 0usize..3,
+        bucket_sel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // Same equivalence as above, but the overlapped side ships its
+        // buckets as bf16. Each ring hop rounds once to 8 mantissa bits, so
+        // the dense gradients may drift by ~hops · 2⁻⁸ relative; expert
+        // gradients never leave the rank and must stay at the f32 bound.
+        let nranks = [1usize, 2, 4][nranks_sel];
+        let bucket_bytes = [64usize, 1 << 12, 1 << 22][bucket_sel];
+        let hops = (2 * nranks.saturating_sub(1)).max(1) as f32;
+        let tol = hops * (1.0 / 256.0);
+        for (rank, (dense_a, dense_b, expert_a, expert_b)) in
+            grads_both_ways(nranks, bucket_bytes, seed, WireDType::BF16).into_iter().enumerate()
+        {
+            assert_close(&dense_a, &dense_b, tol, "dense grad (bf16 wire)", rank);
+            assert_close(&expert_a, &expert_b, 1e-6, "expert grad (bf16 wire)", rank);
         }
     }
 }

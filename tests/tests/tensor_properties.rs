@@ -1,6 +1,7 @@
 //! Property-based tests of the tensor kernels and half-precision types.
 
 use bagualu_tensor::ops::{matmul, matmul_nt, matmul_tn, softmax_rows};
+use bagualu_tensor::pack::{pack_slice, unpack_slice};
 use bagualu_tensor::rng::Rng;
 use bagualu_tensor::{DType, Tensor, BF16, F16};
 use proptest::prelude::*;
@@ -72,6 +73,28 @@ proptest! {
             prop_assert!((r - v).abs() <= v.abs() * 4.9e-4, "v={} r={}", v, r);
         } else {
             prop_assert!((r - v).abs() <= 3.0e-8, "v={} r={}", v, r);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_matches_round_trip_bit_for_bit(
+        bit_patterns in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        // The wire pack kernels must agree with the scalar DType::round_trip
+        // on *every* f32 bit pattern — NaNs, ±inf, subnormals, -0.0 — so the
+        // parallel chunked path can never diverge from the scalar semantics.
+        let src: Vec<f32> = bit_patterns.iter().map(|&b| f32::from_bits(b)).collect();
+        for dt in [DType::F16, DType::BF16] {
+            let unpacked = unpack_slice(dt, &pack_slice(dt, &src));
+            prop_assert_eq!(unpacked.len(), src.len());
+            for (&x, &y) in src.iter().zip(&unpacked) {
+                let reference = dt.round_trip(x);
+                prop_assert_eq!(
+                    y.to_bits(), reference.to_bits(),
+                    "dtype {:?}: input {:#010x} packed to {:#010x}, round_trip gives {:#010x}",
+                    dt, x.to_bits(), y.to_bits(), reference.to_bits()
+                );
+            }
         }
     }
 
