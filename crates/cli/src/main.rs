@@ -19,6 +19,7 @@ use bagualu::model::param::HasParams;
 use bagualu::model::transformer::Transformer;
 use bagualu::optim::adam::{Adam, AdamConfig};
 use bagualu::parallel::moe_dist::A2aKind;
+use bagualu::parallel::ExpertPlacement;
 use bagualu::perfmodel::{project, PerfInput};
 use bagualu::tensor::rng::Rng;
 use bagualu::tensor::DType;
@@ -62,6 +63,8 @@ fn print_help() {
     eprintln!("            --wire-dtype f32|f16|bf16 (compress comm traffic to 16-bit in flight)");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
+    eprintln!("            --placement roundrobin|block|supernode[:S] (expert↔rank mapping)");
+    eprintln!("            --locality-bias B (gate bonus toward intra-supernode experts)");
     eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
     eprintln!("            --trace FILE (write Chrome trace JSON + per-rank summary)");
     eprintln!("            --ckpt-dir PATH --ckpt-every N (checkpoint/restart recovery)");
@@ -141,6 +144,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "crash",
         "max-restarts",
         "trace",
+        "placement",
+        "locality-bias",
     ])?;
     use bagualu::model::moe::GateKind;
     let gate = match args.get("gate", "top2").as_str() {
@@ -160,6 +165,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         .get("wire-dtype", "f32")
         .parse()
         .map_err(|e| format!("--wire-dtype: {e}"))?;
+    let placement: ExpertPlacement = args
+        .get("placement", "roundrobin")
+        .parse()
+        .map_err(|e| format!("--placement: {e}"))?;
     let nranks = args.get_parse("ranks", 2usize)?;
     let skew: f64 = args.get_parse("skew", 0.0f64)?;
     let zero = args.switch("zero");
@@ -195,15 +204,34 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         bucket_bytes: args.get_parse("bucket-kib", 1024usize)? << 10,
         trace: !trace_path.is_empty(),
         wire,
+        placement,
+        locality_bias: args.get_parse("locality-bias", 0.0f32)?,
         ..Default::default()
     };
+    // Surface bad placement flags as CLI errors instead of trainer panics.
+    if placement == (ExpertPlacement::Supernode { supernode_size: 0 })
+        && !matches!(cfg.a2a, A2aKind::Hierarchical { .. })
+    {
+        return Err(
+            "--placement supernode needs an explicit size (supernode:S) unless \
+             --hierarchical is set"
+                .into(),
+        );
+    }
+    cfg.resolved_placement()
+        .validate(nranks)
+        .map_err(|e| format!("--placement: {e}"))?;
+    if cfg.locality_bias < 0.0 {
+        return Err("--locality-bias must be >= 0".into());
+    }
     println!(
-        "training {} params on {} ranks, {} steps, {} (wire {}) …",
+        "training {} params on {} ranks, {} steps, {} (wire {}, placement {}) …",
         cfg.model.count_params(),
         cfg.nranks,
         cfg.steps,
         cfg.dtype,
-        cfg.wire
+        cfg.wire,
+        cfg.resolved_placement()
     );
 
     // Fault-tolerant path: any checkpoint/crash flag routes through run_ft.
@@ -272,6 +300,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             if f.bytes > 0 {
                 print!(" | {:?} {}", family, format_si(f.bytes as f64, "B"));
             }
+        }
+        if let Some(f) = stats.a2a_local_fraction() {
+            print!(" | a2a intra-supernode {:.0}%", f * 100.0);
         }
         println!();
     }

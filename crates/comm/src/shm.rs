@@ -90,6 +90,14 @@ pub trait Communicator {
     fn stats(&self) -> Option<CommStats> {
         None
     }
+
+    /// Arm intra/inter-supernode accounting: `supernode_size` consecutive
+    /// *world* ranks form one supernode, and every subsequent all-to-all
+    /// send is attributed to [`CommStats::a2a_intra_bytes`] or
+    /// [`CommStats::a2a_inter_bytes`] by whether source and destination
+    /// share a supernode. `0` disables the split (the default). Transports
+    /// without byte accounting ignore the call.
+    fn set_supernode_size(&self, _supernode_size: usize) {}
 }
 
 /// Collective families distinguished by [`CommStats`]. Classification is
@@ -212,6 +220,13 @@ pub struct CommStats {
     pub total_bytes: u64,
     /// Messages sent, all families.
     pub total_msgs: u64,
+    /// All-to-all payload bytes that stayed inside one supernode. Only
+    /// collected after [`Communicator::set_supernode_size`] armed a nonzero
+    /// supernode size; 0 otherwise.
+    pub a2a_intra_bytes: u64,
+    /// All-to-all payload bytes that crossed a supernode boundary (see
+    /// [`CommStats::a2a_intra_bytes`]).
+    pub a2a_inter_bytes: u64,
     families: [FamilyStats; N_FAMILIES],
 }
 
@@ -224,6 +239,18 @@ impl CommStats {
     /// Iterate `(family, counters)` pairs in a fixed order.
     pub fn families(&self) -> impl Iterator<Item = (CommFamily, FamilyStats)> + '_ {
         CommFamily::ALL.iter().map(|&f| (f, self.family(f)))
+    }
+
+    /// Measured fraction of all-to-all bytes that stayed inside a
+    /// supernode. `None` until supernode accounting is armed and at least
+    /// one all-to-all byte has been sent.
+    pub fn a2a_local_fraction(&self) -> Option<f64> {
+        let total = self.a2a_intra_bytes + self.a2a_inter_bytes;
+        if total == 0 {
+            None
+        } else {
+            Some(self.a2a_intra_bytes as f64 / total as f64)
+        }
     }
 }
 
@@ -322,6 +349,13 @@ struct Shared {
     total_bytes: AtomicU64,
     total_msgs: AtomicU64,
     families: FamilyCounters,
+    /// Supernode size for intra/inter all-to-all byte attribution
+    /// (0 = split disabled).
+    supernode_size: AtomicU64,
+    /// All-to-all bytes between world ranks of the same supernode.
+    a2a_intra_bytes: AtomicU64,
+    /// All-to-all bytes crossing a supernode boundary.
+    a2a_inter_bytes: AtomicU64,
     /// Armed fault schedule, consulted on every send (None = no faults).
     faults: Option<Arc<FaultRuntime>>,
     /// Per-world-rank dead flags; set once a rank's thread panics or
@@ -336,6 +370,8 @@ impl Shared {
             total_msgs: self.total_msgs.load(Ordering::Relaxed),
             ..CommStats::default()
         };
+        stats.a2a_intra_bytes = self.a2a_intra_bytes.load(Ordering::Relaxed);
+        stats.a2a_inter_bytes = self.a2a_inter_bytes.load(Ordering::Relaxed);
         for (i, fam) in stats.families.iter_mut().enumerate() {
             fam.bytes = self.families.bytes[i].load(Ordering::Relaxed);
             fam.msgs = self.families.msgs[i].load(Ordering::Relaxed);
@@ -393,6 +429,9 @@ impl World {
                 total_bytes: AtomicU64::new(0),
                 total_msgs: AtomicU64::new(0),
                 families: FamilyCounters::default(),
+                supernode_size: AtomicU64::new(0),
+                a2a_intra_bytes: AtomicU64::new(0),
+                a2a_inter_bytes: AtomicU64::new(0),
                 faults,
                 dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
@@ -628,9 +667,41 @@ impl Communicator for ShmComm {
         let bytes = payload.wire_bytes() as u64;
         self.shared.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.shared.total_msgs.fetch_add(1, Ordering::Relaxed);
-        let fam = CommFamily::of_tag(tag).index();
+        let family = CommFamily::of_tag(tag);
+        let fam = family.index();
         self.shared.families.bytes[fam].fetch_add(bytes, Ordering::Relaxed);
         self.shared.families.msgs[fam].fetch_add(1, Ordering::Relaxed);
+        // Intra/inter-supernode split of all-to-all traffic, by *world*
+        // rank (supernodes are a physical-topology property, so sub-group
+        // communicators still attribute against the machine layout).
+        if family == CommFamily::Alltoall {
+            let s = self.shared.supernode_size.load(Ordering::Relaxed) as usize;
+            let world_src = self.members[self.rank];
+            // `s == 0` means the split is disarmed; checked_div folds that
+            // case into `None` without a separate zero guard.
+            if let (Some(src_sn), Some(dst_sn)) =
+                (world_src.checked_div(s), world_dst.checked_div(s))
+            {
+                let intra = src_sn == dst_sn;
+                if intra {
+                    self.shared
+                        .a2a_intra_bytes
+                        .fetch_add(bytes, Ordering::Relaxed);
+                } else {
+                    self.shared
+                        .a2a_inter_bytes
+                        .fetch_add(bytes, Ordering::Relaxed);
+                }
+                if bagualu_trace::enabled() {
+                    let name = if intra {
+                        bagualu_trace::names::A2A_INTRA_BYTES
+                    } else {
+                        bagualu_trace::names::A2A_INTER_BYTES
+                    };
+                    bagualu_trace::count(name, bytes);
+                }
+            }
+        }
         trace_sent(tag, &payload, bytes);
         let mbox = &self.shared.boxes[world_dst];
         let mut state = mbox.state.lock();
@@ -714,6 +785,12 @@ impl Communicator for ShmComm {
 
     fn stats(&self) -> Option<CommStats> {
         Some(self.shared.snapshot_stats())
+    }
+
+    fn set_supernode_size(&self, supernode_size: usize) {
+        self.shared
+            .supernode_size
+            .store(supernode_size as u64, Ordering::Relaxed);
     }
 }
 
@@ -976,6 +1053,54 @@ mod tests {
         assert_eq!(stats.total_msgs, bc.msgs + ar.msgs);
         assert_eq!(stats.total_bytes, bc.bytes + ar.bytes);
         assert_eq!(stats.family(CommFamily::Alltoall), FamilyStats::default());
+    }
+
+    #[test]
+    fn supernode_split_attributes_a2a_bytes() {
+        use crate::collectives::alltoallv;
+        let world = World::new(4);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(move || {
+                    // Supernodes of 2: ranks {0,1} and {2,3}.
+                    c.set_supernode_size(2);
+                    // One f32 to every rank. The self-part never touches
+                    // the wire, so each rank has 1 intra and 2 inter wire
+                    // destinations.
+                    let parts: Vec<Vec<f32>> = (0..c.size()).map(|d| vec![d as f32]).collect();
+                    alltoallv(c, parts);
+                });
+            }
+        });
+        let stats = world.stats();
+        assert_eq!(stats.a2a_intra_bytes, 4 * 4);
+        assert_eq!(stats.a2a_inter_bytes, 4 * 2 * 4);
+        assert_eq!(stats.a2a_local_fraction(), Some(1.0 / 3.0));
+        assert_eq!(
+            stats.a2a_intra_bytes + stats.a2a_inter_bytes,
+            stats.family(CommFamily::Alltoall).bytes
+        );
+    }
+
+    #[test]
+    fn supernode_split_disabled_counts_nothing() {
+        use crate::collectives::alltoallv;
+        let world = World::new(2);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(move || {
+                    let parts: Vec<Vec<f32>> = (0..c.size()).map(|d| vec![d as f32]).collect();
+                    alltoallv(c, parts);
+                });
+            }
+        });
+        let stats = world.stats();
+        assert!(stats.family(CommFamily::Alltoall).bytes > 0);
+        assert_eq!(stats.a2a_intra_bytes, 0);
+        assert_eq!(stats.a2a_inter_bytes, 0);
+        assert_eq!(stats.a2a_local_fraction(), None);
     }
 
     #[test]

@@ -259,6 +259,13 @@ impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
     fn stats(&self) -> Option<CommStats> {
         self.inner.stats()
     }
+
+    fn set_supernode_size(&self, supernode_size: usize) {
+        // Byte accounting lives in the inner transport; the virtual-time
+        // layer already charges intra- vs inter-supernode α/β through its
+        // `TwoLevelCost` link model.
+        self.inner.set_supernode_size(supernode_size);
+    }
 }
 
 impl<C: FtCommunicator, L: LinkCost> FtCommunicator for TimedComm<C, L> {

@@ -292,6 +292,91 @@ pub fn save_params(path: impl AsRef<Path>, model: &mut dyn HasParams) -> io::Res
     write_checkpoint_atomic(path.as_ref(), &names, &tensors)
 }
 
+// ------------------------------------------------------- placement metadata
+
+/// Reserved record name for the expert-placement metadata record. The name
+/// can never collide with a parameter (parameter names come from layer
+/// constructors and contain no underscore-only prefixes), and loaders that
+/// predate placement metadata skip unknown records, so the record is
+/// backward- and forward-compatible.
+pub const PLACEMENT_RECORD: &str = "__placement__";
+
+/// The expert↔rank mapping a checkpoint shard was written under. Persisted
+/// so a restart under a *different* mapping fails loudly instead of
+/// silently loading each expert's weights into whatever expert now happens
+/// to occupy the same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementMeta {
+    /// The placement policy in force when the shard was written.
+    pub placement: bagualu_parallel::ExpertPlacement,
+    /// Global expert count of the sharded model.
+    pub n_experts: usize,
+    /// World size the shard set was written for.
+    pub nranks: usize,
+}
+
+impl PlacementMeta {
+    /// Encode as a 4-element tensor record
+    /// `[policy_id, supernode_size, n_experts, nranks]` (exact in `f32` —
+    /// all fields are far below 2²⁴).
+    fn encode(&self) -> Tensor {
+        Tensor::from_vec(
+            vec![
+                self.placement.policy_id() as f32,
+                self.placement.supernode_size() as f32,
+                self.n_experts as f32,
+                self.nranks as f32,
+            ],
+            &[4],
+        )
+    }
+
+    fn decode(t: &Tensor) -> io::Result<PlacementMeta> {
+        let v = t.as_slice();
+        if v.len() != 4 {
+            return Err(bad(format!(
+                "malformed {PLACEMENT_RECORD} record: {} fields, want 4",
+                v.len()
+            )));
+        }
+        let placement =
+            bagualu_parallel::ExpertPlacement::from_policy_id(v[0] as u32, v[1] as usize)
+                .map_err(bad)?;
+        Ok(PlacementMeta {
+            placement,
+            n_experts: v[2] as usize,
+            nranks: v[3] as usize,
+        })
+    }
+}
+
+/// [`save_params`] plus a [`PLACEMENT_RECORD`] carrying `meta`. The record
+/// rides in the same file with the same CRC/trailer protection; loaders
+/// that only want parameters ignore it.
+pub fn save_params_with_placement(
+    path: impl AsRef<Path>,
+    model: &mut dyn HasParams,
+    meta: PlacementMeta,
+) -> io::Result<u64> {
+    let (mut names, mut tensors) = collect_params(model);
+    names.push(PLACEMENT_RECORD.to_string());
+    tensors.push(meta.encode());
+    write_checkpoint_atomic(path.as_ref(), &names, &tensors)
+}
+
+/// Read the placement metadata of a checkpoint file. `Ok(None)` means the
+/// file predates placement metadata (written by [`save_params`] or an older
+/// build) — callers must then only accept the historical round-robin
+/// mapping.
+pub fn read_placement(path: impl AsRef<Path>) -> io::Result<Option<PlacementMeta>> {
+    for (name, t) in read_params_file(path.as_ref())? {
+        if name == PLACEMENT_RECORD {
+            return Ok(Some(PlacementMeta::decode(&t)?));
+        }
+    }
+    Ok(None)
+}
+
 /// Load parameter values by name from a single checkpoint file. Every
 /// parameter of `model` must be present with a matching shape; extra
 /// entries in the file are ignored (they belong to other shards' views).
@@ -537,6 +622,35 @@ mod tests {
                 );
             });
         }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn placement_record_round_trips_and_is_ignored_by_load_params() {
+        use bagualu_parallel::ExpertPlacement;
+        let dir = tmpdir("placement");
+        let path = dir.join("m.bglu");
+        let mut a = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(21));
+        let meta = PlacementMeta {
+            placement: ExpertPlacement::Supernode { supernode_size: 2 },
+            n_experts: 4,
+            nranks: 4,
+        };
+        save_params_with_placement(&path, &mut a, meta).unwrap();
+        assert_eq!(read_placement(&path).unwrap(), Some(meta));
+        // Parameter loading skips the metadata record.
+        let mut b = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(22));
+        load_params(&path, &mut b).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_checkpoint_has_no_placement_record() {
+        let dir = tmpdir("placement-legacy");
+        let path = dir.join("m.bglu");
+        let mut a = Transformer::new(ModelConfig::tiny(), &mut Rng::seed_from(23));
+        save_params(&path, &mut a).unwrap();
+        assert_eq!(read_placement(&path).unwrap(), None);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -26,6 +26,7 @@ use bagualu_optim::mixed::{MixedPrecision, StepOutcome};
 use bagualu_optim::schedule::LrSchedule;
 use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
+use bagualu_parallel::placement::ExpertPlacement;
 use bagualu_parallel::sync::{backward_and_sync_overlapped_wire, sync_grads_wire};
 use bagualu_tensor::DType;
 use bagualu_trace::{self as trace, names, Trace, TraceCollector, DRIVER_LANE};
@@ -80,6 +81,52 @@ pub struct TrainConfig {
     /// accumulates in `f32`. Control-path scalars and the ZeRO
     /// reduce-scatter stay uncompressed. `F32` (the default) is lossless.
     pub wire: WireDType,
+    /// Expert↔rank mapping policy. `Supernode { supernode_size: 0 }`
+    /// infers the size from a [`A2aKind::Hierarchical`] all-to-all (and is
+    /// rejected under [`A2aKind::Pairwise`], which has no supernodes to
+    /// infer from). The default, round-robin, is bit-identical to the
+    /// pre-placement trainer.
+    pub placement: ExpertPlacement,
+    /// Log-space gate-selection bonus for experts resident in the caller's
+    /// supernode (0 = off, the bit-identical default). Only meaningful when
+    /// a supernode size is known — from the placement or from a
+    /// hierarchical a2a; with neither the bias is a no-op. Balance is
+    /// preserved through the usual auxiliary loss, which operates on the
+    /// biased selection counts (raise `model.aux_weight` to push back
+    /// harder against the skew).
+    pub locality_bias: f32,
+}
+
+impl TrainConfig {
+    /// The placement policy with `Supernode { supernode_size: 0 }` resolved
+    /// against the all-to-all topology. Panics when resolution is
+    /// impossible (supernode placement without a size under a pairwise
+    /// a2a).
+    pub fn resolved_placement(&self) -> ExpertPlacement {
+        match self.placement {
+            ExpertPlacement::Supernode { supernode_size: 0 } => {
+                let s = self.a2a.supernode_size();
+                assert!(
+                    s > 0,
+                    "supernode placement needs an explicit size (supernode:<s>) or a \
+                     hierarchical a2a to infer one from"
+                );
+                ExpertPlacement::Supernode { supernode_size: s }
+            }
+            p => p,
+        }
+    }
+
+    /// Supernode size used for locality accounting and the gate bias: the
+    /// placement's own, else the hierarchical a2a's, else 0 (disabled).
+    pub fn effective_supernode_size(&self) -> usize {
+        let s = self.resolved_placement().supernode_size();
+        if s > 0 {
+            s
+        } else {
+            self.a2a.supernode_size()
+        }
+    }
 }
 
 impl Default for TrainConfig {
@@ -105,6 +152,8 @@ impl Default for TrainConfig {
             bucket_bytes: 1 << 20,
             trace: false,
             wire: WireDType::F32,
+            placement: ExpertPlacement::RoundRobin,
+            locality_bias: 0.0,
         }
     }
 }
@@ -152,6 +201,9 @@ pub struct TrainReport {
     /// The wire format the run's tensor traffic used
     /// (echoes [`TrainConfig::wire`], so reports are self-describing).
     pub wire: WireDType,
+    /// The expert placement the run used (the *resolved* policy — a
+    /// `supernode` request with inferred size reports the concrete size).
+    pub placement: ExpertPlacement,
 }
 
 impl TrainReport {
@@ -239,6 +291,17 @@ impl Trainer {
             "the distributed trainer requires the flat gate (two-level routing \
              is a single-rank feature; see MoELayer::new_two_level)"
         );
+        cfg.a2a
+            .validate(cfg.nranks)
+            .expect("invalid a2a configuration");
+        cfg.resolved_placement()
+            .validate(cfg.nranks)
+            .expect("invalid expert placement");
+        assert!(
+            cfg.locality_bias >= 0.0,
+            "locality bias must be >= 0, got {}",
+            cfg.locality_bias
+        );
         Trainer { cfg }
     }
 
@@ -295,6 +358,24 @@ impl Trainer {
         let mut start_step = ft.resume_step;
 
         loop {
+            // Pre-flight the placement gate on rank 0's shard: a mismatched
+            // restore is a configuration error, not a transient fault, so it
+            // must be a hard error here rather than a crash the restart loop
+            // retries into "giving up after N restarts".
+            if start_step > 0 {
+                let shard0 = ft
+                    .ckpt_dir
+                    .join(format!("step{start_step}"))
+                    .join("rank0.bglu");
+                if shard0.exists() {
+                    let meta = crate::checkpoint::PlacementMeta {
+                        placement: cfg.resolved_placement(),
+                        n_experts: cfg.model.n_experts,
+                        nranks: cfg.nranks,
+                    };
+                    placement_gate(&shard0, meta, 0);
+                }
+            }
             let attempt_start = Instant::now();
             let attempt_t0_ns = collector.as_ref().map(|c| c.now_ns());
             // The fault runtime is shared across attempts: one-shot events
@@ -398,9 +479,26 @@ struct RankState {
 
 impl RankState {
     fn new<C: Communicator>(cfg: TrainConfig, comm: &C) -> RankState {
-        let mut model =
-            DistTransformer::new(cfg.model, cfg.seed, comm.rank(), comm.size(), cfg.a2a);
+        let placement = cfg.resolved_placement();
+        let mut model = DistTransformer::new_placed(
+            cfg.model,
+            cfg.seed,
+            comm.rank(),
+            comm.size(),
+            cfg.a2a,
+            placement,
+        );
         model.set_wire_dtype(cfg.wire);
+        // Arm intra/inter-supernode byte accounting and the locality-biased
+        // gate whenever a supernode size is known (from the placement or
+        // the hierarchical a2a).
+        let sn = cfg.effective_supernode_size();
+        if sn > 0 {
+            comm.set_supernode_size(sn);
+        }
+        if cfg.locality_bias != 0.0 {
+            model.set_locality_bias(cfg.locality_bias, sn);
+        }
         let mut opt = MixedPrecision::new(
             AdamConfig {
                 lr: cfg.lr,
@@ -603,6 +701,7 @@ impl RankState {
             recovery_time_s: 0.0,
             trace: None, // filled in by Trainer::run / run_ft
             wire: cfg.wire,
+            placement: cfg.resolved_placement(),
         }
     }
 }
@@ -637,6 +736,38 @@ struct Segment {
     eval: Vec<(usize, f32)>,
 }
 
+/// Placement gate for checkpoint restore: a shard written under a different
+/// expert↔rank mapping would load each expert's weights into whatever expert
+/// now occupies the same slot — fail loudly instead. Called by the driver
+/// (with rank 0's shard, so the mismatch surfaces as a hard error rather
+/// than a retried crash) and by every rank on its own shard.
+fn placement_gate(path: &std::path::Path, current: crate::checkpoint::PlacementMeta, rank: usize) {
+    let saved = crate::checkpoint::read_placement(path)
+        .unwrap_or_else(|e| panic!("rank {rank}: cannot read checkpoint {path:?}: {e}"));
+    match saved {
+        Some(meta) if meta != current => panic!(
+            "rank {rank}: placement mismatch — checkpoint {path:?} was written under \
+             placement '{}' ({} experts on {} ranks), but this run uses '{}' \
+             ({} experts on {} ranks). Restoring would silently assign experts to \
+             the wrong ranks; restart with the original placement or re-shard the \
+             checkpoint explicitly.",
+            meta.placement,
+            meta.n_experts,
+            meta.nranks,
+            current.placement,
+            current.n_experts,
+            current.nranks,
+        ),
+        None if current.placement != ExpertPlacement::RoundRobin => panic!(
+            "rank {rank}: placement mismatch — checkpoint {path:?} predates placement \
+             metadata (implicitly round-robin), but this run uses '{}'. Restoring \
+             would silently assign experts to the wrong ranks.",
+            current.placement,
+        ),
+        _ => {}
+    }
+}
+
 fn abort(st: RankState, through: usize) -> Attempt {
     Attempt::Aborted(Segment {
         through,
@@ -659,11 +790,17 @@ fn rank_main_ft<C: FtCommunicator>(
 ) -> Result<Attempt, bagualu_comm::fault::CommError> {
     let hb = Duration::from_millis(ft.heartbeat_ms.max(1));
     let mut st = RankState::new(cfg, comm);
+    let placement_meta = crate::checkpoint::PlacementMeta {
+        placement: cfg.resolved_placement(),
+        n_experts: cfg.model.n_experts,
+        nranks: comm.size(),
+    };
     if start_step > 0 {
         let path = ft
             .ckpt_dir
             .join(format!("step{start_step}"))
             .join(format!("rank{}.bglu", comm.rank()));
+        placement_gate(&path, placement_meta, comm.rank());
         crate::checkpoint::load_params(&path, &mut st.model).unwrap_or_else(|e| {
             panic!(
                 "rank {}: cannot restore step-{start_step} checkpoint: {e}",
@@ -701,7 +838,7 @@ fn rank_main_ft<C: FtCommunicator>(
             std::fs::create_dir_all(&dir)
                 .unwrap_or_else(|e| panic!("cannot create checkpoint dir {dir:?}: {e}"));
             let path = dir.join(format!("rank{}.bglu", comm.rank()));
-            crate::checkpoint::save_params(&path, &mut st.model)
+            crate::checkpoint::save_params_with_placement(&path, &mut st.model, placement_meta)
                 .unwrap_or_else(|e| panic!("cannot write checkpoint {path:?}: {e}"));
             // All shards must be durable before the manifest advances;
             // then rank 0 publishes the step atomically.
@@ -1242,5 +1379,180 @@ mod tests {
         })
         .run();
         assert!(trained.final_loss() < trained.loss_curve[0] * 0.8);
+    }
+
+    /// Loss bits of `TrainConfig { steps: 8, nranks: 4, ..Default }`
+    /// captured on the commit *before* the placement refactor. The default
+    /// round-robin policy must keep reproducing them bit for bit: the
+    /// refactor moved the round-robin expert↔rank arithmetic behind
+    /// [`ExpertPlacement`]
+    /// without changing a single operation on the default path.
+    const PIN_LOSS_BITS: [u32; 8] = [
+        0x408e3732, 0x408c4066, 0x408da970, 0x4083e0ba, 0x408334ec, 0x407d9ced, 0x4075d910,
+        0x40700852,
+    ];
+    /// Aux-loss bits of the same pre-refactor run (see [`PIN_LOSS_BITS`]).
+    const PIN_AUX_BITS: [u32; 8] = [
+        0x3cb2accb, 0x3c7c26ba, 0x3c90ffee, 0x3c9d6acb, 0x3c6a3402, 0x3c595328, 0x3c41c2c4,
+        0x3c609b2c,
+    ];
+
+    #[test]
+    fn round_robin_training_is_pinned_bit_identical_to_pre_refactor() {
+        let r = Trainer::new(TrainConfig {
+            steps: 8,
+            nranks: 4,
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(r.placement, ExpertPlacement::RoundRobin);
+        let loss: Vec<u32> = r.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let aux: Vec<u32> = r.aux_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(loss, PIN_LOSS_BITS, "loss curve drifted from the pin");
+        assert_eq!(aux, PIN_AUX_BITS, "aux curve drifted from the pin");
+    }
+
+    #[test]
+    fn placement_policies_reproduce_the_round_robin_curves() {
+        // Placement is pure data movement: every expert still sees exactly
+        // the same rows in the same (source rank, position) order no matter
+        // which rank hosts it, so all three policies must land on the
+        // pinned round-robin bits exactly.
+        for placement in [
+            ExpertPlacement::Block,
+            ExpertPlacement::Supernode { supernode_size: 2 },
+        ] {
+            let r = Trainer::new(TrainConfig {
+                steps: 8,
+                nranks: 4,
+                placement,
+                ..Default::default()
+            })
+            .run();
+            assert_eq!(r.placement, placement);
+            let loss: Vec<u32> = r.loss_curve.iter().map(|l| l.to_bits()).collect();
+            let aux: Vec<u32> = r.aux_curve.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(loss, PIN_LOSS_BITS, "{placement}: loss curve differs");
+            assert_eq!(aux, PIN_AUX_BITS, "{placement}: aux curve differs");
+        }
+    }
+
+    #[test]
+    fn supernode_placement_size_is_inferred_from_hierarchical_a2a() {
+        let r = Trainer::new(TrainConfig {
+            steps: 4,
+            nranks: 4,
+            a2a: A2aKind::Hierarchical { supernode_size: 2 },
+            placement: ExpertPlacement::Supernode { supernode_size: 0 },
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(
+            r.placement,
+            ExpertPlacement::Supernode { supernode_size: 2 }
+        );
+        assert!(r.final_loss().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an explicit size")]
+    fn supernode_placement_without_a_size_source_is_rejected() {
+        Trainer::new(TrainConfig {
+            nranks: 4,
+            placement: ExpertPlacement::Supernode { supernode_size: 0 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid a2a configuration")]
+    fn zero_supernode_a2a_is_rejected_at_construction() {
+        Trainer::new(TrainConfig {
+            nranks: 4,
+            a2a: A2aKind::Hierarchical { supernode_size: 0 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds world size")]
+    fn oversized_supernode_placement_is_rejected() {
+        Trainer::new(TrainConfig {
+            nranks: 2,
+            placement: ExpertPlacement::Supernode { supernode_size: 4 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_supernode_placement_is_rejected() {
+        Trainer::new(TrainConfig {
+            nranks: 4,
+            placement: ExpertPlacement::Supernode { supernode_size: 3 },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn locality_bias_raises_the_measured_intra_supernode_fraction() {
+        // With a supernode-aware placement the gate's locality bonus should
+        // steer tokens toward experts hosted inside the sender's supernode,
+        // raising the measured share of a2a bytes that stay local. The
+        // pairwise transport keeps the wire classification equal to the
+        // logical token locality.
+        let base = TrainConfig {
+            steps: 8,
+            nranks: 4,
+            placement: ExpertPlacement::Supernode { supernode_size: 2 },
+            ..Default::default()
+        };
+        let unbiased = Trainer::new(base).run();
+        let biased = Trainer::new(TrainConfig {
+            locality_bias: 8.0,
+            ..base
+        })
+        .run();
+        assert!(biased.final_loss().is_finite());
+        let f0 = unbiased
+            .comm_stats
+            .as_ref()
+            .and_then(|s| s.a2a_local_fraction())
+            .expect("supernode accounting armed");
+        let f1 = biased
+            .comm_stats
+            .as_ref()
+            .and_then(|s| s.a2a_local_fraction())
+            .expect("supernode accounting armed");
+        assert!(
+            f1 > f0,
+            "locality bias did not raise the local fraction: {f1} vs {f0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "placement mismatch")]
+    fn resuming_under_a_different_placement_is_a_hard_error() {
+        let dir = ft_tmpdir("placement-mismatch");
+        let cfg = TrainConfig {
+            steps: 8,
+            ..Default::default()
+        };
+        // Write a step-4 checkpoint under the default round-robin mapping…
+        Trainer::new(cfg).run_ft(&FtConfig {
+            ckpt_every: 4,
+            ..FtConfig::new(&dir)
+        });
+        // …then try to resume it under block placement. The experts would
+        // land on the wrong ranks, so this must die loudly instead.
+        let _ = Trainer::new(TrainConfig {
+            placement: ExpertPlacement::Block,
+            ..cfg
+        })
+        .run_ft(&FtConfig {
+            ckpt_every: 0,
+            resume_step: 4,
+            ..FtConfig::new(&dir)
+        });
     }
 }

@@ -98,6 +98,12 @@ pub struct Gate {
     pub noise_std: f32,
     /// Private noise stream (deterministic per construction seed).
     noise_rng: Rng,
+    /// Log-space selection bonus granted to experts flagged local in
+    /// [`Gate::set_locality`] (0 = disabled; selection then runs the exact
+    /// pre-bias code path, bit-identical to a gate without the feature).
+    locality_bias: f32,
+    /// Per-expert locality flags (empty until [`Gate::set_locality`]).
+    locality: Vec<bool>,
     cache: Option<GateCache>,
 }
 
@@ -131,8 +137,32 @@ impl Gate {
             aux_weight,
             noise_std: 1.0,
             noise_rng: Rng::seed_from(rng.next_u64()),
+            locality_bias: 0.0,
+            locality: Vec::new(),
             cache: None,
         }
+    }
+
+    /// Bias expert *selection* toward the experts flagged in `mask` (e.g.
+    /// those resident in the caller's supernode): their selection score
+    /// gets a log-space bonus of `bias`, so a local expert wins whenever
+    /// its router probability is within a factor `exp(bias)` of the best
+    /// remote one. Combine weights remain the *clean* router probabilities
+    /// (the [`GateKind::NoisyTop1`] convention), and the auxiliary balance
+    /// loss keeps operating on the biased selection counts — turning up
+    /// `aux_weight` therefore counteracts any imbalance the bias causes.
+    /// `bias = 0` disables the feature exactly.
+    pub fn set_locality(&mut self, bias: f32, mask: Vec<bool>) {
+        assert!(bias >= 0.0, "locality bias must be >= 0, got {bias}");
+        if bias != 0.0 {
+            assert_eq!(
+                mask.len(),
+                self.n_experts(),
+                "locality mask must cover every expert"
+            );
+        }
+        self.locality_bias = bias;
+        self.locality = mask;
     }
 
     pub fn n_experts(&self) -> usize {
@@ -159,11 +189,34 @@ impl Gate {
         let mut raw_load = vec![0usize; e];
         let mut dropped = 0usize;
 
+        // Per-expert selection bonus; `None` when the locality bias is off,
+        // in which case every selection loop below runs its original,
+        // bit-identical path on the raw probabilities.
+        let bias_vec: Option<Vec<f32>> = if self.locality_bias != 0.0 {
+            Some(
+                self.locality
+                    .iter()
+                    .map(|&l| if l { self.locality_bias } else { 0.0 })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
         match self.kind {
             GateKind::Top1 => {
                 for t in 0..n {
                     let row = probs.row(t);
-                    let (best, &w) = argmax(row);
+                    let scored;
+                    let sel: &[f32] = match &bias_vec {
+                        None => row,
+                        Some(bv) => {
+                            scored = biased_scores(row, bv);
+                            &scored
+                        }
+                    };
+                    let (best, _) = argmax(sel);
+                    let w = row[best];
                     raw_load[best] += 1;
                     if load[best] < capacity {
                         load[best] += 1;
@@ -180,7 +233,15 @@ impl Gate {
             GateKind::Top2 => {
                 for t in 0..n {
                     let row = probs.row(t);
-                    let (e1, e2) = top2(row);
+                    let scored;
+                    let sel: &[f32] = match &bias_vec {
+                        None => row,
+                        Some(bv) => {
+                            scored = biased_scores(row, bv);
+                            &scored
+                        }
+                    };
+                    let (e1, e2) = top2(sel);
                     raw_load[e1] += 1;
                     for &ex in &[e1, e2] {
                         if load[ex] < capacity {
@@ -206,7 +267,10 @@ impl Gate {
                     let mut best = 0usize;
                     let mut best_v = f32::NEG_INFINITY;
                     for (ex, &p) in row.iter().enumerate() {
-                        let v = p.max(1e-30).ln() + self.noise_std * self.noise_rng.normal();
+                        let mut v = p.max(1e-30).ln() + self.noise_std * self.noise_rng.normal();
+                        if let Some(bv) = &bias_vec {
+                            v += bv[ex];
+                        }
                         if v > best_v {
                             best_v = v;
                             best = ex;
@@ -228,13 +292,21 @@ impl Gate {
             GateKind::Balanced => {
                 for t in 0..n {
                     let row = probs.row(t);
+                    let scored;
+                    let sel: &[f32] = match &bias_vec {
+                        None => row,
+                        Some(bv) => {
+                            scored = biased_scores(row, bv);
+                            &scored
+                        }
+                    };
                     // First choice feeds the balance statistics even here.
-                    let (best, _) = argmax(row);
+                    let (best, _) = argmax(sel);
                     raw_load[best] += 1;
                     // Greedy: best expert with spare capacity.
                     let mut chosen = None;
                     let mut best_p = f32::NEG_INFINITY;
-                    for (ex, &p) in row.iter().enumerate() {
+                    for (ex, &p) in sel.iter().enumerate() {
                         if load[ex] < capacity && p > best_p {
                             best_p = p;
                             chosen = Some(ex);
@@ -334,6 +406,17 @@ impl HasParams for Gate {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.wg);
     }
+}
+
+/// Log-space selection scores: `ln(p) + bonus` per expert. Working in log
+/// space makes the bonus a *multiplicative* tolerance on probabilities
+/// (bonus `B` ⇒ a flagged expert wins while within `exp(B)×` of the best),
+/// matching the logit-jitter convention of [`GateKind::NoisyTop1`].
+fn biased_scores(row: &[f32], bonus: &[f32]) -> Vec<f32> {
+    row.iter()
+        .zip(bonus)
+        .map(|(&p, &b)| p.max(1e-30).ln() + b)
+        .collect()
 }
 
 /// Index and value of the row maximum (first of ties).
@@ -561,6 +644,93 @@ mod tests {
         let g2 = gate(GateKind::Top2, 8, 1.0);
         assert_eq!(g2.capacity(64), 16); // ceil(1.0·64·2/8)
         assert!(g.capacity(0) >= 1);
+    }
+
+    #[test]
+    fn locality_bias_tiebreaks_toward_local_experts() {
+        // Near-uniform router: a modest bias must pull selection toward the
+        // flagged experts, and the combine weights must stay the clean
+        // probabilities.
+        let mut rng = Rng::seed_from(68);
+        let x = Tensor::randn(&[64, 8], 0.05, &mut rng);
+        let local_frac = |r: &Routing| {
+            let local = r.assignments.iter().filter(|a| a.expert < 2).count() as f64;
+            local / r.assignments.len() as f64
+        };
+        let mut plain = gate(GateKind::Top1, 4, 8.0);
+        let rp = plain.forward(&x);
+        let mut biased = gate(GateKind::Top1, 4, 8.0);
+        biased.set_locality(2.0, vec![true, true, false, false]);
+        let rb = biased.forward(&x);
+        assert!(
+            local_frac(&rb) > local_frac(&rp),
+            "bias did not raise local fraction: {} vs {}",
+            local_frac(&rb),
+            local_frac(&rp)
+        );
+        for a in &rb.assignments {
+            let p = {
+                let logits = matmul(&x, &biased.wg.value);
+                softmax_rows(&logits).at(a.token, a.expert)
+            };
+            assert_eq!(a.weight, p, "combine weight must be the clean prob");
+        }
+    }
+
+    #[test]
+    fn zero_locality_bias_is_bit_identical() {
+        let mut rng = Rng::seed_from(69);
+        let x = Tensor::randn(&[32, 8], 1.0, &mut rng);
+        for kind in [
+            GateKind::Top1,
+            GateKind::Top2,
+            GateKind::Balanced,
+            GateKind::NoisyTop1,
+        ] {
+            let mut plain = gate(kind, 4, 2.0);
+            let mut zeroed = gate(kind, 4, 2.0);
+            zeroed.set_locality(0.0, Vec::new());
+            let rp = plain.forward(&x);
+            let rz = zeroed.forward(&x);
+            assert_eq!(rp.assignments, rz.assignments, "{kind:?}");
+            assert_eq!(rp.aux_loss.to_bits(), rz.aux_loss.to_bits(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn locality_bias_backward_still_matches_finite_differences() {
+        // The bias only perturbs selection (a constant of the backward
+        // pass); gradients through the clean-probability weights must stay
+        // correct.
+        let mut rng = Rng::seed_from(70);
+        let mut g = Gate::new("g", 6, 4, GateKind::Top1, 8.0, 0.0, &mut rng);
+        g.set_locality(1.0, vec![true, false, true, false]);
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        let r = g.forward(&x);
+        let dweights: Vec<f32> = r.assignments.iter().map(|a| a.weight).collect();
+        g.backward(&r, &dweights);
+
+        let loss = |g: &mut Gate, x: &Tensor| -> f32 {
+            let r = g.forward(&x.clone());
+            0.5 * r
+                .assignments
+                .iter()
+                .map(|a| a.weight * a.weight)
+                .sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        let orig = g.wg.value.at(1, 2);
+        g.wg.value.set(1, 2, orig + eps);
+        let lp = loss(&mut g, &x);
+        g.wg.value.set(1, 2, orig - eps);
+        let lm = loss(&mut g, &x);
+        g.wg.value.set(1, 2, orig);
+        let fd = (lp - lm) / (2.0 * eps);
+        let an = g.wg.grad.at(1, 2);
+        assert!(
+            (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+            "wg: fd={fd} an={an}"
+        );
     }
 
     #[test]

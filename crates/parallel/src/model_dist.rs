@@ -6,6 +6,7 @@
 //! system deterministically seeds every rank.
 
 use crate::moe_dist::{A2aKind, DistMoELayer};
+use crate::placement::ExpertPlacement;
 use bagualu_comm::shm::Communicator;
 use bagualu_model::attention::MultiHeadAttention;
 use bagualu_model::config::ModelConfig;
@@ -118,15 +119,31 @@ pub struct DistTransformer {
 }
 
 impl DistTransformer {
-    /// Shard a fully materialized local model: dense layers are cloned
-    /// (replicated), experts are taken for `expert % nranks == rank`.
+    /// Shard a fully materialized local model with the default
+    /// round-robin placement (see [`Self::from_local_placed`]).
     pub fn from_local(
         local: &Transformer,
         rank: usize,
         nranks: usize,
         a2a: A2aKind,
     ) -> DistTransformer {
+        Self::from_local_placed(local, rank, nranks, a2a, ExpertPlacement::RoundRobin)
+    }
+
+    /// Shard a fully materialized local model: dense layers are cloned
+    /// (replicated); each MoE block keeps the experts `placement` assigns
+    /// to this rank, stored in slot order.
+    pub fn from_local_placed(
+        local: &Transformer,
+        rank: usize,
+        nranks: usize,
+        a2a: A2aKind,
+        placement: ExpertPlacement,
+    ) -> DistTransformer {
         assert!(rank < nranks);
+        placement
+            .validate(nranks)
+            .expect("invalid expert placement");
         let blocks = local
             .blocks
             .iter()
@@ -135,8 +152,9 @@ impl DistTransformer {
                     BlockFfn::Dense(f) => DistFfn::Dense(f.clone()),
                     BlockFfn::MoE(m) => {
                         let n_experts = m.n_experts();
-                        let shard: Vec<FeedForward> = (0..n_experts)
-                            .filter(|e| e % nranks == rank)
+                        let shard: Vec<FeedForward> = placement
+                            .local_experts(rank, n_experts, nranks)
+                            .into_iter()
                             .map(|e| m.experts[e].clone())
                             .collect();
                         DistFfn::MoE(DistMoELayer::new(
@@ -152,6 +170,7 @@ impl DistTransformer {
                             rank,
                             nranks,
                             a2a,
+                            placement,
                         ))
                     }
                 };
@@ -179,8 +198,8 @@ impl DistTransformer {
         dist
     }
 
-    /// Build directly from a seed (all ranks derive identical dense weights
-    /// and consistent expert shards).
+    /// Build directly from a seed with round-robin placement (see
+    /// [`Self::new_placed`]).
     pub fn new(
         cfg: ModelConfig,
         seed: u64,
@@ -188,9 +207,52 @@ impl DistTransformer {
         nranks: usize,
         a2a: A2aKind,
     ) -> DistTransformer {
+        Self::new_placed(cfg, seed, rank, nranks, a2a, ExpertPlacement::RoundRobin)
+    }
+
+    /// Build directly from a seed (all ranks derive identical dense weights
+    /// and consistent expert shards under the given placement).
+    pub fn new_placed(
+        cfg: ModelConfig,
+        seed: u64,
+        rank: usize,
+        nranks: usize,
+        a2a: A2aKind,
+        placement: ExpertPlacement,
+    ) -> DistTransformer {
         let mut rng = Rng::seed_from(seed);
         let local = Transformer::new(cfg, &mut rng);
-        Self::from_local(&local, rank, nranks, a2a)
+        Self::from_local_placed(&local, rank, nranks, a2a, placement)
+    }
+
+    /// The expert placement every MoE block uses (round-robin when the
+    /// model has no MoE blocks).
+    pub fn placement(&self) -> ExpertPlacement {
+        self.blocks
+            .iter()
+            .find_map(|b| match &b.ffn {
+                DistFfn::MoE(m) => Some(m.placement),
+                DistFfn::Dense(_) => None,
+            })
+            .unwrap_or(ExpertPlacement::RoundRobin)
+    }
+
+    /// Give every MoE block's gate a supernode-locality bias: selection
+    /// scores of experts co-resident in this rank's supernode get a
+    /// log-space bonus of `bias` (0 disables — bit-identical to no bias).
+    /// The combine weights stay the clean probabilities, so the usual
+    /// auxiliary balance loss still sees (and corrects) the skew.
+    pub fn set_locality_bias(&mut self, bias: f32, supernode_size: usize) {
+        let nranks = self.nranks;
+        let rank = self.rank;
+        for b in &mut self.blocks {
+            if let DistFfn::MoE(moe) = &mut b.ffn {
+                let mask = moe
+                    .placement
+                    .local_mask(rank, moe.n_experts, nranks, supernode_size);
+                moe.gate.set_locality(bias, mask);
+            }
+        }
     }
 
     /// Select the wire format for every MoE block's dispatch/combine

@@ -1,11 +1,14 @@
 //! The distributed MoE layer: gate locally, exchange tokens with an
 //! all-to-all, run the locally-resident experts, exchange results back.
 //!
-//! Expert placement: global expert `e` lives on rank `e mod R` at local
-//! slot `e div R`. The backward pass mirrors the forward exchanges exactly
-//! (the dispatch plan is cached), so each expert runs one forward and one
-//! backward per step regardless of how many ranks fed it.
+//! Expert placement is a policy, not an arithmetic convention: the layer
+//! consults its [`ExpertPlacement`] for every owner/slot decision (see
+//! [`crate::placement`] — round-robin, block-contiguous, or
+//! supernode-aware). The backward pass mirrors the forward exchanges
+//! exactly (the dispatch plan is cached), so each expert runs one forward
+//! and one backward per step regardless of how many ranks fed it.
 
+use crate::placement::ExpertPlacement;
 use bagualu_comm::collectives::{alltoallv_hierarchical_wire, alltoallv_u32, alltoallv_wire};
 use bagualu_comm::payload::WireDType;
 use bagualu_comm::shm::Communicator;
@@ -26,6 +29,39 @@ pub enum A2aKind {
 }
 
 impl A2aKind {
+    /// Check the algorithm against a world size. Hierarchical exchanges
+    /// need a supernode size in `1..=nranks` that divides `nranks`; a bad
+    /// size used to surface as an opaque collective failure deep in the
+    /// exchange, so reject it up front with a clear message.
+    pub fn validate(&self, nranks: usize) -> Result<(), String> {
+        assert!(nranks > 0, "a2a needs at least one rank");
+        if let A2aKind::Hierarchical { supernode_size } = *self {
+            if supernode_size == 0 {
+                return Err("Hierarchical a2a: supernode_size must be >= 1".into());
+            }
+            if supernode_size > nranks {
+                return Err(format!(
+                    "Hierarchical a2a: supernode_size {supernode_size} exceeds world size {nranks}"
+                ));
+            }
+            if !nranks.is_multiple_of(supernode_size) {
+                return Err(format!(
+                    "Hierarchical a2a: supernode_size {supernode_size} must divide world size {nranks}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Supernode size of [`Hierarchical`](A2aKind::Hierarchical), 0 for
+    /// [`Pairwise`](A2aKind::Pairwise).
+    pub fn supernode_size(&self) -> usize {
+        match *self {
+            A2aKind::Hierarchical { supernode_size } => supernode_size,
+            A2aKind::Pairwise => 0,
+        }
+    }
+
     /// Run the selected all-to-all with token payloads packed to `wire` in
     /// flight (`WireDType::F32` is the uncompressed baseline).
     fn run_wire<C: Communicator>(
@@ -51,11 +87,13 @@ pub struct DistMoELayer {
     /// Global expert count.
     pub n_experts: usize,
     /// Experts resident on this rank: slot `l` holds global expert
-    /// `l·R + rank`.
+    /// `placement.local_experts(rank, ..)[l]`.
     pub local_experts: Vec<FeedForward>,
     pub rank: usize,
     pub nranks: usize,
     pub a2a: A2aKind,
+    /// Which rank owns which global expert (and at which local slot).
+    pub placement: ExpertPlacement,
     /// Wire format for dispatch/combine token payloads (headers always
     /// travel as `u32` ids). `F32` by default; set via
     /// [`DistMoELayer::set_wire`] or `DistTransformer::set_wire_dtype`.
@@ -80,7 +118,7 @@ struct Cache {
 
 impl DistMoELayer {
     /// Wrap a gate and this rank's expert shard. `local_experts[l]` must be
-    /// global expert `l·nranks + rank`.
+    /// the global expert `placement.local_experts(rank, n_experts, nranks)[l]`.
     pub fn new(
         gate: Gate,
         n_experts: usize,
@@ -88,9 +126,14 @@ impl DistMoELayer {
         rank: usize,
         nranks: usize,
         a2a: A2aKind,
+        placement: ExpertPlacement,
     ) -> DistMoELayer {
         assert_eq!(gate.n_experts(), n_experts);
-        let expected = (0..n_experts).filter(|e| e % nranks == rank).count();
+        a2a.validate(nranks).expect("invalid a2a configuration");
+        placement
+            .validate(nranks)
+            .expect("invalid expert placement");
+        let expected = placement.local_count(rank, n_experts, nranks);
         assert_eq!(local_experts.len(), expected, "wrong expert shard size");
         DistMoELayer {
             gate,
@@ -99,6 +142,7 @@ impl DistMoELayer {
             rank,
             nranks,
             a2a,
+            placement,
             wire: WireDType::F32,
             cache: None,
         }
@@ -109,9 +153,15 @@ impl DistMoELayer {
         self.wire = wire;
     }
 
-    /// Owner rank of a global expert.
+    /// Owner rank of a global expert (consults the placement policy).
     pub fn owner(&self, expert: usize) -> usize {
-        expert % self.nranks
+        self.placement.owner(expert, self.n_experts, self.nranks)
+    }
+
+    /// Local slot of a global expert on its owner (consults the placement
+    /// policy).
+    pub fn slot(&self, expert: usize) -> usize {
+        self.placement.slot(expert, self.n_experts, self.nranks)
     }
 
     /// Routing statistics of the last forward (this rank's local view).
@@ -180,7 +230,7 @@ impl DistMoELayer {
             for (pos, &e) in hdr.iter().enumerate() {
                 let e = e as usize;
                 assert_eq!(self.owner(e), self.rank, "token for expert {e} misrouted");
-                let slot = e / r;
+                let slot = self.slot(e);
                 slot_inputs[slot].extend_from_slice(&data[pos * d..(pos + 1) * d]);
                 origin[slot].push((src, pos));
             }

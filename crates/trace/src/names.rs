@@ -55,6 +55,19 @@ pub const WIRE_U64_BYTES: &str = "comm.wire.u64.bytes";
 /// Payload bytes sent as 4-byte `u32` metadata (see [`WIRE_F32_BYTES`]).
 pub const WIRE_U32_BYTES: &str = "comm.wire.u32.bytes";
 
+/// All-to-all payload bytes whose source and destination ranks share a
+/// supernode. Sliced out of the `comm.sent.alltoall.bytes` total by the
+/// transport once a supernode size is armed
+/// (`Communicator::set_supernode_size`); the measured counterpart of the
+/// locality fraction that `net::cost::alltoall_with_locality` models and
+/// that supernode-aware expert placement (E25) raises. Like `comm.wire.*`,
+/// these deliberately avoid the `comm.sent.` prefix, which
+/// `sent_bytes_by_family` pattern-matches.
+pub const A2A_INTRA_BYTES: &str = "comm.a2a.intra.bytes";
+/// All-to-all payload bytes crossing a supernode boundary (see
+/// [`A2A_INTRA_BYTES`]).
+pub const A2A_INTER_BYTES: &str = "comm.a2a.inter.bytes";
+
 /// Messages dropped in flight by fault injection.
 pub const FAULT_DROPS: &str = "fault.drops";
 /// Payloads corrupted in flight by fault injection.
