@@ -1,21 +1,53 @@
 //! Compute-kernel microbenchmarks: the substitute for the SWDNN kernel
 //! table (per-kernel throughput on one rank's compute substrate).
 
-use bagualu::tensor::ops::{gelu, matmul, matmul_nt, matmul_tn, softmax_rows};
+use bagualu::tensor::ops::{gelu, softmax_rows, Activation, ComputeBackend};
 use bagualu::tensor::rng::Rng;
 use bagualu::tensor::{DType, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+/// Every backend over the three GEMM layouts at 256³ — the criterion-grade
+/// cross-check of the E26 sweep (which gates on a coarser best-of-N timer).
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::seed_from(1);
     let n = 256usize;
     let a = Tensor::randn(&[n, n], 1.0, &mut rng);
     let b = Tensor::randn(&[n, n], 1.0, &mut rng);
-    let mut g = c.benchmark_group("matmul_256");
+    for cb in [
+        ComputeBackend::Reference,
+        ComputeBackend::Tiled,
+        ComputeBackend::Half(DType::BF16),
+    ] {
+        let be = cb.instantiate();
+        let mut g = c.benchmark_group(format!("matmul_256/{cb}"));
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_function("nn", |bench| bench.iter(|| be.matmul(&a, &b)));
+        g.bench_function("nt", |bench| bench.iter(|| be.matmul_nt(&a, &b)));
+        g.bench_function("tn", |bench| bench.iter(|| be.matmul_tn(&a, &b)));
+        g.finish();
+    }
+}
+
+/// The fused epilogue vs the unfused sequence, on the tiled backend.
+fn bench_fused_epilogue(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let n = 256usize;
+    let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 1e-3).collect();
+    let be = ComputeBackend::Tiled.instantiate();
+    let mut g = c.benchmark_group("epilogue_256");
     g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    g.bench_function("nn", |bench| bench.iter(|| matmul(&a, &b)));
-    g.bench_function("nt", |bench| bench.iter(|| matmul_nt(&a, &b)));
-    g.bench_function("tn", |bench| bench.iter(|| matmul_tn(&a, &b)));
+    g.bench_function("fused_bias_gelu", |bench| {
+        bench.iter(|| be.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu))
+    });
+    g.bench_function("unfused_bias_gelu", |bench| {
+        bench.iter(|| {
+            let mut y = be.matmul(&a, &b);
+            y.add_row_broadcast(&bias);
+            gelu(&y)
+        })
+    });
     g.finish();
 }
 
@@ -58,5 +90,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group! {name = benches; config = quick(); targets = bench_matmul, bench_elementwise, bench_half_conversion}
+criterion_group! {name = benches; config = quick(); targets = bench_matmul, bench_fused_epilogue, bench_elementwise, bench_half_conversion}
 criterion_main!(benches);

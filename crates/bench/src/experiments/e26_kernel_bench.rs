@@ -1,0 +1,253 @@
+//! E26 — the compute floor: GEMM throughput per backend.
+//!
+//! Measures achieved GFLOP/s for every `MatmulBackend` on the GEMM shapes
+//! the trainer actually runs (square NN at several sizes, plus the NT/TN
+//! backward layouts and the fused bias+GELU epilogue), self-gating on:
+//!
+//! * correctness — `Tiled` must agree with `Reference` **bitwise** before
+//!   any timing is believed;
+//! * performance — `Tiled` must sustain ≥ `TILED_MIN_SPEEDUP`× the
+//!   `Reference` GFLOP/s at 512³ wherever the wide AVX-512 micro-kernel
+//!   runs (≥ `PORTABLE_MIN_SPEEDUP`× elsewhere, recorded in the JSON as
+//!   `wide_kernel`), the CI kernel-bench gate. The ratio is per-core (both
+//!   backends parallelize identically) and both sides are timed in the
+//!   same process, so the gate holds on single-core and noisy runners.
+//!
+//! Artifacts: `target/e26/kernel-table.txt` (human table) and
+//! `BENCH_kernels.json` at the repo root — the machine-readable start of
+//! the cross-PR kernel-perf trajectory (schema `bagualu-kernel-bench/v1`).
+//! Half-compute rows time the *whole* operation including operand
+//! quantization — the honest number a training step sees.
+
+use crate::table::Table;
+use bagualu::tensor::ops::{Activation, ComputeBackend};
+use bagualu::tensor::rng::Rng;
+use bagualu::tensor::Tensor;
+use std::time::Instant;
+
+const TABLE_OUT: &str = "target/e26/kernel-table.txt";
+const JSON_OUT: &str = "BENCH_kernels.json";
+
+/// The CI gate where the wide (AVX-512) micro-kernel runs: tiled must
+/// beat reference by at least this factor on the gate shape. The 6×64
+/// register tile keeps C out of the k-loop entirely and runs 16-lane
+/// multiply+add against packed B panels, so 3× holds with margin there.
+/// On hosts without AVX-512 the portable 8×8 tile only has the same
+/// vector width the reference auto-vectorizes to, so the floor drops to
+/// [`PORTABLE_MIN_SPEEDUP`] — strictly faster, honestly labelled.
+const TILED_MIN_SPEEDUP: f64 = 3.0;
+/// The floor applied when only the portable micro-kernel is available.
+const PORTABLE_MIN_SPEEDUP: f64 = 1.0;
+/// The gate shape: large enough that B (1 MiB) falls out of L1/L2 and the
+/// reference kernel's streaming cost shows.
+const GATE_DIM: usize = 512;
+
+/// Best-of-N wall time for one op, with one untimed warmup.
+fn best_ns(reps: usize, mut f: impl FnMut() -> Tensor) -> u64 {
+    std::hint::black_box(f());
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn gflops(flops: u64, ns: u64) -> f64 {
+    flops as f64 / ns as f64
+}
+
+struct Row {
+    backend: String,
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    ns: u64,
+    gflops: f64,
+}
+
+pub fn run() {
+    println!("== E26: compute floor — GEMM throughput per backend ==\n");
+    let backends = [
+        ComputeBackend::Reference,
+        ComputeBackend::Tiled,
+        ComputeBackend::Half(bagualu::tensor::DType::BF16),
+        ComputeBackend::Half(bagualu::tensor::DType::F16),
+    ];
+
+    // Correctness first: no timing is meaningful if the kernels disagree.
+    {
+        let mut rng = Rng::seed_from(99);
+        let a = Tensor::randn(&[130, 257], 1.0, &mut rng);
+        let b = Tensor::randn(&[257, 140], 1.0, &mut rng);
+        let r = ComputeBackend::Reference.instantiate().matmul(&a, &b);
+        let t = ComputeBackend::Tiled.instantiate().matmul(&a, &b);
+        for (x, y) in r.as_slice().iter().zip(t.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "tiled must be bit-identical to reference"
+            );
+        }
+        println!("correctness: tiled == reference bitwise on 130x257x140 ✓\n");
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut rng = Rng::seed_from(7);
+
+    // ---- Square NN sweep (the forward-pass shape).
+    println!("-- square NN GFLOP/s (best of N) --");
+    let mut t = Table::new(&["backend", "128^3", "256^3", "512^3"]);
+    let mut nn_512: Vec<(String, f64)> = Vec::new();
+    for cb in backends {
+        let be = cb.instantiate();
+        let mut cells = vec![cb.to_string()];
+        for dim in [128usize, 256, GATE_DIM] {
+            let a = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+            let b = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+            let flops = 2 * (dim as u64).pow(3);
+            let reps = if dim >= GATE_DIM { 5 } else { 3 };
+            let ns = best_ns(reps, || be.matmul(&a, &b));
+            let gf = gflops(flops, ns);
+            cells.push(format!("{gf:.2}"));
+            rows.push(Row {
+                backend: cb.to_string(),
+                op: "nn",
+                m: dim,
+                k: dim,
+                n: dim,
+                ns,
+                gflops: gf,
+            });
+            if dim == GATE_DIM {
+                nn_512.push((cb.to_string(), gf));
+            }
+        }
+        t.row(&[
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+        ]);
+    }
+    t.print();
+
+    // ---- The CI gate.
+    let ref_512 = nn_512
+        .iter()
+        .find(|(b, _)| b == "reference")
+        .expect("reference measured")
+        .1;
+    let tiled_512 = nn_512
+        .iter()
+        .find(|(b, _)| b == "tiled")
+        .expect("tiled measured")
+        .1;
+    let speedup = tiled_512 / ref_512;
+    let wide = bagualu::tensor::ops::wide_kernel_available();
+    let floor = if wide {
+        TILED_MIN_SPEEDUP
+    } else {
+        PORTABLE_MIN_SPEEDUP
+    };
+    println!(
+        "\ngate: tiled {tiled_512:.2} GFLOP/s vs reference {ref_512:.2} GFLOP/s \
+         at {GATE_DIM}^3 → {speedup:.2}x (floor {floor}x, wide kernel: {wide})"
+    );
+    assert!(
+        speedup >= floor,
+        "tiled backend must sustain >={floor}x reference GFLOP/s at \
+         {GATE_DIM}^3 (wide kernel: {wide}), got {speedup:.2}x \
+         ({tiled_512:.2} vs {ref_512:.2})"
+    );
+
+    // ---- Backward layouts + fused epilogue at 256, reference vs tiled.
+    println!("\n-- layout & epilogue GFLOP/s at 256^3 --");
+    let mut t2 = Table::new(&["backend", "nt (dX)", "tn (dW)", "nn+bias+gelu"]);
+    let dim = 256usize;
+    let flops = 2 * (dim as u64).pow(3);
+    for cb in [ComputeBackend::Reference, ComputeBackend::Tiled] {
+        let be = cb.instantiate();
+        let a = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+        let b = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+        let bias: Vec<f32> = (0..dim).map(|j| j as f32 * 1e-3).collect();
+        type OpSpec<'a> = (&'static str, Box<dyn Fn() -> Tensor + 'a>);
+        let specs: [OpSpec; 3] = [
+            ("nt", Box::new(|| be.matmul_nt(&a, &b))),
+            ("tn", Box::new(|| be.matmul_tn(&a, &b))),
+            (
+                "nn_bias_gelu",
+                Box::new(|| be.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu)),
+            ),
+        ];
+        let mut cells = vec![cb.to_string()];
+        for (op, f) in specs {
+            let ns = best_ns(3, f);
+            let gf = gflops(flops, ns);
+            cells.push(format!("{gf:.2}"));
+            rows.push(Row {
+                backend: cb.to_string(),
+                op,
+                m: dim,
+                k: dim,
+                n: dim,
+                ns,
+                gflops: gf,
+            });
+        }
+        t2.row(&[
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+        ]);
+    }
+    t2.print();
+
+    // ---- Artifacts.
+    let mut artifact = String::from("E26 kernel bench\n\nsquare NN GFLOP/s\n");
+    artifact.push_str(&t.render());
+    artifact.push_str(&format!(
+        "\ngate: tiled/reference at {GATE_DIM}^3 = {speedup:.2}x \
+         (floor {floor}x, wide kernel: {wide})\n"
+    ));
+    artifact.push_str("\nlayouts at 256^3\n");
+    artifact.push_str(&t2.render());
+    std::fs::create_dir_all("target/e26").expect("create target/e26");
+    std::fs::write(TABLE_OUT, &artifact).expect("write kernel table");
+
+    let mut json = String::from("{\n  \"schema\": \"bagualu-kernel-bench/v1\",\n");
+    json.push_str(&format!(
+        "  \"gate\": {{\"shape\": \"{GATE_DIM}^3\", \"tiled_over_reference\": {speedup:.3}, \
+         \"floor\": {floor}, \"wide_kernel\": {wide}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"best_ns\": {}, \"gflops\": {:.3}}}{}\n",
+            r.backend,
+            r.op,
+            r.m,
+            r.k,
+            r.n,
+            r.ns,
+            r.gflops,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(JSON_OUT, json).expect("write BENCH_kernels.json");
+
+    println!(
+        "\nwrote {TABLE_OUT} and {JSON_OUT}\n\n\
+         Shape check: the tiled kernel's win comes from memory operations per\n\
+         FLOP (register-tiled C, packed B panels), so it is per-core and\n\
+         survives any runner's thread count. Half-compute rows pay operand\n\
+         quantization up front — at 512^3 that is O(n^2) against O(n^3)\n\
+         compute, so the gap to tiled narrows as shapes grow (the reproduction\n\
+         analogue of mixed-precision arithmetic intensity on the CPEs).\n"
+    );
+}

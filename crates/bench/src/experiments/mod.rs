@@ -25,11 +25,12 @@ pub mod e22_fault_goodput;
 pub mod e23_trace_breakdown;
 pub mod e24_wire_compression;
 pub mod e25_placement;
+pub mod e26_kernel_bench;
 
 /// All experiment ids, in order.
-pub const ALL: [&str; 25] = [
+pub const ALL: [&str; 26] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26",
 ];
 
 /// Run one experiment by id. Returns false for an unknown id.
@@ -60,6 +61,7 @@ pub fn run(id: &str) -> bool {
         "e23" => e23_trace_breakdown::run(),
         "e24" => e24_wire_compression::run(),
         "e25" => e25_placement::run(),
+        "e26" => e26_kernel_bench::run(),
         _ => return false,
     }
     true

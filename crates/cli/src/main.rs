@@ -22,7 +22,7 @@ use bagualu::parallel::moe_dist::A2aKind;
 use bagualu::parallel::ExpertPlacement;
 use bagualu::perfmodel::{project, PerfInput};
 use bagualu::tensor::rng::Rng;
-use bagualu::tensor::DType;
+use bagualu::tensor::{ComputeBackend, DType};
 use bagualu::trainer::{FtConfig, TrainConfig, Trainer};
 
 fn main() {
@@ -61,6 +61,8 @@ fn print_help() {
     eprintln!("  train     run the functional MoDa trainer");
     eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
     eprintln!("            --wire-dtype f32|f16|bf16 (compress comm traffic to 16-bit in flight)");
+    eprintln!("            --compute-backend reference|tiled|half (GEMM kernels; default tiled)");
+    eprintln!("            --compute-dtype fp16|bf16 (half-compute storage format; default bf16)");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
     eprintln!("            --placement roundrobin|block|supernode[:S] (expert↔rank mapping)");
@@ -130,6 +132,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "lr",
         "dtype",
         "wire-dtype",
+        "compute-backend",
+        "compute-dtype",
         "experts",
         "gate",
         "skew",
@@ -169,6 +173,31 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         .get("placement", "roundrobin")
         .parse()
         .map_err(|e| format!("--placement: {e}"))?;
+    // Library default is Reference (the oracle, for reproducibility pins);
+    // the CLI defaults users onto the fast tiled kernels — bit-identical
+    // output, so nothing observable changes besides speed.
+    let mut compute: ComputeBackend = args
+        .get("compute-backend", "tiled")
+        .parse()
+        .map_err(|e| format!("--compute-backend: {e}"))?;
+    let compute_dtype = args.get("compute-dtype", "");
+    if !compute_dtype.is_empty() {
+        let dt = match compute_dtype.as_str() {
+            "fp16" | "f16" => DType::F16,
+            "bf16" => DType::BF16,
+            other => return Err(format!("unknown compute dtype: {other} (fp16 | bf16)")),
+        };
+        match compute {
+            ComputeBackend::Half(_) => compute = ComputeBackend::Half(dt),
+            _ => {
+                return Err(
+                    "--compute-dtype only applies to --compute-backend half (reference and \
+                     tiled always compute in fp32)"
+                        .into(),
+                )
+            }
+        }
+    }
     let nranks = args.get_parse("ranks", 2usize)?;
     let skew: f64 = args.get_parse("skew", 0.0f64)?;
     let zero = args.switch("zero");
@@ -205,6 +234,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         trace: !trace_path.is_empty(),
         wire,
         placement,
+        compute,
         locality_bias: args.get_parse("locality-bias", 0.0f32)?,
         ..Default::default()
     };
@@ -225,13 +255,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         return Err("--locality-bias must be >= 0".into());
     }
     println!(
-        "training {} params on {} ranks, {} steps, {} (wire {}, placement {}) …",
+        "training {} params on {} ranks, {} steps, {} (wire {}, placement {}, compute {}) …",
         cfg.model.count_params(),
         cfg.nranks,
         cfg.steps,
         cfg.dtype,
         cfg.wire,
-        cfg.resolved_placement()
+        cfg.resolved_placement(),
+        cfg.compute
     );
 
     // Fault-tolerant path: any checkpoint/crash flag routes through run_ft.

@@ -28,6 +28,7 @@ use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::placement::ExpertPlacement;
 use bagualu_parallel::sync::{backward_and_sync_overlapped_wire, sync_grads_wire};
+use bagualu_tensor::ops::{install_backend, ComputeBackend};
 use bagualu_tensor::DType;
 use bagualu_trace::{self as trace, names, Trace, TraceCollector, DRIVER_LANE};
 use std::path::{Path, PathBuf};
@@ -87,6 +88,13 @@ pub struct TrainConfig {
     /// infer from). The default, round-robin, is bit-identical to the
     /// pre-placement trainer.
     pub placement: ExpertPlacement,
+    /// GEMM backend every rank installs for its compute: `Reference` (the
+    /// oracle, and the bit-identical default), `Tiled` (same bits, faster),
+    /// or `Half(dtype)` (native 16-bit storage-and-compute with f32
+    /// accumulation — the end-to-end mixed-precision story, bounded by the
+    /// same tolerance band as 16-bit wires). Installed per rank thread, so
+    /// concurrent trainers with different backends never interfere.
+    pub compute: ComputeBackend,
     /// Log-space gate-selection bonus for experts resident in the caller's
     /// supernode (0 = off, the bit-identical default). Only meaningful when
     /// a supernode size is known — from the placement or from a
@@ -153,6 +161,7 @@ impl Default for TrainConfig {
             trace: false,
             wire: WireDType::F32,
             placement: ExpertPlacement::RoundRobin,
+            compute: ComputeBackend::Reference,
             locality_bias: 0.0,
         }
     }
@@ -204,6 +213,9 @@ pub struct TrainReport {
     /// The expert placement the run used (the *resolved* policy — a
     /// `supernode` request with inferred size reports the concrete size).
     pub placement: ExpertPlacement,
+    /// The GEMM backend the run's ranks computed with
+    /// (echoes [`TrainConfig::compute`]).
+    pub compute: ComputeBackend,
 }
 
 impl TrainReport {
@@ -302,6 +314,7 @@ impl Trainer {
             "locality bias must be >= 0, got {}",
             cfg.locality_bias
         );
+        cfg.compute.validate().expect("invalid compute backend");
         Trainer { cfg }
     }
 
@@ -702,11 +715,16 @@ impl RankState {
             trace: None, // filled in by Trainer::run / run_ft
             wire: cfg.wire,
             placement: cfg.resolved_placement(),
+            compute: cfg.compute,
         }
     }
 }
 
 fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
+    // Scope the configured GEMM backend to this rank's thread: every
+    // matmul below — model forward/backward, eval, optimizer-adjacent
+    // GEMMs — dispatches to it, and nothing outside this rank is affected.
+    let _backend = install_backend(cfg.compute.instantiate());
     let mut st = RankState::new(cfg, comm);
     for step in 0..cfg.steps {
         st.step(step, comm);
@@ -789,6 +807,9 @@ fn rank_main_ft<C: FtCommunicator>(
     comm: &C,
 ) -> Result<Attempt, bagualu_comm::fault::CommError> {
     let hb = Duration::from_millis(ft.heartbeat_ms.max(1));
+    // Same per-rank backend scope as `rank_main`; restart attempts run on
+    // fresh threads, so each attempt re-installs it.
+    let _backend = install_backend(cfg.compute.instantiate());
     let mut st = RankState::new(cfg, comm);
     let placement_meta = crate::checkpoint::PlacementMeta {
         placement: cfg.resolved_placement(),
@@ -1435,6 +1456,61 @@ mod tests {
             assert_eq!(loss, PIN_LOSS_BITS, "{placement}: loss curve differs");
             assert_eq!(aux, PIN_AUX_BITS, "{placement}: aux curve differs");
         }
+    }
+
+    #[test]
+    fn tiled_compute_reproduces_the_pinned_curves() {
+        // The tiled backend reorders *which* element is computed when,
+        // never the additions within one element — so an entire training
+        // run must land on the same pre-refactor bits as Reference.
+        let r = Trainer::new(TrainConfig {
+            steps: 8,
+            nranks: 4,
+            compute: ComputeBackend::Tiled,
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(r.compute, ComputeBackend::Tiled);
+        let loss: Vec<u32> = r.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let aux: Vec<u32> = r.aux_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(loss, PIN_LOSS_BITS, "tiled: loss curve differs");
+        assert_eq!(aux, PIN_AUX_BITS, "tiled: aux curve differs");
+    }
+
+    #[test]
+    fn half_compute_bf16_trains_within_the_mixed_precision_band() {
+        // End-to-end 16-bit *compute*: every GEMM operand is stored and
+        // multiplied in bf16 with f32 accumulation. Same acceptance band as
+        // the 16-bit wire (E24): converge, and land within 1% relative /
+        // 0.02 absolute of the f32 run's final loss.
+        let base = TrainConfig {
+            steps: 40,
+            lr: 2e-2,
+            nranks: 4,
+            ..Default::default()
+        };
+        let exact = Trainer::new(base).run();
+        let half = Trainer::new(TrainConfig {
+            compute: ComputeBackend::Half(DType::BF16),
+            ..base
+        })
+        .run();
+        assert_eq!(half.compute, ComputeBackend::Half(DType::BF16));
+        assert!(half.final_loss() < half.loss_curve[0], "did not converge");
+        let (a, b) = (exact.final_loss(), half.final_loss());
+        assert!(
+            (a - b).abs() <= (0.01 * a.abs()).max(0.02),
+            "bf16 compute degraded final loss: f32={a} vs {b}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compute backend")]
+    fn half_f32_compute_is_rejected_at_construction() {
+        Trainer::new(TrainConfig {
+            compute: ComputeBackend::Half(DType::F32),
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::linear::Linear;
 use crate::param::{HasParams, Param};
-use bagualu_tensor::ops::{gelu, gelu_backward};
+use bagualu_tensor::ops::{gelu, gelu_backward, Activation};
 use bagualu_tensor::rng::Rng;
 use bagualu_tensor::Tensor;
 
@@ -56,20 +56,26 @@ impl FeedForward {
     /// Forward over `[n, d_model]`. Accepts `n = 0` (an expert that received
     /// no tokens this step).
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let h = self.fc1.forward(x);
-        let a = gelu(&h);
-        let y = self.fc2.forward(&a);
         if self.recompute {
-            // Checkpointing: keep only the segment input; everything inside
-            // the segment is rebuilt during backward.
+            // Checkpointing: the hidden pre-activation is dropped anyway
+            // (backward replays the segment unfused to rebuild it), so fuse
+            // bias+GELU into the fc1 GEMM and never materialize it. The
+            // fused epilogue is bit-identical to the unfused sequence on
+            // every backend, so checkpointing still changes no numbers.
+            let a = self.fc1.forward_act(x, Activation::Gelu);
+            let y = self.fc2.forward(&a);
             self.cache_x = Some(x.clone());
             self.cache_h = None;
             self.fc1.clear_cache();
             self.fc2.clear_cache();
+            y
         } else {
+            let h = self.fc1.forward(x);
+            let a = gelu(&h);
+            let y = self.fc2.forward(&a);
             self.cache_h = Some(h);
+            y
         }
-        y
     }
 
     /// Backward; returns `dx`.

@@ -1,7 +1,7 @@
 //! Fully connected layer with cached-input backward.
 
 use crate::param::{HasParams, Param};
-use bagualu_tensor::ops::{matmul, matmul_nt, matmul_tn};
+use bagualu_tensor::ops::{matmul_bias_act, matmul_nt, matmul_tn, Activation};
 use bagualu_tensor::rng::Rng;
 use bagualu_tensor::Tensor;
 
@@ -44,9 +44,22 @@ impl Linear {
 
     /// Forward over a `[n, d_in]` batch.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_act(x, Activation::Identity)
+    }
+
+    /// Forward with a fused epilogue: `act(x·W + b)` in one kernel pass,
+    /// applying bias and activation while the output tile is still
+    /// cache-resident on tiled backends.
+    ///
+    /// Only for callers that do not need the pre-activation in backward:
+    /// [`Linear::backward`] expects `dy` with respect to the *pre*-activation
+    /// output, so a caller fusing a non-identity `act` must backprop through
+    /// the activation itself — which requires the pre-activation, which this
+    /// path deliberately never materializes. The FFN uses it exactly where
+    /// that holds: the recompute forward, whose backward replays unfused.
+    pub fn forward_act(&mut self, x: &Tensor, act: Activation) -> Tensor {
         assert_eq!(x.cols(), self.d_in());
-        let mut y = matmul(x, &self.w.value);
-        y.add_row_broadcast(self.b.value.as_slice());
+        let y = matmul_bias_act(x, &self.w.value, Some(self.b.value.as_slice()), act);
         self.cache_x = Some(x.clone());
         y
     }

@@ -26,11 +26,16 @@ pub mod rng;
 pub mod tensor;
 
 pub use dtype::{DType, BF16, F16};
+pub use ops::{
+    current_backend, install_backend, process_backend, set_process_backend, Activation,
+    BackendGuard, ComputeBackend, MatmulBackend,
+};
 pub use pack::{pack_bf16, pack_f16, pack_slice, unpack_bf16, unpack_f16, unpack_slice};
 pub use tensor::Tensor;
 
 /// Commonly used items, for glob import in downstream crates.
 pub mod prelude {
     pub use crate::dtype::{DType, BF16, F16};
+    pub use crate::ops::{Activation, ComputeBackend, MatmulBackend};
     pub use crate::tensor::Tensor;
 }

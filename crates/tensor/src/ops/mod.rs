@@ -3,11 +3,27 @@
 //! These are the substitute for the hand-written SW26010-Pro CPE kernels:
 //! blocked for cache locality and parallelized across cores with rayon, per
 //! the project's HPC coding guides.
+//!
+//! Matrix multiplication is pluggable: the free functions in [`mod@matmul`]
+//! dispatch to the calling thread's [`MatmulBackend`] (see [`backend`]),
+//! one of [`matmul::Reference`] (the oracle), [`tiled::Tiled`]
+//! (packed/cache-tiled, bit-identical to the oracle on f32), or
+//! [`half_compute::HalfCompute`] (native f16/bf16 storage-and-compute with
+//! f32 accumulation).
 
+pub mod backend;
 pub mod elementwise;
+pub mod half_compute;
 pub mod matmul;
 pub mod softmax;
+pub mod tiled;
 
+pub use backend::{
+    current_backend, install_backend, process_backend, set_process_backend, Activation,
+    BackendGuard, ComputeBackend, MatmulBackend,
+};
 pub use elementwise::{gelu, gelu_backward, relu, relu_backward};
-pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use half_compute::HalfCompute;
+pub use matmul::{matmul, matmul_bias_act, matmul_nt, matmul_tn, Reference};
 pub use softmax::{log_softmax_rows, softmax_rows, softmax_rows_inplace};
+pub use tiled::{wide_kernel_available, Tiled};

@@ -1,0 +1,611 @@
+//! [`Tiled`]: cache-blocked, packed-panel, register-blocked GEMM.
+//!
+//! Structure follows the classic Goto decomposition, sized for the
+//! SW26010-Pro analogue this workspace targets (see DESIGN.md "Compute
+//! floor"):
+//!
+//! * **KC** (reduction panel, shared with the reference kernel): the slice
+//!   of the reduction dimension kept hot while a block of C accumulates.
+//! * **MC** rows of C per parallel task — the unit `par_chunks_mut`
+//!   distributes.
+//! * **MR×NR** register tile: the micro-kernel holds a block of C in
+//!   registers, broadcasts one A element per row, and multiply-adds an
+//!   NR-wide packed B row into each — zero C traffic inside the k-loop and
+//!   far fewer memory operations per FLOP than the reference axpy loop.
+//! * **Packed B**: before the row-block loop, B is repacked once into
+//!   KC-high, NR-wide column panels (zero-padded on the ragged right edge),
+//!   so the micro-kernel streams B contiguously regardless of `n`.
+//!
+//! Two micro-kernel paths share this skeleton, chosen once per call:
+//!
+//! * **wide** (x86-64 with AVX-512F, detected at runtime): a 6×64 tile —
+//!   24 zmm accumulators + 4 packed-B vectors + 1 broadcast = 29 of the 32
+//!   vector registers — using explicit `_mm512_mul_ps` + `_mm512_add_ps`.
+//!   This is the only `unsafe` in the workspace; each call site proves the
+//!   CPU feature and the slice bounds it relies on.
+//! * **portable** (everything else, and any `n < 64` where a 64-wide panel
+//!   would be all edge): a safe 8×8 scalar tile the auto-vectorizer lowers
+//!   to whatever the target baseline offers.
+//!
+//! # Bit-identity with `Reference`
+//!
+//! Tiling reorders *which* output element is computed when — never the
+//! additions *within* one element. Every `C[i,j]` starts at `+0.0` and
+//! accumulates its `k` products in strictly increasing `k` order (KC-blocks
+//! ascend, `kk` ascends inside the micro-kernel, and the register tile
+//! round-trips through memory between KC-blocks exactly — f32 store/load
+//! is lossless). The wide kernel deliberately issues *separate* IEEE
+//! multiply and add instructions rather than FMA: a fused multiply-add
+//! skips the intermediate rounding of the product and would produce
+//! different bits than the scalar reference. Vector lanes are distinct
+//! output elements, so lane width never touches accumulation order. NT
+//! reuses the reference's `dot4` chain verbatim, and TN is an exact
+//! transpose of A fed to the NN core, whose `k`-order is the reference
+//! TN's `i`-order. The proptests in `tests/` pin all of this bitwise.
+
+use crate::ops::backend::{Activation, MatmulBackend};
+use crate::ops::matmul::{dot4, KC, PAR_THRESHOLD};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows of C per parallel task on the portable path.
+pub(crate) const MC: usize = 64;
+/// Portable micro-tile height (rows of A per register block).
+pub(crate) const MR: usize = 8;
+/// Portable micro-tile width (columns of B per register block).
+pub(crate) const NR: usize = 8;
+/// Wide-path micro-tile height: 6 rows × 4 zmm of accumulator.
+pub(crate) const MR_W: usize = 6;
+/// Wide-path micro-tile width: 64 columns = 4 × 16 f32 lanes.
+pub(crate) const NR_W: usize = 64;
+/// Rows of C per parallel task on the wide path — a multiple of [`MR_W`]
+/// so full-height chunks contain no row edge at all.
+pub(crate) const MC_W: usize = 60;
+/// Wide-path reduction block: 128 rows × 64 cols × 4 B = 32 KiB, so one
+/// packed-B panel stays L1-resident under the micro-kernel. Block height
+/// never affects accumulation order (each element still sums its products
+/// in strictly ascending `k`), so this is free to differ from [`KC`].
+pub(crate) const KC_W: usize = 128;
+/// Rows of B per cache block in the NT kernel: 16 rows × KC f32 ≈ 16 KiB,
+/// small enough to stay L1-resident while every row of A streams past.
+const NT_JB: usize = 16;
+
+/// Whether this host runs the wide (AVX-512) micro-kernel. Benchmarks use
+/// this to decide which performance floor to hold [`Tiled`] to — results
+/// are bit-identical on both paths, only the throughput differs.
+pub fn wide_kernel_available() -> bool {
+    avx512_available()
+}
+
+/// Whether the wide AVX-512 micro-kernel may be used. Checked once per
+/// GEMM call; `std` caches the CPUID probe behind an atomic.
+#[inline]
+fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// B repacked into KC-high, `nr`-wide, zero-padded column panels.
+///
+/// Layout: KC-blocks in ascending `k0` order; within a block, `n_panels`
+/// panels of `kc·nr` contiguous floats. Offset arithmetic stays exact for
+/// the ragged final KC-block because every *preceding* block has full
+/// height: `block_base = k0 · n_panels · nr`.
+struct PackedB {
+    data: Vec<f32>,
+    n_panels: usize,
+    nr: usize,
+}
+
+impl PackedB {
+    fn pack(bv: &[f32], k: usize, n: usize, nr: usize, kcb: usize) -> PackedB {
+        let n_panels = n.div_ceil(nr);
+        let mut data = vec![0.0f32; k * n_panels * nr];
+        // kk-outer traversal: each B row is read once, sequentially, and
+        // scattered to its panels — sequential reads beat sequential
+        // writes once B outgrows L2.
+        for k0 in (0..k).step_by(kcb) {
+            let kc = (k0 + kcb).min(k) - k0;
+            let block_base = k0 * n_panels * nr;
+            for kk in 0..kc {
+                let src = &bv[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for p in 0..n_panels {
+                    let j0 = p * nr;
+                    let width = nr.min(n - j0);
+                    let dst = block_base + p * kc * nr + kk * nr;
+                    data[dst..dst + width].copy_from_slice(&src[j0..j0 + width]);
+                }
+            }
+        }
+        PackedB { data, n_panels, nr }
+    }
+
+    /// The `kc`-row panel `p` of the KC-block starting at `k0`.
+    #[inline]
+    fn panel(&self, k0: usize, kc: usize, p: usize) -> &[f32] {
+        let base = k0 * self.n_panels * self.nr + p * kc * self.nr;
+        &self.data[base..base + kc * self.nr]
+    }
+}
+
+/// Portable full MR×NR micro-kernel: every loop bound is a constant, so
+/// the accumulator tile lives in registers and the inner loop compiles to
+/// broadcast + multiply + add at whatever width the baseline ISA offers.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the args *are* the tile coordinates; a struct would obscure the hot path
+fn micro_full(
+    av: &[f32],
+    k: usize,
+    ia0: usize,
+    k0: usize,
+    kc: usize,
+    bpanel: &[f32],
+    cchunk: &mut [f32],
+    rc0: usize,
+    n: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let base = (rc0 + r) * n + j0;
+        accr.copy_from_slice(&cchunk[base..base + NR]);
+    }
+    for kk in 0..kc {
+        let brow: &[f32; NR] = bpanel[kk * NR..kk * NR + NR].try_into().unwrap();
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let aik = av[(ia0 + r) * k + k0 + kk];
+            for (cj, &bj) in accr.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let base = (rc0 + r) * n + j0;
+        cchunk[base..base + NR].copy_from_slice(accr);
+    }
+}
+
+/// Wide full MR_W×NR_W micro-kernel: 6 C rows × 4 zmm accumulators, with
+/// one packed-B row (4 loads) and 6 scalar broadcasts per `kk` step.
+///
+/// Multiply and add are issued as *separate* IEEE instructions — never
+/// FMA — so every product rounds exactly like the scalar reference and
+/// the backend stays bit-identical (see the module docs).
+///
+/// # Safety
+///
+/// Callers must guarantee:
+/// * the CPU supports AVX-512F (`avx512_available()` returned true);
+/// * `av` holds at least `(ia0 + MR_W - 1) * k + k0 + kc` elements;
+/// * `bpanel` holds at least `kc * NR_W` elements;
+/// * `cchunk` holds at least `(rc0 + MR_W - 1) * n + j0 + NR_W` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)] // same signature as micro_full — the tile coordinates
+unsafe fn micro_full_wide(
+    av: &[f32],
+    k: usize,
+    ia0: usize,
+    k0: usize,
+    kc: usize,
+    bpanel: &[f32],
+    cchunk: &mut [f32],
+    rc0: usize,
+    n: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(kc > 0 && (ia0 + MR_W - 1) * k + k0 + kc <= av.len());
+    debug_assert!(kc * NR_W <= bpanel.len());
+    debug_assert!((rc0 + MR_W - 1) * n + j0 + NR_W <= cchunk.len());
+
+    let cp = cchunk.as_mut_ptr();
+    let bp = bpanel.as_ptr();
+    // Hoist the per-row A cursors so the k-loop does no index arithmetic.
+    let mut arow = [av.as_ptr(); MR_W];
+    for (r, ar) in arow.iter_mut().enumerate() {
+        *ar = av.as_ptr().add((ia0 + r) * k + k0);
+    }
+    let mut acc = [[_mm512_setzero_ps(); 4]; MR_W];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let base = cp.add((rc0 + r) * n + j0);
+        for (v, a) in accr.iter_mut().enumerate() {
+            *a = _mm512_loadu_ps(base.add(v * 16));
+        }
+    }
+    for kk in 0..kc {
+        let brow = bp.add(kk * NR_W);
+        let b0 = _mm512_loadu_ps(brow);
+        let b1 = _mm512_loadu_ps(brow.add(16));
+        let b2 = _mm512_loadu_ps(brow.add(32));
+        let b3 = _mm512_loadu_ps(brow.add(48));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let a = _mm512_set1_ps(*arow[r].add(kk));
+            accr[0] = _mm512_add_ps(accr[0], _mm512_mul_ps(a, b0));
+            accr[1] = _mm512_add_ps(accr[1], _mm512_mul_ps(a, b1));
+            accr[2] = _mm512_add_ps(accr[2], _mm512_mul_ps(a, b2));
+            accr[3] = _mm512_add_ps(accr[3], _mm512_mul_ps(a, b3));
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let base = cp.add((rc0 + r) * n + j0);
+        for (v, a) in accr.iter().enumerate() {
+            _mm512_storeu_ps(base.add(v * 16), *a);
+        }
+    }
+}
+
+/// Generic edge micro-kernel for ragged tiles (`rows < mr` and/or
+/// `width < nr`), shared by both paths. Row-at-a-time with a stack
+/// accumulator, loading and storing only the `width` valid columns so the
+/// panel's zero padding never reaches C. Per element the products still
+/// accumulate in ascending `kk` order — bit-identical by construction.
+#[inline]
+#[allow(clippy::too_many_arguments)] // tile coordinates plus the ragged rows/width pair
+fn micro_edge(
+    av: &[f32],
+    k: usize,
+    ia0: usize,
+    rows: usize,
+    k0: usize,
+    kc: usize,
+    bpanel: &[f32],
+    nr: usize,
+    cchunk: &mut [f32],
+    rc0: usize,
+    n: usize,
+    j0: usize,
+    width: usize,
+) {
+    debug_assert!(width <= nr && nr <= NR_W);
+    let mut acc = [0.0f32; NR_W];
+    for r in 0..rows {
+        let arow = &av[(ia0 + r) * k + k0..][..kc];
+        let crow = &mut cchunk[(rc0 + r) * n + j0..][..width];
+        acc[..width].copy_from_slice(crow);
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &bpanel[kk * nr..][..width];
+            for (cj, &bj) in acc[..width].iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+        crow.copy_from_slice(&acc[..width]);
+    }
+}
+
+/// Apply the fused epilogue to a chunk of whole C rows, in `f32`, in the
+/// same per-element order as the unfused `add_row_broadcast` + activation
+/// sequence (so fused and unfused are bit-identical).
+fn epilogue(cchunk: &mut [f32], n: usize, bias: Option<&[f32]>, act: Activation) {
+    if bias.is_none() && act == Activation::Identity {
+        return;
+    }
+    for row in cchunk.chunks_mut(n) {
+        if let Some(bias) = bias {
+            for (x, &b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        if act != Activation::Identity {
+            for x in row.iter_mut() {
+                *x = act.apply_scalar(*x);
+            }
+        }
+    }
+}
+
+/// The shared NN core: `C = act(A·B + bias)` with B packed once and the
+/// epilogue applied per row-chunk while it is still cache-resident.
+/// `HalfCompute` reuses this on quantized operands.
+pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activation) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
+    if k == 0 {
+        // Empty reduction: C is all zeros, but the epilogue still applies.
+        epilogue(c.as_mut_slice(), n, bias, act);
+        return c;
+    }
+    // The wide tile only pays when at least one panel is full-width.
+    let wide = avx512_available() && n >= NR_W;
+    let (mc, mr, nr, kcb) = if wide {
+        (MC_W, MR_W, NR_W, KC_W)
+    } else {
+        (MC, MR, NR, KC)
+    };
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let packed = PackedB::pack(bv, k, n, nr, kcb);
+    let packed = &packed;
+
+    let body = |(chunk_idx, cchunk): (usize, &mut [f32])| {
+        let ia0 = chunk_idx * mc;
+        let rows = cchunk.len() / n;
+        for k0 in (0..k).step_by(kcb) {
+            let kc = (k0 + kcb).min(k) - k0;
+            for p in 0..packed.n_panels {
+                let j0 = p * nr;
+                let width = nr.min(n - j0);
+                let bpanel = packed.panel(k0, kc, p);
+                let mut r = 0;
+                while r < rows {
+                    let rh = mr.min(rows - r);
+                    if rh == mr && width == nr {
+                        if wide {
+                            #[cfg(target_arch = "x86_64")]
+                            // SAFETY: `wide` proves AVX-512F support; the
+                            // loop bounds keep `ia0+r+MR_W` rows inside
+                            // `av`, `bpanel` is exactly `kc·NR_W` long, and
+                            // `rc0+MR_W` rows × `j0+NR_W` cols sit inside
+                            // this chunk (rh == MR_W, width == NR_W).
+                            unsafe {
+                                micro_full_wide(av, k, ia0 + r, k0, kc, bpanel, cchunk, r, n, j0);
+                            }
+                            #[cfg(not(target_arch = "x86_64"))]
+                            unreachable!("wide path requires x86_64");
+                        } else {
+                            micro_full(av, k, ia0 + r, k0, kc, bpanel, cchunk, r, n, j0);
+                        }
+                    } else {
+                        micro_edge(
+                            av,
+                            k,
+                            ia0 + r,
+                            rh,
+                            k0,
+                            kc,
+                            bpanel,
+                            nr,
+                            cchunk,
+                            r,
+                            n,
+                            j0,
+                            width,
+                        );
+                    }
+                    r += mr;
+                }
+            }
+        }
+        epilogue(cchunk, n, bias, act);
+    };
+
+    if m * n >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(mc * n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(mc * n)
+            .enumerate()
+            .for_each(body);
+    }
+    c
+}
+
+/// NT kernel: rows of C are `dot4` products, with rows of B processed in
+/// L1-sized blocks so each block is reused across every row of the chunk.
+pub(crate) fn tiled_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_nt: inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+
+    let body = |(chunk_idx, cchunk): (usize, &mut [f32])| {
+        let ia0 = chunk_idx * MC;
+        let rows = cchunk.len() / n;
+        for j0 in (0..n).step_by(NT_JB) {
+            let j1 = (j0 + NT_JB).min(n);
+            for r in 0..rows {
+                let arow = &av[(ia0 + r) * k..(ia0 + r + 1) * k];
+                for j in j0..j1 {
+                    cchunk[r * n + j] = dot4(arow, &bv[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(MC * n)
+            .enumerate()
+            .for_each(body);
+    }
+    c
+}
+
+/// Cache-blocked, packed, register-tiled kernels — bit-identical to
+/// [`Reference`](crate::ops::matmul::Reference) on every f32 input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tiled;
+
+impl MatmulBackend for Tiled {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        tiled_nn(a, b, None, Activation::Identity)
+    }
+
+    fn matmul_nt(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        tiled_nt(a, b)
+    }
+
+    /// TN as an exact transpose of A fed to the NN core: the core's
+    /// ascending-`k` accumulation *is* the reference TN's ascending-`i`
+    /// accumulation, so the results are bit-identical.
+    fn matmul_tn(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(
+            a.rows(),
+            b.rows(),
+            "matmul_tn: outer dims {} vs {}",
+            a.rows(),
+            b.rows()
+        );
+        tiled_nn(&a.transposed(), b, None, Activation::Identity)
+    }
+
+    fn matmul_bias_act(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        bias: Option<&[f32]>,
+        act: Activation,
+    ) -> Tensor {
+        tiled_nn(a, b, bias, act)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::Reference;
+    use crate::rng::Rng;
+
+    fn assert_bitwise(x: &Tensor, y: &Tensor, what: &str) {
+        assert_eq!(x.shape(), y.shape(), "{what}: shape");
+        for (i, (a, b)) in x.as_slice().iter().zip(y.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: element {i}: {a} vs {b}");
+        }
+    }
+
+    /// Shapes chosen to hit: tiny, MR/NR-ragged edges, KC-non-dividing k,
+    /// multi-KC-block k, the serial/parallel boundary, multi-chunk m, and
+    /// (on AVX-512 hosts) the wide path's full tiles plus both of its edge
+    /// kinds — ragged rows mod MR_W and ragged columns mod NR_W.
+    fn shapes() -> Vec<(usize, usize, usize)> {
+        vec![
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (9, 7, 17),
+            (64, 64, 64),
+            (65, 257, 66),
+            (64, 300, 69),
+            (130, 31, 70),
+            (61, 500, 131),
+            (128, 64, 128),
+        ]
+    }
+
+    #[test]
+    fn nn_bitwise_matches_reference() {
+        let mut rng = Rng::seed_from(11);
+        for (m, k, n) in shapes() {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            assert_bitwise(
+                &Tiled.matmul(&a, &b),
+                &Reference.matmul(&a, &b),
+                &format!("nn {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn nt_bitwise_matches_reference() {
+        let mut rng = Rng::seed_from(12);
+        for (m, k, n) in shapes() {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[n, k], 1.0, &mut rng);
+            assert_bitwise(
+                &Tiled.matmul_nt(&a, &b),
+                &Reference.matmul_nt(&a, &b),
+                &format!("nt {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn tn_bitwise_matches_reference() {
+        let mut rng = Rng::seed_from(13);
+        for (m, k, n) in shapes() {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[m, n], 1.0, &mut rng);
+            assert_bitwise(
+                &Tiled.matmul_tn(&a, &b),
+                &Reference.matmul_tn(&a, &b),
+                &format!("tn {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        for (m, k, n) in [(0, 4, 3), (4, 0, 3), (4, 3, 0), (0, 0, 0)] {
+            assert_eq!(
+                Tiled
+                    .matmul(&Tensor::zeros(&[m, k]), &Tensor::zeros(&[k, n]))
+                    .shape(),
+                &[m, n]
+            );
+            assert_eq!(
+                Tiled
+                    .matmul_nt(&Tensor::zeros(&[m, k]), &Tensor::zeros(&[n, k]))
+                    .shape(),
+                &[m, n]
+            );
+            assert_eq!(
+                Tiled
+                    .matmul_tn(&Tensor::zeros(&[m, k]), &Tensor::zeros(&[m, n]))
+                    .shape(),
+                &[k, n]
+            );
+        }
+    }
+
+    /// The fused epilogue must equal the unfused sequence bit-for-bit, and
+    /// (because Tiled == Reference bitwise) also the Reference default
+    /// composition. k == 0 checks that the epilogue still fires on an empty
+    /// reduction.
+    #[test]
+    fn fused_epilogue_bitwise_matches_unfused() {
+        let mut rng = Rng::seed_from(14);
+        for (m, k, n) in [(5, 4, 3), (65, 257, 66), (9, 0, 7)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.25 - 1.0).collect();
+            for act in [Activation::Identity, Activation::Gelu, Activation::Relu] {
+                for bias_opt in [Some(bias.as_slice()), None] {
+                    let fused = Tiled.matmul_bias_act(&a, &b, bias_opt, act);
+                    let mut manual = Tiled.matmul(&a, &b);
+                    if let Some(bs) = bias_opt {
+                        manual.add_row_broadcast(bs);
+                    }
+                    act.apply(&mut manual);
+                    assert_bitwise(&fused, &manual, &format!("fused {m}x{k}x{n} {act:?}"));
+                    let ref_fused = Reference.matmul_bias_act(&a, &b, bias_opt, act);
+                    assert_bitwise(&fused, &ref_fused, &format!("vs ref {m}x{k}x{n} {act:?}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_weights() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, f32::NAN, 2.0, 3.0], &[2, 2]);
+        let c = Tiled.matmul(&a, &b);
+        assert!(c.at(0, 0).is_nan() && c.at(0, 1).is_nan());
+    }
+}

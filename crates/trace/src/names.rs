@@ -68,6 +68,16 @@ pub const A2A_INTRA_BYTES: &str = "comm.a2a.intra.bytes";
 /// [`A2A_INTRA_BYTES`]).
 pub const A2A_INTER_BYTES: &str = "comm.a2a.inter.bytes";
 
+/// Multiply-add operations (counted as 2·m·k·n per GEMM) executed by the
+/// matmul kernels, whichever backend is installed. Together with
+/// [`COMPUTE_MATMUL_NS`] this yields achieved GFLOP/s, the observable for
+/// the kernel-floor experiments (E26) and E23's honest compute
+/// attribution.
+pub const COMPUTE_MATMUL_FLOPS: &str = "compute.matmul.flops";
+/// Wall-clock nanoseconds spent inside matmul kernels, including any fused
+/// bias+activation epilogue (see [`COMPUTE_MATMUL_FLOPS`]).
+pub const COMPUTE_MATMUL_NS: &str = "compute.matmul.ns";
+
 /// Messages dropped in flight by fault injection.
 pub const FAULT_DROPS: &str = "fault.drops";
 /// Payloads corrupted in flight by fault injection.

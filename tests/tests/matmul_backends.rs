@@ -1,0 +1,232 @@
+//! Property tests for the pluggable [`MatmulBackend`]s: every backend
+//! against a naive triple-loop oracle, plus the bitwise contracts the
+//! compute floor is built on (see DESIGN.md "Compute floor"):
+//!
+//! * `Reference` NN *is* the naive accumulation order, bit for bit;
+//! * `Tiled` is bit-identical to `Reference` on every f32 input, for all
+//!   three layouts and the fused epilogue — on both the portable and the
+//!   wide (AVX-512) micro-kernel, wherever this host runs;
+//! * `HalfCompute` equals `Reference` bit for bit once the operands are
+//!   pre-quantized (storage format is the *only* difference), and tracks
+//!   the f32 oracle within its format's tolerance otherwise.
+//!
+//! Shapes deliberately sweep the degenerate cases (`m == 0`, `k == 0`,
+//! `n == 1`), the MR/NR/MR_W/NR_W tile edges, and the serial-vs-parallel
+//! dispatch boundary at `m·n == 4096`.
+
+use bagualu_tensor::ops::{Activation, ComputeBackend};
+use bagualu_tensor::rng::Rng;
+use bagualu_tensor::{DType, Tensor};
+use proptest::prelude::*;
+
+/// Ground truth: the plainest possible triple loop, ascending `k` per
+/// output element — the accumulation order every f32 backend must honor.
+fn naive_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a.at(i, p) * b.at(p, j);
+            }
+            c.set(i, j, s);
+        }
+    }
+    c
+}
+
+fn bitwise_eq(x: &Tensor, y: &Tensor) -> bool {
+    x.shape() == y.shape()
+        && x.as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+/// The operands a half backend actually computes on: f32 values already
+/// rounded through the 16-bit storage format.
+fn prequantized(t: &Tensor, dtype: DType) -> Tensor {
+    let mut q = t.clone();
+    q.quantize(dtype);
+    q
+}
+
+fn f32_backends() -> [ComputeBackend; 2] {
+    [ComputeBackend::Reference, ComputeBackend::Tiled]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Reference NN is the naive order itself — bitwise, not approximate.
+    // `m`/`k` start at 0 and `n` at 1 so the degenerate shapes stay
+    // covered; `k` crosses the KC=256 panel boundary.
+    #[test]
+    fn reference_nn_is_bitwise_naive(
+        m in 0usize..40, k in 0usize..300, n in 1usize..40, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let r = ComputeBackend::Reference.instantiate().matmul(&a, &b);
+        prop_assert!(bitwise_eq(&r, &naive_nn(&a, &b)), "{m}x{k}x{n}");
+    }
+
+    // Both f32 backends, all three layouts, against the oracle within
+    // f32 reassociation tolerance (NT sums through a 4-chain dot).
+    #[test]
+    fn f32_backends_match_naive_oracle(
+        m in 0usize..48, k in 0usize..130, n in 1usize..80, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let want = naive_nn(&a, &b);
+        for cb in f32_backends() {
+            let be = cb.instantiate();
+            prop_assert!(be.matmul(&a, &b).approx_eq(&want, 1e-3), "{cb} nn {m}x{k}x{n}");
+            prop_assert!(
+                be.matmul_nt(&a, &b.transposed()).approx_eq(&want, 1e-3),
+                "{cb} nt {m}x{k}x{n}"
+            );
+            prop_assert!(
+                be.matmul_tn(&a.transposed(), &b).approx_eq(&want, 1e-3),
+                "{cb} tn {m}x{k}x{n}"
+            );
+        }
+    }
+
+    // The load-bearing contract: Tiled == Reference bit for bit, for all
+    // layouts and the fused epilogue, across tile-edge and multi-panel
+    // shapes. `n` reaches past NR_W=64 so AVX-512 hosts exercise the wide
+    // micro-kernel's full tiles and both of its edge kinds.
+    #[test]
+    fn tiled_is_bit_identical_to_reference(
+        m in 0usize..70, k in 0usize..300, n in 0usize..140, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bt = b.transposed();
+        let at = a.transposed();
+        let reference = ComputeBackend::Reference.instantiate();
+        let tiled = ComputeBackend::Tiled.instantiate();
+        prop_assert!(
+            bitwise_eq(&tiled.matmul(&a, &b), &reference.matmul(&a, &b)),
+            "nn {m}x{k}x{n}"
+        );
+        prop_assert!(
+            bitwise_eq(&tiled.matmul_nt(&a, &bt), &reference.matmul_nt(&a, &bt)),
+            "nt {m}x{k}x{n}"
+        );
+        prop_assert!(
+            bitwise_eq(&tiled.matmul_tn(&at, &b), &reference.matmul_tn(&at, &b)),
+            "tn {m}x{k}x{n}"
+        );
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.125 - 0.5).collect();
+        prop_assert!(
+            bitwise_eq(
+                &tiled.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu),
+                &reference.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu),
+            ),
+            "fused {m}x{k}x{n}"
+        );
+    }
+
+    // Straddle the serial-vs-rayon dispatch boundary (`m·n` around
+    // PAR_THRESHOLD = 4096 = 64·64): the parallel split must not change a
+    // single bit on either backend.
+    #[test]
+    fn par_threshold_boundary_is_bit_stable(
+        m in 60usize..69, n in 60usize..69, k in 1usize..32, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let want = naive_nn(&a, &b);
+        for cb in f32_backends() {
+            let c = cb.instantiate().matmul(&a, &b);
+            prop_assert!(bitwise_eq(&c, &want), "{cb} {m}x{k}x{n} vs naive");
+        }
+    }
+
+    // Half-compute is *exactly* the f32 pipeline on pre-quantized
+    // operands: quantization is the only thing the dtype changes.
+    #[test]
+    fn half_equals_reference_on_prequantized_operands(
+        m in 0usize..40, k in 0usize..130, n in 1usize..80,
+        bf16 in any::<bool>(), seed in 0u64..1000,
+    ) {
+        let dtype = if bf16 { DType::BF16 } else { DType::F16 };
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let (aq, bq) = (prequantized(&a, dtype), prequantized(&b, dtype));
+        let half = ComputeBackend::Half(dtype).instantiate();
+        let reference = ComputeBackend::Reference.instantiate();
+        prop_assert!(
+            bitwise_eq(&half.matmul(&a, &b), &reference.matmul(&aq, &bq)),
+            "nn {m}x{k}x{n} {dtype:?}"
+        );
+        let (atq, btq) = (aq.transposed(), bq.transposed());
+        prop_assert!(
+            bitwise_eq(
+                &half.matmul_nt(&a, &b.transposed()),
+                &reference.matmul_nt(&aq, &btq)
+            ),
+            "nt {m}x{k}x{n} {dtype:?}"
+        );
+        prop_assert!(
+            bitwise_eq(
+                &half.matmul_tn(&a.transposed(), &b),
+                &reference.matmul_tn(&atq, &bq)
+            ),
+            "tn {m}x{k}x{n} {dtype:?}"
+        );
+    }
+
+    // Against the *unquantized* oracle, half-compute stays inside its
+    // format's error envelope (relative tolerance per `approx_eq`).
+    #[test]
+    fn half_tracks_oracle_within_format_tolerance(
+        m in 1usize..32, k in 1usize..64, n in 1usize..32, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let want = naive_nn(&a, &b);
+        let f16 = ComputeBackend::Half(DType::F16).instantiate().matmul(&a, &b);
+        prop_assert!(f16.approx_eq(&want, 5e-2), "f16 nn {m}x{k}x{n}");
+        let bf16 = ComputeBackend::Half(DType::BF16).instantiate().matmul(&a, &b);
+        prop_assert!(bf16.approx_eq(&want, 3e-1), "bf16 nn {m}x{k}x{n}");
+    }
+
+    // The fused bias+activation epilogue equals the unfused sequence bit
+    // for bit on every backend (the half epilogue stays in f32 — it runs
+    // at accumulator precision on both sides).
+    #[test]
+    fn fused_epilogue_is_bitwise_unfused_everywhere(
+        m in 0usize..24, k in 0usize..40, n in 1usize..80,
+        relu in any::<bool>(), seed in 0u64..1000,
+    ) {
+        let act = if relu { Activation::Relu } else { Activation::Gelu };
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.1 - 1.0).collect();
+        for cb in [
+            ComputeBackend::Reference,
+            ComputeBackend::Tiled,
+            ComputeBackend::Half(DType::BF16),
+            ComputeBackend::Half(DType::F16),
+        ] {
+            let be = cb.instantiate();
+            let fused = be.matmul_bias_act(&a, &b, Some(&bias), act);
+            let mut unfused = be.matmul(&a, &b);
+            unfused.add_row_broadcast(&bias);
+            act.apply(&mut unfused);
+            prop_assert!(bitwise_eq(&fused, &unfused), "{cb} {m}x{k}x{n} {act:?}");
+        }
+    }
+}
