@@ -71,6 +71,12 @@ fn print_help() {
     eprintln!("            --trace FILE (write Chrome trace JSON + per-rank summary)");
     eprintln!("            --ckpt-dir PATH --ckpt-every N (checkpoint/restart recovery)");
     eprintln!("            --crash R@S[,R@S…] (inject rank R crash at step S) --max-restarts N");
+    eprintln!("            --slow R@A..B:USEC[,…] (rank R stalls USEC µs per send on steps A..B)");
+    eprintln!(
+        "            --elastic (continue on R-1 ranks after a crash instead of full restore)"
+    );
+    eprintln!("            --straggler-factor F (flag ranks over F x median send occupancy)");
+    eprintln!("            --straggler-window N (samples averaged before flagging; default 3)");
     eprintln!("  project   performance projection on the simulated machine");
     eprintln!("            --preset 1.93t|14.5t|174t --nodes N --precision fp32|half");
     eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
@@ -147,6 +153,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "ckpt-every",
         "crash",
         "max-restarts",
+        "slow",
+        "elastic",
+        "straggler-factor",
+        "straggler-window",
         "trace",
         "placement",
         "locality-bias",
@@ -265,10 +275,51 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         cfg.compute
     );
 
-    // Fault-tolerant path: any checkpoint/crash flag routes through run_ft.
+    // Fault-tolerant path: any checkpoint, fault, or degradation flag
+    // routes through run_ft.
     let ckpt_dir = args.get("ckpt-dir", "");
     let crash_spec = args.get("crash", "");
-    let report = if !ckpt_dir.is_empty() || !crash_spec.is_empty() {
+    let slow_spec = args.get("slow", "");
+    let elastic = args.switch("elastic");
+    let straggler_spec = args.get("straggler-factor", "");
+    let ft_requested = !ckpt_dir.is_empty()
+        || !crash_spec.is_empty()
+        || !slow_spec.is_empty()
+        || elastic
+        || !straggler_spec.is_empty();
+    let report = if ft_requested {
+        let ckpt_every = args.get_parse("ckpt-every", 10usize)?;
+        // Reject contradictory flag combinations up front, before any rank
+        // threads spin up — each with the fix spelled out.
+        if elastic && cfg.nranks < 2 {
+            return Err(
+                "--elastic needs at least 2 ranks: a 1-rank world has no survivors to \
+                 continue on (raise --ranks or drop --elastic)"
+                    .into(),
+            );
+        }
+        if ckpt_every == 0 && (elastic || !straggler_spec.is_empty()) {
+            return Err(
+                "--ckpt-every 0 disables checkpoints, but --elastic re-shards from the \
+                 last checkpoint and straggler migration re-places experts at checkpoint \
+                 boundaries; give --ckpt-every a positive interval"
+                    .into(),
+            );
+        }
+        let straggler_factor = if straggler_spec.is_empty() {
+            None
+        } else {
+            let f: f64 = straggler_spec
+                .parse()
+                .map_err(|_| format!("bad --straggler-factor: {straggler_spec}"))?;
+            if f <= 1.0 {
+                return Err(format!(
+                    "--straggler-factor {f} would flag healthy ranks on noise alone; \
+                     it must exceed 1.0 (e.g. 1.5)"
+                ));
+            }
+            Some(f)
+        };
         let mut plan = FaultPlan::new(cfg.seed);
         for part in crash_spec.split(',').filter(|s| !s.is_empty()) {
             let (r, s) = part
@@ -277,9 +328,47 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             let rank: usize = r.trim().parse().map_err(|_| format!("bad rank: {r}"))?;
             let step: usize = s.trim().parse().map_err(|_| format!("bad step: {s}"))?;
             if rank >= cfg.nranks {
-                return Err(format!("--crash rank {rank} out of range (ranks={nranks})"));
+                return Err(format!(
+                    "--crash rank {rank} out of range (ranks={nranks}); ranks are \
+                     numbered 0..{}",
+                    nranks - 1
+                ));
+            }
+            if step >= cfg.steps {
+                return Err(format!(
+                    "--crash at step {step} can never fire: the run only has {} steps \
+                     (0..{})",
+                    cfg.steps,
+                    cfg.steps - 1
+                ));
             }
             plan = plan.crash(rank, step);
+        }
+        for part in slow_spec.split(',').filter(|s| !s.is_empty()) {
+            let bad = || format!("bad --slow spec: {part} (want rank@from..to:usec)");
+            let (r, rest) = part.split_once('@').ok_or_else(bad)?;
+            let (range, usec) = rest.split_once(':').ok_or_else(bad)?;
+            let (a, b) = range.split_once("..").ok_or_else(bad)?;
+            let rank: usize = r.trim().parse().map_err(|_| format!("bad rank: {r}"))?;
+            let from: usize = a.trim().parse().map_err(|_| format!("bad step: {a}"))?;
+            let to: usize = b.trim().parse().map_err(|_| format!("bad step: {b}"))?;
+            let delay: u64 = usec
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad delay: {usec}"))?;
+            if rank >= cfg.nranks {
+                return Err(format!(
+                    "--slow rank {rank} out of range (ranks={nranks}); ranks are \
+                     numbered 0..{}",
+                    nranks - 1
+                ));
+            }
+            if from >= to {
+                return Err(format!(
+                    "--slow step range {from}..{to} is empty (want from < to)"
+                ));
+            }
+            plan = plan.slow_rank(rank, from, to, delay);
         }
         let dir = if ckpt_dir.is_empty() {
             std::env::temp_dir().join(format!("bagualu-train-ckpt-{}", std::process::id()))
@@ -288,15 +377,31 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         };
         let ft = FtConfig {
             plan,
-            ckpt_every: args.get_parse("ckpt-every", 10usize)?,
+            ckpt_every,
             max_restarts: args.get_parse("max-restarts", 3usize)?,
+            elastic,
+            straggler_factor,
+            straggler_window: args.get_parse("straggler-window", 3usize)?,
             ..FtConfig::new(dir)
         };
         let report = Trainer::new(cfg).run_ft(&ft);
         if report.restarts > 0 {
             println!(
-                "recovered from {} failure(s): {} step(s) re-executed, {:.2}s lost",
-                report.restarts, report.lost_steps, report.recovery_time_s
+                "recovered from {} failure(s): {} step(s) re-executed, {:.2}s lost{}",
+                report.restarts,
+                report.lost_steps,
+                report.recovery_time_s,
+                if report.resizes > 0 {
+                    format!(", world shrunk {} time(s)", report.resizes)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        if report.migrations > 0 {
+            println!(
+                "straggler mitigation: {} expert-load migration(s), final placement {}",
+                report.migrations, report.placement
             );
         }
         report

@@ -78,6 +78,39 @@ pub enum FaultSpec {
         /// Per-message drop probability in `[0, 1]`.
         prob: f64,
     },
+    /// **Sustained degradation**: while the armed training step is in
+    /// `[from_step, to_step)`, every message sent by `rank` is held for
+    /// `delay_us` microseconds before delivery. Unlike [`FaultSpec::DelayNth`]
+    /// this is not one-shot — it models a sick-but-alive rank (thermal
+    /// throttling, a noisy neighbor, a degraded NIC), the dominant failure
+    /// mode MegaScale reports on production clusters. The trainer publishes
+    /// the step via [`FaultRuntime::set_step`]; before the first call the
+    /// armed step is 0.
+    SlowRank {
+        /// World rank whose sends are slowed.
+        rank: usize,
+        /// First training step (inclusive) of the degradation window.
+        from_step: usize,
+        /// First training step past the degradation window (exclusive).
+        to_step: usize,
+        /// Per-message stall in microseconds.
+        delay_us: u64,
+    },
+    /// **Sustained flaky link**: while the armed training step is in
+    /// `[from_step, to_step)`, each message sent by `from` is dropped
+    /// independently with probability `drop_prob`, drawn from the same
+    /// per-rank seeded stream as [`FaultSpec::DropProb`]. Step-ranged so a
+    /// link can degrade and then recover deterministically.
+    FlakyLink {
+        /// Sending world rank.
+        from: usize,
+        /// First training step (inclusive) of the flaky window.
+        from_step: usize,
+        /// First training step past the flaky window (exclusive).
+        to_step: usize,
+        /// Per-message drop probability in `[0, 1]` inside the window.
+        drop_prob: f64,
+    },
 }
 
 /// A deterministic, seeded schedule of faults. Pure data — clone it freely,
@@ -144,6 +177,45 @@ impl FaultPlan {
         self
     }
 
+    /// Slow every send of `rank` by `delay_us` microseconds while the armed
+    /// step is in `[from_step, to_step)`.
+    pub fn slow_rank(
+        mut self,
+        rank: usize,
+        from_step: usize,
+        to_step: usize,
+        delay_us: u64,
+    ) -> FaultPlan {
+        assert!(from_step < to_step, "empty slow-rank step range");
+        self.events.push(FaultSpec::SlowRank {
+            rank,
+            from_step,
+            to_step,
+            delay_us,
+        });
+        self
+    }
+
+    /// Drop each of `from`'s messages with probability `drop_prob` while the
+    /// armed step is in `[from_step, to_step)`.
+    pub fn flaky_link(
+        mut self,
+        from: usize,
+        from_step: usize,
+        to_step: usize,
+        drop_prob: f64,
+    ) -> FaultPlan {
+        assert!(from_step < to_step, "empty flaky-link step range");
+        assert!((0.0..=1.0).contains(&drop_prob), "probability out of range");
+        self.events.push(FaultSpec::FlakyLink {
+            from,
+            from_step,
+            to_step,
+            drop_prob,
+        });
+        self
+    }
+
     /// Steps at which any rank is scheduled to crash, ascending.
     pub fn crash_steps(&self) -> Vec<usize> {
         let mut steps: Vec<usize> = self
@@ -173,8 +245,12 @@ pub(crate) enum SendAction {
 pub struct FaultStats {
     /// Messages silently discarded in flight.
     pub dropped: u64,
-    /// Messages held back by an injected delay.
+    /// Messages held back by a one-shot [`FaultSpec::DelayNth`] delay.
     pub delayed: u64,
+    /// Messages held back by a sustained [`FaultSpec::SlowRank`] window.
+    /// Kept separate from `delayed` so tests can pin "the one-shot delay
+    /// fired exactly once" independently of sustained degradation.
+    pub slowed: u64,
     /// Messages that had a bit flipped.
     pub corrupted: u64,
     /// Crash events that actually fired (one-shot latches claimed).
@@ -195,8 +271,12 @@ pub struct FaultRuntime {
     /// Per-rank xorshift state for probabilistic faults; seeded from
     /// `plan.seed` so decisions are independent of thread interleaving.
     rng: Vec<AtomicU64>,
+    /// The training step the driver last armed via [`FaultRuntime::set_step`].
+    /// Sustained (step-ranged) faults consult this; it only moves forward.
+    step: AtomicU64,
     dropped: AtomicU64,
     delayed: AtomicU64,
+    slowed: AtomicU64,
     corrupted: AtomicU64,
     crashes: AtomicU64,
 }
@@ -220,11 +300,28 @@ impl FaultRuntime {
             fired,
             send_seq,
             rng,
+            step: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            slowed: AtomicU64::new(0),
             corrupted: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
         }
+    }
+
+    /// Publish the current training step so sustained (step-ranged) faults
+    /// know whether they are inside their window. Monotonic (`fetch_max`):
+    /// ranks advance at slightly different times around a step boundary, so
+    /// the armed value is advisory *at* the boundary and exact inside it —
+    /// sustained windows should be read as "±1 step at the edges" unless the
+    /// test steps the runtime explicitly. Cheap enough to call every step.
+    pub fn set_step(&self, step: usize) {
+        self.step.fetch_max(step as u64, Ordering::Relaxed);
+    }
+
+    /// The last step armed via [`FaultRuntime::set_step`] (0 before any call).
+    pub fn current_step(&self) -> usize {
+        self.step.load(Ordering::Relaxed) as usize
     }
 
     /// The plan this runtime was armed with.
@@ -237,6 +334,7 @@ impl FaultRuntime {
         FaultStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
+            slowed: self.slowed.load(Ordering::Relaxed),
             corrupted: self.corrupted.load(Ordering::Relaxed),
             crashes_fired: self.crashes.load(Ordering::Relaxed),
         }
@@ -300,6 +398,36 @@ impl FaultRuntime {
                     self.record(SendAction::Drop);
                     return SendAction::Drop;
                 }
+            }
+        }
+        // Sustained (step-ranged) degradation: never one-shot. Checked last
+        // so one-shot events keep their exact nth-message semantics even
+        // inside a degradation window.
+        let step = self.step.load(Ordering::Relaxed) as usize;
+        for e in &self.plan.events {
+            match *e {
+                FaultSpec::FlakyLink {
+                    from: f,
+                    from_step,
+                    to_step,
+                    drop_prob,
+                } if f == from
+                    && (from_step..to_step).contains(&step)
+                    && self.next_unit(from) < drop_prob =>
+                {
+                    self.record(SendAction::Drop);
+                    return SendAction::Drop;
+                }
+                FaultSpec::SlowRank {
+                    rank,
+                    from_step,
+                    to_step,
+                    delay_us,
+                } if rank == from && (from_step..to_step).contains(&step) => {
+                    self.slowed.fetch_add(1, Ordering::Relaxed);
+                    return SendAction::Delay(Duration::from_micros(delay_us));
+                }
+                _ => {}
             }
         }
         SendAction::Deliver
@@ -505,6 +633,69 @@ mod tests {
         let mut p: Payload = vec![8u64].into();
         corrupt_payload(&mut p);
         assert_ne!(p.into_u64()[0], 8);
+    }
+
+    #[test]
+    fn slow_rank_fires_only_inside_its_step_window() {
+        let rt = FaultRuntime::new(FaultPlan::new(1).slow_rank(0, 3, 5, 250), 2);
+        // Step 0 (never armed): outside the window.
+        assert_eq!(rt.on_send(0), SendAction::Deliver);
+        rt.set_step(3);
+        assert_eq!(rt.on_send(0), SendAction::Delay(Duration::from_micros(250)));
+        assert_eq!(rt.on_send(0), SendAction::Delay(Duration::from_micros(250)));
+        // The other rank is healthy.
+        assert_eq!(rt.on_send(1), SendAction::Deliver);
+        rt.set_step(5); // exclusive upper bound: recovered
+        assert_eq!(rt.on_send(0), SendAction::Deliver);
+        let s = rt.stats();
+        assert_eq!((s.slowed, s.delayed), (2, 0));
+    }
+
+    #[test]
+    fn set_step_is_monotonic() {
+        let rt = FaultRuntime::new(FaultPlan::none(), 1);
+        rt.set_step(7);
+        rt.set_step(3); // a lagging rank cannot move the window backwards
+        assert_eq!(rt.current_step(), 7);
+    }
+
+    #[test]
+    fn flaky_link_drops_only_inside_its_window_and_is_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let rt = FaultRuntime::new(FaultPlan::new(seed).flaky_link(0, 2, 4, 0.5), 1);
+            let mut out = Vec::new();
+            for step in 0..6 {
+                rt.set_step(step);
+                for _ in 0..16 {
+                    out.push(rt.on_send(0) == SendAction::Drop);
+                }
+            }
+            out
+        };
+        let a = run(9);
+        assert_eq!(a, run(9), "same seed must replay exactly");
+        assert!(!a[..32].iter().any(|&b| b), "no drops before the window");
+        assert!(!a[64..].iter().any(|&b| b), "no drops after the window");
+        let inside = a[32..64].iter().filter(|&&b| b).count();
+        assert!(
+            inside > 4 && inside < 28,
+            "p=0.5 over 32 draws gave {inside}"
+        );
+    }
+
+    #[test]
+    fn one_shot_delay_wins_over_sustained_slowdown_without_double_count() {
+        // A DelayNth aimed at a message inside a SlowRank window fires as
+        // the one-shot (counted in `delayed`), not as a slowdown.
+        let rt = FaultRuntime::new(
+            FaultPlan::new(1).delay_nth(0, 0, 7).slow_rank(0, 0, 10, 1),
+            1,
+        );
+        rt.set_step(1);
+        assert_eq!(rt.on_send(0), SendAction::Delay(Duration::from_millis(7)));
+        assert_eq!(rt.on_send(0), SendAction::Delay(Duration::from_micros(1)));
+        let s = rt.stats();
+        assert_eq!((s.delayed, s.slowed), (1, 1));
     }
 
     #[test]

@@ -98,6 +98,20 @@ pub trait Communicator {
     /// share a supernode. `0` disables the split (the default). Transports
     /// without byte accounting ignore the call.
     fn set_supernode_size(&self, _supernode_size: usize) {}
+
+    /// Cumulative wall-clock nanoseconds **this rank** has spent inside
+    /// [`Communicator::send`], when the transport accounts for it (`None`
+    /// otherwise). On `ShmComm` sends are nonblocking enqueues, so a healthy
+    /// rank's occupancy is negligible — the counter only grows materially
+    /// when the send path itself stalls (an injected [`crate::fault::FaultSpec::SlowRank`]
+    /// window, or on a real transport a backed-up NIC queue). That asymmetry
+    /// is exactly the straggler signal: recv-side waiting is symmetric
+    /// across ranks under lockstep collectives, send-side occupancy is not.
+    /// Collected only while a fault schedule is armed, so the fault-free
+    /// hot path stays timer-free.
+    fn send_occupancy_ns(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Collective families distinguished by [`CommStats`]. Classification is
@@ -358,6 +372,9 @@ struct Shared {
     a2a_inter_bytes: AtomicU64,
     /// Armed fault schedule, consulted on every send (None = no faults).
     faults: Option<Arc<FaultRuntime>>,
+    /// Per-world-rank nanoseconds spent inside `send` (the straggler
+    /// signal; accounted only while `faults` is armed).
+    send_ns: Vec<AtomicU64>,
     /// Per-world-rank dead flags; set once a rank's thread panics or
     /// aborts, after which receives from it fail fast instead of hanging.
     dead: Vec<AtomicBool>,
@@ -433,6 +450,7 @@ impl World {
                 a2a_intra_bytes: AtomicU64::new(0),
                 a2a_inter_bytes: AtomicU64::new(0),
                 faults,
+                send_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
             size: n,
@@ -582,6 +600,15 @@ impl ShmComm {
         &self.shared.boxes[self.members[self.rank]]
     }
 
+    /// Charge the elapsed time since `t0` (when accounting is armed) to
+    /// this rank's send-occupancy counter.
+    fn note_send_time(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.shared.send_ns[self.members[self.rank]]
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Claim the queued message for `req` if it is `req`'s turn (its ticket
     /// is the oldest unclaimed for the key) and a message is available.
     fn try_claim(&self, req: &ShmRecv) -> Option<Payload> {
@@ -647,12 +674,17 @@ impl Communicator for ShmComm {
 
     fn send(&self, dst: usize, tag: u64, payload: Payload) {
         let mut payload = payload;
+        // Send-occupancy accounting (the straggler signal) rides the fault
+        // hook: only timed while a schedule is armed, so the fault-free hot
+        // path takes no `Instant::now` calls.
+        let t0 = self.shared.faults.as_ref().map(|_| Instant::now());
         if let Some(f) = &self.shared.faults {
             match f.on_send(self.members[self.rank]) {
                 SendAction::Deliver => {}
                 // Dropped in flight: never enqueued, never counted as sent.
                 SendAction::Drop => {
                     bagualu_trace::count(bagualu_trace::names::FAULT_DROPS, 1);
+                    self.note_send_time(t0);
                     return;
                 }
                 // A stalled link: the sender blocks for the delay.
@@ -711,6 +743,8 @@ impl Communicator for ShmComm {
             .or_default()
             .push_back(payload);
         mbox.arrived.notify_all();
+        drop(state);
+        self.note_send_time(t0);
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {
@@ -791,6 +825,13 @@ impl Communicator for ShmComm {
         self.shared
             .supernode_size
             .store(supernode_size as u64, Ordering::Relaxed);
+    }
+
+    fn send_occupancy_ns(&self) -> Option<u64> {
+        self.shared
+            .faults
+            .as_ref()
+            .map(|_| self.shared.send_ns[self.members[self.rank]].load(Ordering::Relaxed))
     }
 }
 

@@ -266,6 +266,10 @@ impl<C: Communicator, L: LinkCost> Communicator for TimedComm<C, L> {
         // `TwoLevelCost` link model.
         self.inner.set_supernode_size(supernode_size);
     }
+
+    fn send_occupancy_ns(&self) -> Option<u64> {
+        self.inner.send_occupancy_ns()
+    }
 }
 
 impl<C: FtCommunicator, L: LinkCost> FtCommunicator for TimedComm<C, L> {

@@ -317,13 +317,14 @@ pub struct PlacementMeta {
 
 impl PlacementMeta {
     /// Encode as a 4-element tensor record
-    /// `[policy_id, supernode_size, n_experts, nranks]` (exact in `f32` —
-    /// all fields are far below 2²⁴).
+    /// `[policy_id, policy_param, n_experts, nranks]` (exact in `f32` — all
+    /// fields are far below 2²⁴). The param field carries the supernode
+    /// size for `Supernode`, the victim rank for `Shed`, 0 otherwise.
     fn encode(&self) -> Tensor {
         Tensor::from_vec(
             vec![
                 self.placement.policy_id() as f32,
-                self.placement.supernode_size() as f32,
+                self.placement.param() as f32,
                 self.n_experts as f32,
                 self.nranks as f32,
             ],

@@ -207,6 +207,13 @@ pub struct TrainReport {
     /// Wall-clock seconds consumed by attempts that ended in a failure —
     /// detection, plus any re-executed work those attempts performed.
     pub recovery_time_s: f64,
+    /// Elastic world resizes: crashes survived by continuing on a shrunk
+    /// world instead of restoring at full width (always 0 unless
+    /// [`FtConfig::elastic`] was set).
+    pub resizes: usize,
+    /// Expert-load migrations executed after an online straggler flag
+    /// (always 0 unless [`FtConfig::straggler_factor`] was set).
+    pub migrations: usize,
     /// The wire format the run's tensor traffic used
     /// (echoes [`TrainConfig::wire`], so reports are self-describing).
     pub wire: WireDType,
@@ -263,6 +270,24 @@ pub struct FtConfig {
     /// Start from this step, restoring `ckpt_dir`'s checkpoint for it
     /// (0 = fresh start).
     pub resume_step: usize,
+    /// Online straggler detection: flag a rank whose windowed mean
+    /// send-occupancy exceeds `factor ×` the median across ranks (see
+    /// `bagualu_trace::StragglerDetector`), then shed half its expert load
+    /// at the next checkpoint boundary. `None` (the default) disables
+    /// detection entirely — no extra collective per step.
+    pub straggler_factor: Option<f64>,
+    /// Consecutive steps averaged by the straggler detector before it may
+    /// flag (≥ 1); larger windows trade detection latency for immunity to
+    /// one-step spikes.
+    pub straggler_window: usize,
+    /// **Elastic world resize**: when a rank crashes, continue on R−1 ranks
+    /// — re-place the lost experts across the survivors and re-shard
+    /// optimizer state — instead of restoring at full width. Restore from
+    /// the last checkpoint still happens (the shrunk world resumes from it,
+    /// re-sharding the R-rank shard set), it just stops being the only
+    /// path. Off by default: the historical restore-at-full-width behavior
+    /// is unchanged unless asked for.
+    pub elastic: bool,
 }
 
 impl FtConfig {
@@ -274,6 +299,9 @@ impl FtConfig {
             max_restarts: 3,
             heartbeat_ms: 1000,
             resume_step: 0,
+            straggler_factor: None,
+            straggler_window: 3,
+            elastic: false,
         }
     }
 }
@@ -368,48 +396,109 @@ impl Trainer {
         let mut restarts = 0usize;
         let mut lost_steps = 0usize;
         let mut recovery_time_s = 0.0f64;
+        let mut resizes = 0usize;
+        let mut migrations = 0usize;
+        let mut world_size = cfg.nranks;
+        let mut placement = cfg.placement;
         let mut start_step = ft.resume_step;
 
         loop {
-            // Pre-flight the placement gate on rank 0's shard: a mismatched
-            // restore is a configuration error, not a transient fault, so it
-            // must be a hard error here rather than a crash the restart loop
-            // retries into "giving up after N restarts".
-            if start_step > 0 {
+            let cur_cfg = TrainConfig {
+                nranks: world_size,
+                placement,
+                ..cfg
+            };
+            // Straggler migration is a one-shot per run and only defined
+            // from a round-robin layout (Shed is itself the migrated state).
+            let allow_migration = ft.straggler_factor.is_some()
+                && migrations == 0
+                && world_size >= 2
+                && cur_cfg.resolved_placement() == ExpertPlacement::RoundRobin;
+            // Cross-layout restore (an R-rank shard set onto R−1 ranks, or a
+            // round-robin set onto a Shed layout) is only authorized by the
+            // degradation features; a plain run keeps the strict gate.
+            let allow_reshard = ft.elastic || migrations > 0 || resizes > 0;
+            // Pre-flight the restore on rank 0's shard: a mismatched restore
+            // is a configuration error, not a transient fault, so it must be
+            // a hard error here rather than a crash the restart loop retries
+            // into "giving up after N restarts".
+            let restore = if start_step == 0 {
+                Restore::Fresh
+            } else {
                 let shard0 = ft
                     .ckpt_dir
                     .join(format!("step{start_step}"))
                     .join("rank0.bglu");
-                if shard0.exists() {
-                    let meta = crate::checkpoint::PlacementMeta {
-                        placement: cfg.resolved_placement(),
-                        n_experts: cfg.model.n_experts,
-                        nranks: cfg.nranks,
-                    };
-                    placement_gate(&shard0, meta, 0);
+                let current = crate::checkpoint::PlacementMeta {
+                    placement: cur_cfg.resolved_placement(),
+                    n_experts: cfg.model.n_experts,
+                    nranks: world_size,
+                };
+                if !shard0.exists() {
+                    Restore::Strict
+                } else {
+                    let saved = crate::checkpoint::read_placement(&shard0)
+                        .unwrap_or_else(|e| panic!("cannot read checkpoint {shard0:?}: {e}"));
+                    match saved {
+                        Some(meta) if meta == current => Restore::Strict,
+                        Some(meta) if allow_reshard && meta.n_experts == current.n_experts => {
+                            Restore::Reshard {
+                                from_nranks: meta.nranks,
+                            }
+                        }
+                        Some(meta) if allow_reshard => panic!(
+                            "cannot re-shard checkpoint {shard0:?}: it holds {} experts but \
+                             this run has {}",
+                            meta.n_experts, current.n_experts
+                        ),
+                        _ => {
+                            placement_gate(&shard0, current, 0);
+                            Restore::Strict
+                        }
+                    }
                 }
-            }
+            };
             let attempt_start = Instant::now();
             let attempt_t0_ns = collector.as_ref().map(|c| c.now_ns());
             // The fault runtime is shared across attempts: one-shot events
-            // (a crash at step N) stay consumed on the re-execution of N.
-            let world = World::new_with_faults(cfg.nranks, Arc::clone(&faults));
+            // (a crash at step N) stay consumed on the re-execution of N,
+            // and after an elastic shrink a crash scheduled for a rank id
+            // that no longer exists simply never fires.
+            let world = World::new_with_faults(world_size, Arc::clone(&faults));
             let ftc = ft.clone();
             let frt = Arc::clone(&faults);
             let col = collector.clone();
             let outcomes = run_ranks_ft(&world, move |c| {
                 let _lane = col.as_ref().map(|col| col.install(c.rank()));
-                rank_main_ft(cfg, &ftc, start_step, &frt, &c)
+                rank_main_ft(
+                    cur_cfg,
+                    &ftc,
+                    start_step,
+                    restore,
+                    allow_migration,
+                    &frt,
+                    &c,
+                )
             });
 
             let mut completed: Option<TrainReport> = None;
             let mut failed = false;
+            let mut migrate_to: Option<(usize, usize)> = None;
             let mut through = start_step;
             for o in outcomes {
                 match o {
                     RankOutcome::Ok(Attempt::Completed(r)) => completed = Some(*r),
                     RankOutcome::Ok(Attempt::Aborted(seg)) => {
                         failed = true;
+                        through = through.max(seg.through);
+                        splice(start_step, &seg.loss, &mut loss);
+                        splice(start_step, &seg.aux, &mut aux);
+                        splice(start_step, &seg.imbalance, &mut imb);
+                        splice(start_step, &seg.drop, &mut dropr);
+                        eval.extend(seg.eval.iter().copied());
+                    }
+                    RankOutcome::Ok(Attempt::Migrated { at, victim, seg }) => {
+                        migrate_to = Some((at, victim));
                         through = through.max(seg.through);
                         splice(start_step, &seg.loss, &mut loss);
                         splice(start_step, &seg.aux, &mut aux);
@@ -441,9 +530,26 @@ impl Trainer {
                     restarts,
                     lost_steps,
                     recovery_time_s,
+                    resizes,
+                    migrations,
                     trace: collector.map(|c| Arc::new(c.finish())),
                     ..report
                 };
+            }
+
+            if let (Some((at, victim)), false) = (migrate_to, failed) {
+                // Planned degradation, not a failure: every rank agreed (the
+                // detector's verdict is a pure function of all-reduced
+                // samples) and a checkpoint for `at` is already published.
+                // Shift to the Shed layout and continue from that step —
+                // no restart counted, no recovery time charged.
+                migrations += 1;
+                if let Some(col) = &collector {
+                    col.record_count(DRIVER_LANE, names::STRAGGLER_MIGRATIONS, 1);
+                }
+                placement = ExpertPlacement::Shed { victim };
+                start_step = at;
+                continue;
             }
 
             // The failed attempt, recorded on the driver lane: its whole
@@ -465,9 +571,49 @@ impl Trainer {
                  max_restarts={})",
                 ft.max_restarts
             );
-            let restored = read_manifest(&ft.ckpt_dir).unwrap_or(ft.resume_step);
+            // "No manifest yet" legitimately means restart from the resume
+            // step; an *unreadable or unparsable* manifest means the
+            // checkpoint state cannot be trusted and guessing would silently
+            // miscount lost work — that is a hard error.
+            let restored = match read_manifest(&ft.ckpt_dir) {
+                Ok(Some(step)) => step,
+                Ok(None) => ft.resume_step,
+                Err(e) => panic!(
+                    "checkpoint manifest in {:?} is unreadable: {e}. Refusing to guess a \
+                     restore step; repair or remove the MANIFEST file.",
+                    ft.ckpt_dir
+                ),
+            };
             lost_steps += through.saturating_sub(restored);
             start_step = restored;
+            if ft.elastic && world_size > 1 {
+                // Degrade, don't die: drop the crashed rank and continue on
+                // the survivors. The next attempt re-shards the full-width
+                // checkpoint across R−1 ranks; ZeRO state re-shards itself
+                // (optimizer moments are rebuilt from the restored master
+                // weights, exactly as on any restore).
+                world_size -= 1;
+                resizes += 1;
+                if let Some(col) = &collector {
+                    col.record_count(DRIVER_LANE, names::FT_RESIZES, 1);
+                }
+                // A Shed victim was named in the old world; fold back to the
+                // configured layout for the shrunk one.
+                if matches!(placement, ExpertPlacement::Shed { .. }) {
+                    placement = ExpertPlacement::RoundRobin;
+                }
+                let shrunk = TrainConfig {
+                    nranks: world_size,
+                    placement,
+                    ..cfg
+                };
+                shrunk
+                    .resolved_placement()
+                    .validate(world_size)
+                    .unwrap_or_else(|e| {
+                        panic!("elastic resize to {world_size} ranks is impossible: {e}")
+                    });
+            }
         }
     }
 }
@@ -712,6 +858,8 @@ impl RankState {
             restarts: 0,
             lost_steps: 0,
             recovery_time_s: 0.0,
+            resizes: 0,
+            migrations: 0,
             trace: None, // filled in by Trainer::run / run_ft
             wire: cfg.wire,
             placement: cfg.resolved_placement(),
@@ -739,6 +887,40 @@ enum Attempt {
     /// Stopped early — an injected crash on this rank, or a failed
     /// heartbeat because some peer stopped responding.
     Aborted(Segment),
+    /// Stopped deliberately at the published checkpoint for step `at` so
+    /// the driver can re-place expert load away from the flagged straggler
+    /// `victim` and continue. Every rank returns the same verdict — the
+    /// straggler detector is deterministic over all-reduced samples.
+    Migrated {
+        /// Checkpoint step (already published) the migrated run resumes at.
+        at: usize,
+        /// The flagged straggler whose expert load is shed.
+        victim: usize,
+        /// Metrics for the steps this attempt did complete.
+        seg: Segment,
+    },
+}
+
+/// How a restart attempt restores model state, decided by the driver (which
+/// also pre-flights it against rank 0's shard so misconfiguration is a hard
+/// error, not a retried crash).
+#[derive(Debug, Clone, Copy)]
+enum Restore {
+    /// `start_step == 0`: nothing to restore.
+    Fresh,
+    /// The checkpoint's layout matches this attempt exactly: each rank
+    /// loads its own shard (the historical, bit-pinned path).
+    Strict,
+    /// The checkpoint was written under a different layout (different world
+    /// size after an elastic resize, or a different placement after a
+    /// migration): each rank reads all `from_nranks` shard files and pulls
+    /// out the parameters its new layout owns. Sound because expert
+    /// parameters are named by *global* expert id and dense parameters are
+    /// identical replicas in every shard.
+    Reshard {
+        /// World size the shard set on disk was written for.
+        from_nranks: usize,
+    },
 }
 
 /// Metrics for the steps an aborted attempt did complete, starting at the
@@ -786,23 +968,32 @@ fn placement_gate(path: &std::path::Path, current: crate::checkpoint::PlacementM
     }
 }
 
-fn abort(st: RankState, through: usize) -> Attempt {
-    Attempt::Aborted(Segment {
+fn segment(st: RankState, through: usize) -> Segment {
+    Segment {
         through,
         loss: st.loss_curve,
         aux: st.aux_curve,
         imbalance: st.imbalance_curve,
         drop: st.drop_curve,
         eval: st.eval_curve,
-    })
+    }
+}
+
+fn abort(st: RankState, through: usize) -> Attempt {
+    Attempt::Aborted(segment(st, through))
 }
 
 /// The fault-tolerant per-rank loop: heartbeat → step → periodic
-/// checkpoint, resuming from `start_step` when restarted.
+/// checkpoint, resuming from `start_step` when restarted. `cfg` is the
+/// *current* attempt's configuration — after an elastic resize or a
+/// straggler migration it differs from the run's original config in
+/// `nranks`/`placement`.
 fn rank_main_ft<C: FtCommunicator>(
     cfg: TrainConfig,
     ft: &FtConfig,
     start_step: usize,
+    restore: Restore,
+    allow_migration: bool,
     faults: &FaultRuntime,
     comm: &C,
 ) -> Result<Attempt, bagualu_comm::fault::CommError> {
@@ -816,25 +1007,63 @@ fn rank_main_ft<C: FtCommunicator>(
         n_experts: cfg.model.n_experts,
         nranks: comm.size(),
     };
-    if start_step > 0 {
-        let path = ft
-            .ckpt_dir
-            .join(format!("step{start_step}"))
-            .join(format!("rank{}.bglu", comm.rank()));
-        placement_gate(&path, placement_meta, comm.rank());
-        crate::checkpoint::load_params(&path, &mut st.model).unwrap_or_else(|e| {
-            panic!(
-                "rank {}: cannot restore step-{start_step} checkpoint: {e}",
-                comm.rank()
-            )
-        });
-        // Restore the working-precision invariant (no-op for f32); the
-        // optimizer captures master weights lazily at its first step, so
-        // they come from these restored values.
-        st.opt.quantize_model(&mut st.model);
+    match restore {
+        Restore::Fresh => {}
+        Restore::Strict => {
+            let path = ft
+                .ckpt_dir
+                .join(format!("step{start_step}"))
+                .join(format!("rank{}.bglu", comm.rank()));
+            placement_gate(&path, placement_meta, comm.rank());
+            crate::checkpoint::load_params(&path, &mut st.model).unwrap_or_else(|e| {
+                panic!(
+                    "rank {}: cannot restore step-{start_step} checkpoint: {e}",
+                    comm.rank()
+                )
+            });
+            // Restore the working-precision invariant (no-op for f32); the
+            // optimizer captures master weights lazily at its first step, so
+            // they come from these restored values.
+            st.opt.quantize_model(&mut st.model);
+        }
+        Restore::Reshard { from_nranks } => {
+            // Cross-layout restore: read every shard of the old world and
+            // pull out what this rank's new layout owns (the driver already
+            // gated compatibility on rank 0's shard).
+            let dir = ft.ckpt_dir.join(format!("step{start_step}"));
+            let paths: Vec<PathBuf> = (0..from_nranks)
+                .map(|r| dir.join(format!("rank{r}.bglu")))
+                .collect();
+            crate::checkpoint::load_params_from_files(&paths, &mut st.model).unwrap_or_else(|e| {
+                panic!(
+                    "rank {}: cannot re-shard step-{start_step} checkpoint \
+                         ({from_nranks} shards onto {} ranks): {e}",
+                    comm.rank(),
+                    comm.size()
+                )
+            });
+            st.opt.quantize_model(&mut st.model);
+        }
     }
 
+    // Online straggler detection: every rank contributes its send-occupancy
+    // delta (one-hot, summed by the all-reduce), so every rank sees the
+    // same per-rank samples and the detector — a pure function of them —
+    // reaches the same verdict everywhere with no extra coordination.
+    let mut detector = (allow_migration && comm.size() >= 2)
+        .then(|| {
+            ft.straggler_factor.map(|f| {
+                bagualu_trace::StragglerDetector::new(comm.size(), f, ft.straggler_window.max(1))
+            })
+        })
+        .flatten();
+    let mut last_occupancy = comm.send_occupancy_ns().unwrap_or(0);
+    let mut pending_victim: Option<usize> = None;
+
     for step in start_step..cfg.steps {
+        // Publish the step to the fault runtime so sustained (step-ranged)
+        // degradation windows open and close on schedule.
+        faults.set_step(step);
         // Injected fail-stop crash: the rank flags itself dead and goes
         // silent. Peers observe exactly what a real crash looks like —
         // no more messages — while the harness still collects the metric
@@ -851,6 +1080,26 @@ fn rank_main_ft<C: FtCommunicator>(
             return Ok(abort(st, step));
         }
         st.step(step, comm);
+
+        if let Some(det) = detector.as_mut() {
+            let occ = comm.send_occupancy_ns().unwrap_or(0);
+            let delta = occ.saturating_sub(last_occupancy);
+            last_occupancy = occ;
+            let mut one_hot = vec![0.0f32; comm.size()];
+            one_hot[comm.rank()] = delta as f32;
+            let pooled = allreduce_recursive_doubling(comm, one_hot, ReduceOp::Sum);
+            let samples: Vec<f64> = pooled.iter().map(|&s| s as f64).collect();
+            if pending_victim.is_none() {
+                if let Some(victim) = det.observe(&samples) {
+                    pending_victim = Some(victim);
+                    // One count per flag *event*: every rank reached this
+                    // verdict, so only rank 0 records it.
+                    if comm.rank() == 0 {
+                        trace::count(names::STRAGGLER_FLAGGED, 1);
+                    }
+                }
+            }
+        }
 
         if ft.ckpt_every > 0 && (step + 1) % ft.ckpt_every == 0 && step + 1 < cfg.steps {
             let _span = trace::span(names::CHECKPOINT);
@@ -869,6 +1118,16 @@ fn rank_main_ft<C: FtCommunicator>(
             }
             if comm.rank() == 0 {
                 write_manifest(&ft.ckpt_dir, next_step);
+            }
+            // Migration is amortized to checkpoint boundaries: the shard
+            // set for `next_step` is complete and the manifest published,
+            // so the re-placed world can restore from it consistently.
+            if let Some(victim) = pending_victim {
+                return Ok(Attempt::Migrated {
+                    at: next_step,
+                    victim,
+                    seg: segment(st, next_step),
+                });
             }
         }
     }
@@ -892,9 +1151,29 @@ fn write_manifest(dir: &Path, step: usize) {
     std::fs::rename(&tmp, dir.join("MANIFEST")).expect("publish checkpoint manifest");
 }
 
-fn read_manifest(dir: &Path) -> Option<usize> {
-    let text = std::fs::read_to_string(dir.join("MANIFEST")).ok()?;
-    text.split_whitespace().next()?.parse().ok()
+/// Read the latest published checkpoint step. The two failure shapes are
+/// deliberately distinct: `Ok(None)` means no manifest exists yet (a clean
+/// first crash before any checkpoint — resume from the configured step),
+/// while `Err` means a manifest *exists* but cannot be read or parsed.
+/// Silently falling back on the latter would quietly replay from the wrong
+/// step; the driver escalates it to a hard error instead.
+fn read_manifest(dir: &Path) -> std::io::Result<Option<usize>> {
+    let text = match std::fs::read_to_string(dir.join("MANIFEST")) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let step = text
+        .split_whitespace()
+        .next()
+        .and_then(|tok| tok.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("manifest does not name a step: {text:?}"),
+            )
+        })?;
+    Ok(Some(step))
 }
 
 /// Pull imbalance/drop statistics from the first MoE block's last routing.
@@ -1630,5 +1909,173 @@ mod tests {
             resume_step: 4,
             ..FtConfig::new(&dir)
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "unreadable")]
+    fn garbled_manifest_is_a_hard_error_not_a_silent_fallback() {
+        // "No manifest yet" is a legitimate state (restart from scratch);
+        // a manifest that exists but cannot be parsed is not — silently
+        // falling back would replay from the wrong step.
+        let dir = ft_tmpdir("garbled-manifest");
+        std::fs::write(dir.join("MANIFEST"), "not-a-step\n").unwrap();
+        let cfg = TrainConfig {
+            steps: 6,
+            ..Default::default()
+        };
+        let _ = Trainer::new(cfg).run_ft(&FtConfig {
+            plan: FaultPlan::new(3).crash(0, 2),
+            ckpt_every: 0,
+            heartbeat_ms: 200,
+            ..FtConfig::new(&dir)
+        });
+    }
+
+    #[test]
+    fn elastic_resize_continues_on_survivors_pinned_to_a_fresh_shrunk_run() {
+        // A crash under `elastic` shrinks the world to the survivors
+        // instead of restoring at full width. The shrunk continuation must
+        // be bit-identical to a fresh (R−1)-rank run restored from the very
+        // same checkpoint — elasticity adds nothing beyond the re-shard.
+        for zero in [false, true] {
+            let dir = ft_tmpdir(if zero { "elastic-zero" } else { "elastic" });
+            let cfg = TrainConfig {
+                steps: 12,
+                nranks: 3,
+                model: ModelConfig {
+                    n_experts: 6,
+                    ..ModelConfig::tiny()
+                },
+                zero_optimizer: zero,
+                clip: if zero { None } else { Some(1.0) },
+                ..Default::default()
+            };
+            let r = Trainer::new(TrainConfig { trace: true, ..cfg }).run_ft(&FtConfig {
+                plan: FaultPlan::new(11).crash(2, 6),
+                ckpt_every: 4,
+                heartbeat_ms: 200,
+                elastic: true,
+                ..FtConfig::new(&dir)
+            });
+            assert_eq!(r.restarts, 1, "one crash → one restart");
+            assert_eq!(r.resizes, 1, "the restart shrank the world");
+            assert_eq!(r.lost_steps, 2, "crash at 6, restored from 4");
+            assert_eq!(r.loss_curve.len(), 12);
+            assert!(r.loss_curve.iter().all(|l| l.is_finite()));
+            let driver = r
+                .trace
+                .as_ref()
+                .unwrap()
+                .lane(DRIVER_LANE)
+                .expect("driver lane");
+            assert_eq!(driver.counter_total(names::FT_RESIZES), 1);
+            assert_eq!(driver.counter_total(names::RESTARTS), 1);
+
+            // The shrunk world checkpoints under its own layout: step 8's
+            // record must say "6 experts on 2 ranks", not echo the old world.
+            let meta = crate::checkpoint::read_placement(dir.join("step8").join("rank0.bglu"))
+                .unwrap()
+                .expect("placement record present");
+            assert_eq!(meta.nranks, 2);
+            assert_eq!(meta.n_experts, 6);
+
+            // Reference: fresh 2-rank run restored from the same step-4
+            // checkpoint (elastic authorizes the cross-width re-shard).
+            let fresh = Trainer::new(TrainConfig { nranks: 2, ..cfg }).run_ft(&FtConfig {
+                ckpt_every: 0,
+                resume_step: 4,
+                elastic: true,
+                ..FtConfig::new(&dir)
+            });
+            assert_eq!(fresh.restarts, 0);
+            assert_eq!(
+                r.loss_curve[4..],
+                fresh.loss_curve[4..],
+                "zero={zero}: shrunk continuation diverged from the fresh 2-rank run"
+            );
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn straggler_migration_sheds_expert_load_and_preserves_semantics() {
+        // Rank 1 is slowed for the whole run; the detector flags it from
+        // the all-reduced send-occupancy deltas, and at the next checkpoint
+        // boundary the driver re-places experts under `Shed { victim: 1 }`.
+        //
+        // `clip: None` because global grad-norm clipping sums squared
+        // gradients per *rank* before the all-reduce: an unbalanced layout
+        // regroups that sum, which is a reassociation at rounding level —
+        // the one place placement is not pure data movement.
+        let dir = ft_tmpdir("straggler");
+        let cfg = TrainConfig {
+            steps: 12,
+            clip: None,
+            ..Default::default()
+        };
+        let r = Trainer::new(TrainConfig { trace: true, ..cfg }).run_ft(&FtConfig {
+            plan: FaultPlan::new(17).slow_rank(1, 0, 12, 500),
+            ckpt_every: 4,
+            heartbeat_ms: 500,
+            straggler_factor: Some(1.5),
+            straggler_window: 2,
+            ..FtConfig::new(&dir)
+        });
+        assert_eq!(r.migrations, 1, "one flag → one migration");
+        assert_eq!(r.restarts, 0, "migration is planned, not a failure");
+        assert_eq!(r.lost_steps, 0);
+        assert_eq!(r.placement, ExpertPlacement::Shed { victim: 1 });
+
+        // The flagged rank's expert load measurably dropped (4 experts on
+        // 2 ranks: round-robin hosts 2 on rank 1, Shed keeps 1 there).
+        let e = cfg.model.n_experts;
+        let before = ExpertPlacement::RoundRobin.local_count(1, e, cfg.nranks);
+        let after = r.placement.local_count(1, e, cfg.nranks);
+        assert!(
+            after < before,
+            "victim still hosts {after} of {e} experts (was {before})"
+        );
+
+        // Counters: the flag event once (rank 0's lane), the migration once
+        // (driver lane), and no elastic resize happened.
+        let trace = r.trace.as_ref().unwrap();
+        assert_eq!(
+            trace
+                .lane(0)
+                .unwrap()
+                .counter_total(names::STRAGGLER_FLAGGED),
+            1
+        );
+        let driver = trace.lane(DRIVER_LANE).expect("driver lane");
+        assert_eq!(driver.counter_total(names::STRAGGLER_MIGRATIONS), 1);
+        assert_eq!(driver.counter_total(names::FT_RESIZES), 0);
+
+        // The post-migration checkpoint's placement record is consistent
+        // with the new layout.
+        let meta = crate::checkpoint::read_placement(dir.join("step8").join("rank0.bglu"))
+            .unwrap()
+            .expect("placement record present");
+        assert_eq!(meta.placement, ExpertPlacement::Shed { victim: 1 });
+        assert_eq!(meta.nranks, cfg.nranks);
+
+        // Degradation is semantics-invisible. Steps 0..4 ran round-robin
+        // with the detector's extra all-reduce and the injected slowdown:
+        // bit-identical to a plain run. Steps 4.. ran the Shed layout from
+        // the restored checkpoint: bit-identical to a fault-free run
+        // resumed from the same checkpoint (placement is pure data
+        // movement; the optimizer restarts lazily on any restore).
+        let plain = Trainer::new(cfg).run();
+        assert_eq!(r.loss_curve[..4], plain.loss_curve[..4]);
+        let reference = Trainer::new(cfg).run_ft(&FtConfig {
+            ckpt_every: 0,
+            resume_step: 4,
+            ..FtConfig::new(&dir)
+        });
+        assert_eq!(
+            r.loss_curve[4..],
+            reference.loss_curve[4..],
+            "migration changed the training computation"
+        );
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -49,6 +49,18 @@ pub enum ExpertPlacement {
         /// Ranks per supernode; must be in `1..=nranks` and divide `nranks`.
         supernode_size: usize,
     },
+    /// Straggler-relief placement: round-robin, except the `victim` rank
+    /// keeps only the first half of its round-robin shard and sheds the
+    /// rest, spread round-robin across the other ranks. The degradation
+    /// layer switches a run to this policy (at a checkpoint boundary) when
+    /// the online straggler detector flags `victim`, halving the sick
+    /// rank's expert compute while every expert stays owned exactly once.
+    /// Deliberately *unbalanced* — the only policy that is — so
+    /// [`ExpertPlacement::local_count`] must be consulted instead of `E/R`.
+    Shed {
+        /// Rank whose expert load is halved; must be `< nranks`.
+        victim: usize,
+    },
 }
 
 impl ExpertPlacement {
@@ -69,6 +81,16 @@ impl ExpertPlacement {
             if !nranks.is_multiple_of(supernode_size) {
                 return Err(format!(
                     "Supernode placement: supernode_size {supernode_size} must divide world size {nranks}"
+                ));
+            }
+        }
+        if let ExpertPlacement::Shed { victim } = *self {
+            if nranks < 2 {
+                return Err("Shed placement: needs at least 2 ranks to shed load onto".into());
+            }
+            if victim >= nranks {
+                return Err(format!(
+                    "Shed placement: victim rank {victim} is outside the world of {nranks}"
                 ));
             }
         }
@@ -106,6 +128,23 @@ impl ExpertPlacement {
                 let within = expert - Self::block_start(group, n_experts, groups);
                 group * supernode_size + within % supernode_size
             }
+            ExpertPlacement::Shed { victim } => {
+                let o = expert % nranks;
+                if o != victim {
+                    return o;
+                }
+                let rr_slot = expert / nranks;
+                let keep = Self::shed_keep(victim, n_experts, nranks);
+                if rr_slot < keep {
+                    victim
+                } else {
+                    // Shed experts spread round-robin over the other R−1
+                    // ranks, starting just past the victim so no single
+                    // neighbor absorbs the whole load.
+                    let s = rr_slot - keep;
+                    (victim + 1 + s % (nranks - 1)) % nranks
+                }
+            }
         }
     }
 
@@ -125,6 +164,15 @@ impl ExpertPlacement {
                 let group = ExpertPlacement::Block.owner(expert, n_experts, groups);
                 let within = expert - Self::block_start(group, n_experts, groups);
                 within / supernode_size
+            }
+            ExpertPlacement::Shed { .. } => {
+                // Slots are dense in ascending global-id order; with the
+                // shed redirection there is no closed form, so count the
+                // same-owner experts below (E is small; this is cold path).
+                let o = self.owner(expert, n_experts, nranks);
+                (0..expert)
+                    .filter(|&e| self.owner(e, n_experts, nranks) == o)
+                    .count()
             }
         }
     }
@@ -180,13 +228,21 @@ impl ExpertPlacement {
         r * n_experts / nranks
     }
 
+    /// How many of its round-robin experts a [`Shed`](ExpertPlacement::Shed)
+    /// victim keeps: half of its round-robin shard, floor-rounded.
+    fn shed_keep(victim: usize, n_experts: usize, nranks: usize) -> usize {
+        let rr = n_experts / nranks + usize::from(victim < n_experts % nranks);
+        rr / 2
+    }
+
     /// Short identifier used by the CLI, `Display`, and the checkpoint
-    /// placement record (`0`/`1`/`2` policy ids).
+    /// placement record (`0`/`1`/`2`/`3` policy ids).
     pub fn policy_id(&self) -> u32 {
         match self {
             ExpertPlacement::RoundRobin => 0,
             ExpertPlacement::Block => 1,
             ExpertPlacement::Supernode { .. } => 2,
+            ExpertPlacement::Shed { .. } => 3,
         }
     }
 
@@ -199,13 +255,29 @@ impl ExpertPlacement {
         }
     }
 
+    /// The policy's scalar parameter as persisted in the checkpoint
+    /// placement record: the supernode size for
+    /// [`Supernode`](ExpertPlacement::Supernode), the victim rank for
+    /// [`Shed`](ExpertPlacement::Shed), 0 otherwise. Inverse of
+    /// [`from_policy_id`](Self::from_policy_id)'s second argument.
+    pub fn param(&self) -> usize {
+        match *self {
+            ExpertPlacement::Supernode { supernode_size } => supernode_size,
+            ExpertPlacement::Shed { victim } => victim,
+            _ => 0,
+        }
+    }
+
     /// Reconstruct a policy from its checkpoint record fields (inverse of
-    /// [`policy_id`](Self::policy_id) + [`supernode_size`](Self::supernode_size)).
-    pub fn from_policy_id(id: u32, supernode_size: usize) -> Result<ExpertPlacement, String> {
+    /// [`policy_id`](Self::policy_id) + [`param`](Self::param)).
+    pub fn from_policy_id(id: u32, param: usize) -> Result<ExpertPlacement, String> {
         match id {
             0 => Ok(ExpertPlacement::RoundRobin),
             1 => Ok(ExpertPlacement::Block),
-            2 => Ok(ExpertPlacement::Supernode { supernode_size }),
+            2 => Ok(ExpertPlacement::Supernode {
+                supernode_size: param,
+            }),
+            3 => Ok(ExpertPlacement::Shed { victim: param }),
             other => Err(format!("unknown placement policy id {other}")),
         }
     }
@@ -219,6 +291,7 @@ impl fmt::Display for ExpertPlacement {
             ExpertPlacement::Supernode { supernode_size } => {
                 write!(f, "supernode:{supernode_size}")
             }
+            ExpertPlacement::Shed { victim } => write!(f, "shed:{victim}"),
         }
     }
 }
@@ -239,9 +312,12 @@ impl FromStr for ExpertPlacement {
                         .parse()
                         .map_err(|_| format!("bad supernode size {sz:?}"))?;
                     Ok(ExpertPlacement::Supernode { supernode_size })
+                } else if let Some(v) = other.strip_prefix("shed:") {
+                    let victim: usize = v.parse().map_err(|_| format!("bad shed victim {v:?}"))?;
+                    Ok(ExpertPlacement::Shed { victim })
                 } else {
                     Err(format!(
-                        "unknown placement {other:?} (want roundrobin|block|supernode[:S])"
+                        "unknown placement {other:?} (want roundrobin|block|supernode[:S]|shed:V)"
                     ))
                 }
             }
@@ -347,6 +423,98 @@ mod tests {
         assert!(mask.iter().any(|&m| m) && mask.iter().any(|&m| !m));
         // Disabled accounting: all remote.
         assert!(p.local_mask(0, n_experts, nranks, 0).iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn shed_is_a_bijection_that_halves_the_victims_load() {
+        for nranks in [2, 3, 4, 8] {
+            for n_experts in [nranks, 2 * nranks, 4 * nranks, 7 * nranks] {
+                for victim in 0..nranks {
+                    let p = ExpertPlacement::Shed { victim };
+                    p.validate(nranks).unwrap();
+                    let rr = ExpertPlacement::RoundRobin;
+                    let mut seen = vec![false; n_experts];
+                    let mut total = 0;
+                    for r in 0..nranks {
+                        let locals = p.local_experts(r, n_experts, nranks);
+                        assert_eq!(locals.len(), p.local_count(r, n_experts, nranks));
+                        total += locals.len();
+                        for (i, &e) in locals.iter().enumerate() {
+                            assert_eq!(p.owner(e, n_experts, nranks), r, "{p} e={e}");
+                            assert_eq!(p.slot(e, n_experts, nranks), i, "{p} e={e}");
+                            assert!(!seen[e], "{p}: expert {e} owned twice");
+                            seen[e] = true;
+                        }
+                    }
+                    assert_eq!(total, n_experts);
+                    assert!(seen.iter().all(|&s| s), "{p}: some expert unowned");
+                    // The victim keeps exactly half (floor) of its
+                    // round-robin shard; everyone else keeps at least
+                    // their round-robin shard.
+                    let rr_v = rr.local_count(victim, n_experts, nranks);
+                    assert_eq!(p.local_count(victim, n_experts, nranks), rr_v / 2);
+                    for r in (0..nranks).filter(|&r| r != victim) {
+                        assert!(
+                            p.local_count(r, n_experts, nranks)
+                                >= rr.local_count(r, n_experts, nranks)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shed_keeps_non_victim_ownership_unchanged() {
+        // Only experts round-robin-owned by the victim move; every other
+        // expert stays exactly where round-robin put it, so migration
+        // traffic is bounded by the victim's shard.
+        let (n_experts, nranks, victim) = (16, 4, 2);
+        let p = ExpertPlacement::Shed { victim };
+        for e in 0..n_experts {
+            if e % nranks != victim {
+                assert_eq!(p.owner(e, n_experts, nranks), e % nranks);
+            } else {
+                assert_ne!(
+                    p.owner(e, n_experts, nranks) == victim,
+                    e / nranks >= ExpertPlacement::shed_keep(victim, n_experts, nranks)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shed_spreads_load_across_all_other_ranks() {
+        // 8 shed experts over 3 receiving ranks: no receiver absorbs more
+        // than ceil(8/3) = 3 extra experts.
+        let (n_experts, nranks, victim) = (32, 4, 1);
+        let p = ExpertPlacement::Shed { victim };
+        let rr = ExpertPlacement::RoundRobin;
+        for r in (0..nranks).filter(|&r| r != victim) {
+            let extra = p.local_count(r, n_experts, nranks) - rr.local_count(r, n_experts, nranks);
+            assert!(extra <= 3, "rank {r} absorbed {extra} experts");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shed() {
+        let p = ExpertPlacement::Shed { victim: 4 };
+        assert!(p.validate(4).unwrap_err().contains("outside the world"));
+        let p = ExpertPlacement::Shed { victim: 0 };
+        assert!(p.validate(1).unwrap_err().contains("at least 2 ranks"));
+        assert!(p.validate(2).is_ok());
+    }
+
+    #[test]
+    fn shed_round_trips_through_id_and_string() {
+        let p = ExpertPlacement::Shed { victim: 3 };
+        assert_eq!(p.to_string(), "shed:3");
+        assert_eq!("shed:3".parse::<ExpertPlacement>().unwrap(), p);
+        assert_eq!(
+            ExpertPlacement::from_policy_id(p.policy_id(), p.param()).unwrap(),
+            p
+        );
+        assert!("shed:x".parse::<ExpertPlacement>().is_err());
     }
 
     #[test]

@@ -33,9 +33,11 @@
 pub mod chrome;
 pub mod names;
 pub mod ring;
+pub mod straggler;
 pub mod trace;
 pub mod tracer;
 
 pub use ring::Ring;
+pub use straggler::StragglerDetector;
 pub use trace::{Event, EventKind, RankTrace, Trace};
 pub use tracer::{count, enabled, span, InstallGuard, SpanGuard, TraceCollector, DRIVER_LANE};

@@ -84,3 +84,15 @@ pub const FAULT_DROPS: &str = "fault.drops";
 pub const FAULT_CORRUPTIONS: &str = "fault.corruptions";
 /// Restarts performed by the fault-tolerant driver (driver lane).
 pub const RESTARTS: &str = "ft.restarts";
+/// Elastic world resizes performed by the fault-tolerant driver: attempts
+/// continued on R−1 ranks after a crash instead of restoring at full width
+/// (driver lane).
+pub const FT_RESIZES: &str = "ft.resizes";
+/// Straggler flag events raised by the online [`crate::StragglerDetector`]
+/// — one per detection, recorded on rank 0's lane (every rank reaches the
+/// same verdict from the same all-reduced samples; counting once keeps the
+/// total equal to the number of events, not events × ranks).
+pub const STRAGGLER_FLAGGED: &str = "straggler.flagged";
+/// Expert-load migrations executed in response to a straggler flag,
+/// amortized at checkpoint boundaries (driver lane).
+pub const STRAGGLER_MIGRATIONS: &str = "straggler.migrations";
