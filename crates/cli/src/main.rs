@@ -5,6 +5,7 @@
 //! bagualu train --ranks 4 --steps 100 --dtype bf16 --csv out.csv
 //! bagualu project --preset 174t --nodes 96000 --precision half
 //! bagualu generate --steps 300 --prompt 3,4,5 --tokens 8
+//! bagualu serve --ranks 4 --max-batch 8 --kv-blocks 64 --requests 32 --qps 200
 //! ```
 
 mod args;
@@ -35,6 +36,7 @@ fn main() {
         "train" => cmd_train(&args),
         "project" => cmd_project(&args),
         "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
         "" | "help" => {
             print_help();
             Ok(())
@@ -82,6 +84,11 @@ fn print_help() {
     eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
     eprintln!("  generate  train a tiny model and decode from it");
     eprintln!("            --steps N --prompt a,b,c --tokens N");
+    eprintln!("  serve     continuous-batching expert-parallel inference (see docs/SERVING.md)");
+    eprintln!("            --ranks N --max-batch N --kv-blocks N --block-tokens N");
+    eprintln!("            --requests N --qps F (0 = all at once) --prompt-len N --tokens N");
+    eprintln!("            --experts N --hierarchical --placement roundrobin|block|supernode[:S]");
+    eprintln!("            --locality-bias B (trades exact logits for intra-supernode a2a)");
 }
 
 fn preset(name: &str) -> Result<ModelConfig, String> {
@@ -257,6 +264,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
              --hierarchical is set"
                 .into(),
         );
+    }
+    if nranks == 0 {
+        return Err("--ranks must be >= 1".into());
     }
     cfg.resolved_placement()
         .validate(nranks)
@@ -455,6 +465,178 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         std::fs::write(&path, report.to_csv()).map_err(|e| e.to_string())?;
         println!("wrote per-step metrics to {path}");
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "ranks",
+        "max-batch",
+        "kv-blocks",
+        "block-tokens",
+        "requests",
+        "qps",
+        "prompt-len",
+        "tokens",
+        "experts",
+        "hierarchical",
+        "placement",
+        "locality-bias",
+        "seed",
+    ])?;
+    use bagualu::serve::{run, EngineConfig, ServerOptions};
+    use bagualu::trace::names;
+    use std::time::{Duration, Instant};
+
+    let nranks = args.get_parse("ranks", 2usize)?;
+    let requests = args.get_parse("requests", 32usize)?;
+    let qps: f64 = args.get_parse("qps", 0.0f64)?;
+    let prompt_len = args.get_parse("prompt-len", 4usize)?;
+    let max_new = args.get_parse("tokens", 8usize)?;
+    let seed = args.get_parse("seed", 42u64)?;
+    let locality_bias = args.get_parse("locality-bias", 0.0f32)?;
+    let engine = EngineConfig {
+        max_batch: args.get_parse("max-batch", 8usize)?,
+        kv_blocks: args.get_parse("kv-blocks", 64usize)?,
+        block_tokens: args.get_parse("block-tokens", 4usize)?,
+    };
+    let model_cfg = ModelConfig {
+        n_experts: args.get_parse("experts", 4usize)?,
+        ..ModelConfig::tiny()
+    };
+    let a2a = if args.switch("hierarchical") {
+        A2aKind::Hierarchical {
+            supernode_size: nranks.max(2) / 2,
+        }
+    } else {
+        A2aKind::Pairwise
+    };
+    if nranks == 0 || requests == 0 || prompt_len == 0 {
+        return Err("--ranks, --requests, and --prompt-len must all be >= 1".into());
+    }
+    let placement: ExpertPlacement = args
+        .get("placement", "roundrobin")
+        .parse()
+        .map_err(|e| format!("--placement: {e}"))?;
+    placement
+        .validate(nranks)
+        .map_err(|e| format!("--placement: {e}"))?;
+    if max_new == 0 {
+        return Err("--tokens must be >= 1 (there is nothing to decode otherwise)".into());
+    }
+    if prompt_len + max_new > model_cfg.max_seq {
+        return Err(format!(
+            "--prompt-len {prompt_len} + --tokens {max_new} exceeds the model's max_seq \
+             ({}); shorten one of them",
+            model_cfg.max_seq
+        ));
+    }
+    if locality_bias < 0.0 {
+        return Err("--locality-bias must be >= 0".into());
+    }
+    let supernode_size = match a2a {
+        A2aKind::Hierarchical { supernode_size } => supernode_size,
+        A2aKind::Pairwise => nranks,
+    };
+    if locality_bias > 0.0 {
+        println!(
+            "note: --locality-bias trades bit-exact logits for cheaper decode a2a \
+             (see docs/SERVING.md)"
+        );
+    }
+
+    println!(
+        "serving on {nranks} rank(s): {} experts, batch {} / {} KV blocks x {} tokens, \
+         {} requests of {}+{} tokens at {} …",
+        model_cfg.n_experts,
+        engine.max_batch,
+        engine.kv_blocks,
+        engine.block_tokens,
+        requests,
+        prompt_len,
+        max_new,
+        if qps > 0.0 {
+            format!("{qps} req/s")
+        } else {
+            "full blast".to_string()
+        }
+    );
+    let opts = ServerOptions {
+        nranks,
+        engine,
+        trace: true,
+    };
+    let started = Instant::now();
+    let report = run(
+        opts,
+        |rank| {
+            let mut m = bagualu::parallel::DistTransformer::new_placed(
+                model_cfg, seed, rank, nranks, a2a, placement,
+            );
+            if locality_bias > 0.0 {
+                m.set_locality_bias(locality_bias, supernode_size);
+            }
+            m
+        },
+        |client| {
+            // Open-loop load generator: fixed inter-arrival gap of 1/qps
+            // (0 = submit everything immediately), deterministic prompts.
+            let mut rng = Rng::seed_from(seed ^ 0x5e2e);
+            let gap = (qps > 0.0).then(|| Duration::from_secs_f64(1.0 / qps));
+            let tickets: Vec<_> = (0..requests)
+                .map(|i| {
+                    if let (Some(gap), true) = (gap, i > 0) {
+                        std::thread::sleep(gap);
+                    }
+                    let prompt: Vec<usize> = (0..prompt_len)
+                        .map(|_| rng.below(model_cfg.vocab))
+                        .collect();
+                    client.submit(prompt, max_new)
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("generated requests are always valid"))
+                .collect::<Vec<_>>()
+        },
+    );
+    let wall = started.elapsed();
+    let responses = report.output;
+    let trace = report.trace.expect("serve always traces");
+
+    let mut totals_ms: Vec<f64> = responses
+        .iter()
+        .map(|r| r.total_ns() as f64 / 1e6)
+        .collect();
+    totals_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| totals_ms[((totals_ms.len() - 1) as f64 * p).round() as usize];
+    let generated: usize = responses.iter().map(|r| r.generated().len()).sum();
+    let decode_steps = trace.span_count(names::SERVE_DECODE_STEP);
+    let occupancy = if decode_steps > 0 {
+        trace.counter_total(names::SERVE_BATCH_OCCUPANCY) as f64 / decode_steps as f64
+    } else {
+        0.0
+    };
+    println!(
+        "completed {} requests in {:.2}s: {} generated",
+        responses.len(),
+        wall.as_secs_f64(),
+        format_si(generated as f64 / wall.as_secs_f64(), "tok/s"),
+    );
+    println!(
+        "latency p50 {:.2}ms  p99 {:.2}ms  (queue+prefill+decode)",
+        pct(0.50),
+        pct(0.99)
+    );
+    println!(
+        "mean batch occupancy {:.2}/{} | re-queued admissions {} | KV blocks reserved {} \
+         (all {} returned)",
+        occupancy,
+        engine.max_batch,
+        trace.counter_total(names::SERVE_REQUEUED),
+        trace.counter_total(names::SERVE_KV_BLOCKS_USED),
+        trace.counter_total(names::SERVE_KV_BLOCKS_FREE),
+    );
     Ok(())
 }
 

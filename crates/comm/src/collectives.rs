@@ -649,6 +649,30 @@ pub fn alltoallv_u32<C: Communicator>(c: &C, mut parts: Vec<Vec<u32>>) -> Vec<Ve
     out
 }
 
+/// Sum-reduce a small `u64` vector across all ranks (every rank gets the
+/// exact integer totals — no f32 rounding at any count). Each rank
+/// broadcasts its vector to every peer and sums what it receives, which is
+/// fine for the short control vectors this exists for: the serving
+/// scheduler's per-step consensus on `[active, queued, stop]` counts.
+/// Saturating adds keep a hostile count from wrapping.
+pub fn allreduce_u64<C: Communicator>(c: &C, data: Vec<u64>) -> Vec<u64> {
+    let n = c.size();
+    let parts: Vec<Vec<u64>> = (0..n).map(|_| data.clone()).collect();
+    let got = alltoallv_u64(c, parts);
+    let mut out = vec![0u64; data.len()];
+    for part in got {
+        assert_eq!(
+            part.len(),
+            out.len(),
+            "allreduce_u64: ranks disagree on vector length"
+        );
+        for (o, v) in out.iter_mut().zip(part) {
+            *o = o.saturating_add(v);
+        }
+    }
+    out
+}
+
 /// Send `data` from every rank to rank `root`; root returns all buffers in
 /// rank order, others return an empty vec. (Linear gather — used for
 /// metrics collection, not on the training critical path.)
@@ -1073,6 +1097,20 @@ mod tests {
             assert_eq!(ra.into_data(), vec![6.0; 16]);
             assert_eq!(rb.into_data(), vec![60.0; 16]);
         });
+    }
+
+    #[test]
+    fn allreduce_u64_sums_exactly() {
+        for n in [1usize, 2, 3, 4, 7] {
+            run_ranks(n, |c| {
+                let r = c.rank() as u64;
+                // Values above 2^24 would lose bits through an f32 path.
+                let out = allreduce_u64(&c, vec![r + 1, 1 << 40, 0]);
+                assert_eq!(out[0], (n * (n + 1) / 2) as u64, "n={n}");
+                assert_eq!(out[1], (n as u64) << 40);
+                assert_eq!(out[2], 0);
+            });
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`bagualu_model`] — transformer + mixture-of-experts layers,
 //! * [`bagualu_optim`] — Adam, loss scaling, mixed precision,
 //! * [`bagualu_parallel`] — MoDa hybrid parallelism,
+//! * [`bagualu_serve`] — continuous-batching expert-parallel inference
+//!   with a paged KV cache (see `docs/SERVING.md`),
 //! * [`bagualu_trace`] — per-rank structured tracing (spans, counters,
 //!   Chrome-trace export; see `docs/OBSERVABILITY.md`). Enable it with
 //!   [`trainer::TrainConfig::trace`] and read the result from
@@ -63,5 +65,6 @@ pub use bagualu_model as model;
 pub use bagualu_net as net;
 pub use bagualu_optim as optim;
 pub use bagualu_parallel as parallel;
+pub use bagualu_serve as serve;
 pub use bagualu_tensor as tensor;
 pub use bagualu_trace as trace;

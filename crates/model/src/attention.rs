@@ -6,6 +6,30 @@ use bagualu_tensor::ops::{matmul, matmul_nt, matmul_tn, softmax_rows_inplace};
 use bagualu_tensor::rng::Rng;
 use bagualu_tensor::Tensor;
 
+/// Backing store for one layer's key/value history during incremental
+/// decoding. Positions are appended one at a time; reads return the
+/// contiguous `[d_model]` key/value slice for a single cached position
+/// (all heads packed).
+///
+/// [`KvCache`] is the growable in-memory implementation; `bagualu-serve`
+/// provides a paged implementation backed by a shared block pool. The
+/// attention math in [`MultiHeadAttention::forward_incremental_store`] is
+/// identical across stores, so swapping the store cannot change outputs.
+pub trait KvStore {
+    /// Number of cached positions.
+    fn len(&self) -> usize;
+    /// Append one position's packed keys and values (each `[d_model]`).
+    fn append(&mut self, keys: &[f32], values: &[f32]);
+    /// Packed `[d_model]` keys for cached position `pos`.
+    fn key(&self, pos: usize) -> &[f32];
+    /// Packed `[d_model]` values for cached position `pos`.
+    fn value(&self, pos: usize) -> &[f32];
+    /// True when no positions are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Per-layer key/value history for incremental decoding. Keys and values
 /// are stored position-major (`[t, d_model]` flattened), all heads packed.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +55,31 @@ impl KvCache {
 
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+}
+
+impl KvStore for KvCache {
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+
+    fn append(&mut self, keys: &[f32], values: &[f32]) {
+        debug_assert_eq!(keys.len(), self.d);
+        debug_assert_eq!(values.len(), self.d);
+        self.keys.extend_from_slice(keys);
+        self.values.extend_from_slice(values);
+    }
+
+    fn key(&self, pos: usize) -> &[f32] {
+        &self.keys[pos * self.d..(pos + 1) * self.d]
+    }
+
+    fn value(&self, pos: usize) -> &[f32] {
+        &self.values[pos * self.d..(pos + 1) * self.d]
+    }
+
+    fn is_empty(&self) -> bool {
+        KvCache::is_empty(self)
     }
 }
 
@@ -195,6 +244,13 @@ impl MultiHeadAttention {
     /// history and is extended in place. Returns the `[1, d]` output.
     /// Inference-only — no backward cache is produced.
     pub fn forward_incremental(&mut self, x: &Tensor, kv: &mut KvCache) -> Tensor {
+        self.forward_incremental_store(x, kv)
+    }
+
+    /// [`forward_incremental`](Self::forward_incremental) generalized over
+    /// any [`KvStore`] — the serving path passes a paged store here. The
+    /// math (and therefore the bits) is independent of the store.
+    pub fn forward_incremental_store(&mut self, x: &Tensor, kv: &mut dyn KvStore) -> Tensor {
         let d = self.d_model();
         assert_eq!(x.shape(), &[1, d]);
         let hd = self.head_dim();
@@ -218,8 +274,7 @@ impl MultiHeadAttention {
                 k_new[h * hd..(h + 1) * hd].copy_from_slice(kh.as_slice());
             }
         }
-        kv.keys.extend_from_slice(&k_new);
-        kv.values.extend_from_slice(&row[2 * d..3 * d]);
+        kv.append(&k_new, &row[2 * d..3 * d]);
         let t = kv.len();
 
         let mut ctx_all = Tensor::zeros(&[1, d]);
@@ -228,7 +283,7 @@ impl MultiHeadAttention {
             // Scores over all cached positions for this head.
             let mut scores = Vec::with_capacity(t);
             for pos in 0..t {
-                let k = &kv.keys[pos * d + h * hd..pos * d + (h + 1) * hd];
+                let k = &kv.key(pos)[h * hd..(h + 1) * hd];
                 let s: f32 = q.iter().zip(k).map(|(a, b)| a * b).sum();
                 scores.push(s * scale);
             }
@@ -244,7 +299,7 @@ impl MultiHeadAttention {
             let out = &mut ctx_all.as_mut_slice()[h * hd..(h + 1) * hd];
             for (pos, s) in scores.iter().enumerate().take(t) {
                 let w = s * inv;
-                let v = &kv.values[pos * d + h * hd..pos * d + (h + 1) * hd];
+                let v = &kv.value(pos)[h * hd..(h + 1) * hd];
                 for (o, &vv) in out.iter_mut().zip(v) {
                     *o += w * vv;
                 }

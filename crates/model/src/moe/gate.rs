@@ -357,6 +357,94 @@ impl Gate {
         }
     }
 
+    /// Inference-mode routing: route a batch `[n, d]` droplessly and
+    /// deterministically, without touching the backward cache or the noise
+    /// stream.
+    ///
+    /// Differences from the training-path [`Gate::forward`]:
+    /// - **No capacity, no drops.** Capacity limiting makes a token's fate
+    ///   depend on the rest of the batch (and on arrival order within it),
+    ///   which would break the serving invariant that continuous-batched
+    ///   decode is bit-identical to sequential decode. Dropless routing is
+    ///   per-row pure, so batching cannot change any token's experts.
+    /// - **No noise.** [`GateKind::NoisyTop1`] jitter is a training-time
+    ///   exploration device; at decode time the gate uses its deterministic
+    ///   mean (plain top-1 on the clean probabilities).
+    /// - **No side effects.** Takes `&self`: the backward cache, the noise
+    ///   RNG, and the aux-loss statistics are untouched, so interleaving
+    ///   decode with training steps cannot perturb either.
+    ///
+    /// Locality bias still applies (selection on biased scores, clean
+    /// combine weights), because the serving path wants the same
+    /// intra-supernode traffic shaping as training. `Routing::capacity` is
+    /// reported as `usize::MAX` (none applied) and `aux_loss` as 0.
+    pub fn route_infer(&self, x: &Tensor) -> Routing {
+        let n = x.rows();
+        let e = self.n_experts();
+        let logits = matmul(x, &self.wg.value);
+        let probs = softmax_rows(&logits);
+
+        let bias_vec: Option<Vec<f32>> = if self.locality_bias != 0.0 {
+            Some(
+                self.locality
+                    .iter()
+                    .map(|&l| if l { self.locality_bias } else { 0.0 })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let k = self.kind.k();
+        let mut assignments = Vec::with_capacity(n * k);
+        let mut load = vec![0usize; e];
+        let mut raw_load = vec![0usize; e];
+        for t in 0..n {
+            let row = probs.row(t);
+            let scored;
+            let sel: &[f32] = match &bias_vec {
+                None => row,
+                Some(bv) => {
+                    scored = biased_scores(row, bv);
+                    &scored
+                }
+            };
+            match self.kind {
+                GateKind::Top1 | GateKind::Balanced | GateKind::NoisyTop1 => {
+                    let (best, _) = argmax(sel);
+                    raw_load[best] += 1;
+                    load[best] += 1;
+                    assignments.push(Assignment {
+                        token: t,
+                        expert: best,
+                        weight: row[best],
+                    });
+                }
+                GateKind::Top2 => {
+                    let (e1, e2) = top2(sel);
+                    raw_load[e1] += 1;
+                    for &ex in &[e1, e2] {
+                        load[ex] += 1;
+                        assignments.push(Assignment {
+                            token: t,
+                            expert: ex,
+                            weight: row[ex],
+                        });
+                    }
+                }
+            }
+        }
+
+        Routing {
+            assignments,
+            load,
+            raw_load,
+            dropped: 0,
+            capacity: usize::MAX,
+            aux_loss: 0.0,
+        }
+    }
+
     /// Backward. `dweights[i]` is `∂L/∂assignments[i].weight` — supplied by
     /// the MoE layer as `⟨dy_token, expert_out⟩`. Adds the auxiliary-loss
     /// gradient, pushes everything through the softmax and the routing
@@ -731,6 +819,64 @@ mod tests {
             (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
             "wg: fd={fd} an={an}"
         );
+    }
+
+    #[test]
+    fn route_infer_is_per_row_pure_and_dropless() {
+        let mut rng = Rng::seed_from(71);
+        let x = Tensor::randn(&[12, 8], 1.0, &mut rng);
+        for kind in [
+            GateKind::Top1,
+            GateKind::Top2,
+            GateKind::Balanced,
+            GateKind::NoisyTop1,
+        ] {
+            // Tight capacity: the training path would drop; inference not.
+            let g = gate(kind, 4, 0.25);
+            let full = g.route_infer(&x);
+            assert_eq!(full.dropped, 0, "{kind:?}");
+            assert_eq!(full.assignments.len(), 12 * kind.k(), "{kind:?}");
+            assert_eq!(full.aux_loss, 0.0);
+            // Row-wise purity: routing each token alone gives the same
+            // expert and the bit-identical weight.
+            for t in 0..12 {
+                let solo = g.route_infer(&x.slice_rows(t, t + 1));
+                let batch: Vec<_> = full.assignments.iter().filter(|a| a.token == t).collect();
+                assert_eq!(solo.assignments.len(), batch.len());
+                for (s, b) in solo.assignments.iter().zip(&batch) {
+                    assert_eq!(s.expert, b.expert, "{kind:?} token {t}");
+                    assert_eq!(s.weight.to_bits(), b.weight.to_bits(), "{kind:?} token {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_infer_takes_no_side_effects() {
+        // Routing between two noisy forwards must not perturb the noise
+        // stream: the second forward sees the same jitter either way.
+        let x = Tensor::ones(&[16, 8]);
+        let experts = |r: &Routing| r.assignments.iter().map(|a| a.expert).collect::<Vec<_>>();
+        let mut a = gate(GateKind::NoisyTop1, 4, 8.0);
+        let mut b = gate(GateKind::NoisyTop1, 4, 8.0);
+        a.forward(&x);
+        b.forward(&x);
+        b.route_infer(&x);
+        assert_eq!(experts(&a.forward(&x)), experts(&b.forward(&x)));
+    }
+
+    #[test]
+    fn route_infer_honors_locality_bias() {
+        let mut rng = Rng::seed_from(72);
+        let x = Tensor::randn(&[64, 8], 0.05, &mut rng);
+        let local_frac = |r: &Routing| {
+            let local = r.assignments.iter().filter(|a| a.expert < 2).count() as f64;
+            local / r.assignments.len() as f64
+        };
+        let plain = gate(GateKind::Top1, 4, 8.0);
+        let mut biased = gate(GateKind::Top1, 4, 8.0);
+        biased.set_locality(2.0, vec![true, true, false, false]);
+        assert!(local_frac(&biased.route_infer(&x)) > local_frac(&plain.route_infer(&x)));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!
 //! Modules:
 //!
+//! * [`decode`] — the batched expert-parallel decode step the serving
+//!   path (`bagualu-serve`) builds continuous batching on,
 //! * [`moe_dist`] — the distributed MoE layer (dispatch → expert compute →
 //!   combine, with the exact mirror in backward),
 //! * [`model_dist`] — the distributed transformer assembled from replicated
@@ -28,12 +30,14 @@
 //! * [`sync`] — gradient synchronization (dense all-reduce averaging,
 //!   expert gradient rescaling) and replica-consistency checks.
 
+pub mod decode;
 pub mod model_dist;
 pub mod moe_dist;
 pub mod placement;
 pub mod sync;
 pub mod zero;
 
+pub use decode::{decode_step, KvProvider, VecKvBatch};
 pub use model_dist::{DistBlock, DistFfn, DistTransformer};
 pub use moe_dist::{A2aKind, DistMoELayer};
 pub use placement::ExpertPlacement;

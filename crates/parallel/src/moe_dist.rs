@@ -180,10 +180,45 @@ impl DistMoELayer {
     /// Forward over this rank's `[n_local, d]` micro-batch. Collective:
     /// every rank must call it in the same program position.
     pub fn forward<C: Communicator>(&mut self, x: &Tensor, comm: &C) -> Tensor {
+        let routing = self.gate.forward(x);
+        let (y, cache) = self.exchange(x, routing, comm);
+        self.cache = Some(cache);
+        y
+    }
+
+    /// Inference forward: route droplessly via [`Gate::route_infer`], run
+    /// the exact dispatch/compute/combine exchange of
+    /// [`forward`](Self::forward), and *discard* the backward cache. Collective —
+    /// every rank must call it in the same program position, even with an
+    /// empty `[0, d]` batch (a rank with no active sequences still joins
+    /// the exchange so its peers' tokens can reach the experts it owns).
+    ///
+    /// Used by the serving decode path: same placement, same wire format,
+    /// same a2a algorithm and trace spans as training, so locality-biased
+    /// placement cuts per-token decode bytes exactly as it cuts training
+    /// bytes. The gate cache, noise stream, and this layer's backward cache
+    /// are untouched (the experts' small activation caches are overwritten,
+    /// so do not interleave this between a training forward and backward).
+    pub fn forward_infer<C: Communicator>(&mut self, x: &Tensor, comm: &C) -> Tensor {
+        let routing = self.gate.route_infer(x);
+        let saved = self.cache.take();
+        let (y, _) = self.exchange(x, routing, comm);
+        self.cache = saved;
+        y
+    }
+
+    /// The collective dispatch → expert-compute → combine exchange shared
+    /// by the training and inference forwards. Returns the combined output
+    /// and the backward cache describing the exchange.
+    fn exchange<C: Communicator>(
+        &mut self,
+        x: &Tensor,
+        routing: Routing,
+        comm: &C,
+    ) -> (Tensor, Cache) {
         let d = x.cols();
         let r = comm.size();
         assert_eq!(r, self.nranks);
-        let routing = self.gate.forward(x);
 
         // ---- Dispatch: bucket assignments by owner rank.
         let mut send_idx: Vec<Vec<usize>> = vec![Vec::new(); r];
@@ -274,15 +309,15 @@ impl DistMoELayer {
             }
         }
 
-        self.cache = Some(Cache {
+        let cache = Cache {
             routing,
             send_idx,
             origin,
             recv_counts,
             assign_out,
             x_shape: x.shape().to_vec(),
-        });
-        y
+        };
+        (y, cache)
     }
 
     /// Backward over this rank's `[n_local, d]` upstream gradient.

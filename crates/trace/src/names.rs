@@ -96,3 +96,34 @@ pub const STRAGGLER_FLAGGED: &str = "straggler.flagged";
 /// Expert-load migrations executed in response to a straggler flag,
 /// amortized at checkpoint boundaries (driver lane).
 pub const STRAGGLER_MIGRATIONS: &str = "straggler.migrations";
+
+/// Prefill phase of one serving engine step: the batched forward over the
+/// full prompts of every request admitted at this step boundary (runs even
+/// when empty — it is a collective).
+pub const SERVE_PREFILL: &str = "serve.prefill";
+/// Decode phase of one serving engine step: the batched forward advancing
+/// every in-flight sequence by one token (also collective, also runs
+/// empty).
+pub const SERVE_DECODE_STEP: &str = "serve.decode_step";
+/// Nanoseconds requests spent queued before admission (arrival →
+/// admission), summed over admitted requests.
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue.wait_ns";
+/// Prompt tokens run through the prefill phase.
+pub const SERVE_PREFILL_TOKENS: &str = "serve.prefill.tokens";
+/// Tokens generated by the decode phase.
+pub const SERVE_DECODE_TOKENS: &str = "serve.decode.tokens";
+/// Sum over decode phases of the number of in-flight sequences; divided by
+/// the [`SERVE_DECODE_STEP`] span count this is the mean batch occupancy,
+/// the utilization continuous batching exists to raise.
+pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch.occupancy";
+/// KV-cache blocks reserved at admission (monotonic; current usage is
+/// `used − freed`).
+pub const SERVE_KV_BLOCKS_USED: &str = "serve.kv.blocks.used";
+/// KV-cache blocks returned to the free list when a sequence detached
+/// (monotonic; see [`SERVE_KV_BLOCKS_USED`]).
+pub const SERVE_KV_BLOCKS_FREE: &str = "serve.kv.blocks.free";
+/// Admission attempts bounced by KV-block exhaustion — the request stays
+/// queued (re-queued, never dropped) and retries at a later step boundary.
+pub const SERVE_REQUEUED: &str = "serve.requests.requeued";
+/// Requests fully decoded and handed back to the caller.
+pub const SERVE_COMPLETED: &str = "serve.requests.completed";
