@@ -16,6 +16,7 @@ fn bench_matmul(c: &mut Criterion) {
     for cb in [
         ComputeBackend::Reference,
         ComputeBackend::Tiled,
+        ComputeBackend::TiledFma,
         ComputeBackend::Half(DType::BF16),
     ] {
         let be = cb.instantiate();
@@ -83,6 +84,27 @@ fn bench_half_conversion(c: &mut Criterion) {
     g.finish();
 }
 
+/// Pack and unpack timed *separately* per dtype: the half GEMM backends
+/// pay one pack per operand and one unpack per output, so the asymmetry
+/// between the two directions (f16 rounding vs bf16 truncation; widening
+/// is a shift either way) decides which conversion bounds small shapes.
+fn bench_pack_unpack(c: &mut Criterion) {
+    use bagualu::tensor::{pack_bf16, pack_f16, unpack_bf16, unpack_f16};
+    let mut rng = Rng::seed_from(5);
+    let x = Tensor::randn(&[1 << 16], 1.0, &mut rng);
+    let f16_bits = pack_f16(x.as_slice());
+    let bf16_bits = pack_bf16(x.as_slice());
+    let mut g = c.benchmark_group("pack_unpack");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("pack_f16", |bench| bench.iter(|| pack_f16(x.as_slice())));
+    g.bench_function("unpack_f16", |bench| bench.iter(|| unpack_f16(&f16_bits)));
+    g.bench_function("pack_bf16", |bench| bench.iter(|| pack_bf16(x.as_slice())));
+    g.bench_function("unpack_bf16", |bench| {
+        bench.iter(|| unpack_bf16(&bf16_bits))
+    });
+    g.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
@@ -90,5 +112,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group! {name = benches; config = quick(); targets = bench_matmul, bench_fused_epilogue, bench_elementwise, bench_half_conversion}
+criterion_group! {name = benches; config = quick(); targets = bench_matmul, bench_fused_epilogue, bench_elementwise, bench_half_conversion, bench_pack_unpack}
 criterion_main!(benches);

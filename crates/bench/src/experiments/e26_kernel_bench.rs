@@ -1,26 +1,40 @@
-//! E26 — the compute floor: GEMM throughput per backend.
+//! E26 — the compute floor: GEMM + row-op throughput per backend.
 //!
 //! Measures achieved GFLOP/s for every `MatmulBackend` on the GEMM shapes
 //! the trainer actually runs (square NN at several sizes, plus the NT/TN
-//! backward layouts and the fused bias+GELU epilogue), self-gating on:
+//! backward layouts and the fused bias+GELU epilogue at 256³ **and** the
+//! 512³ gate shape), and elements/s for both `RowOpsBackend` tiers on the
+//! softmax / layer-norm / Adam kernels. Self-gating on:
 //!
-//! * correctness — `Tiled` must agree with `Reference` **bitwise** before
-//!   any timing is believed;
-//! * performance — `Tiled` must sustain ≥ `TILED_MIN_SPEEDUP`× the
-//!   `Reference` GFLOP/s at 512³ wherever the wide AVX-512 micro-kernel
-//!   runs (≥ `PORTABLE_MIN_SPEEDUP`× elsewhere, recorded in the JSON as
-//!   `wide_kernel`), the CI kernel-bench gate. The ratio is per-core (both
-//!   backends parallelize identically) and both sides are timed in the
-//!   same process, so the gate holds on single-core and noisy runners.
+//! * correctness — `Tiled` must agree with `Reference` **bitwise** (NN and
+//!   NT) and the vectorized row-op tier must agree with the reference tier
+//!   bitwise before any timing is believed;
+//! * performance — three CI gates at 512³, all per-core ratios timed in
+//!   the same process (so they hold on single-core and noisy runners):
+//!   - `nn_tiled_over_reference` ≥ [`NN_TILED_MIN_SPEEDUP`]× where the
+//!     wide AVX-512 micro-kernel runs,
+//!   - `nt_tiled_over_reference` ≥ [`NT_TILED_MIN_SPEEDUP`]× — the packed
+//!     dot4-order NT kernel must actually beat the scalar reference,
+//!   - `nn_fma_over_tiled` ≥ [`FMA_MIN_SPEEDUP`]× — the opt-in FMA tier
+//!     must pay for its loss of bit-identity.
+//!
+//!   On hosts without AVX-512 every floor drops to
+//!   [`PORTABLE_MIN_SPEEDUP`] (recorded in the JSON as `wide_kernel`).
+//!
+//! Every GEMM row also reports arithmetic intensity (FLOPs per byte of
+//! minimum streaming traffic) and percent-of-roofline against an
+//! approximate single-core host model ([`host_roofline`]) — so the table
+//! says not just "faster than reference" but "how far from the machine".
 //!
 //! Artifacts: `target/e26/kernel-table.txt` (human table) and
-//! `BENCH_kernels.json` at the repo root — the machine-readable start of
-//! the cross-PR kernel-perf trajectory (schema `bagualu-kernel-bench/v1`).
-//! Half-compute rows time the *whole* operation including operand
-//! quantization — the honest number a training step sees.
+//! `BENCH_kernels.json` at the repo root (schema `bagualu-kernel-bench/v2`)
+//! — the machine-readable cross-PR kernel-perf trajectory. Half-compute
+//! rows time the *whole* operation including operand quantization — the
+//! honest number a training step sees.
 
 use crate::table::Table;
-use bagualu::tensor::ops::{Activation, ComputeBackend};
+use bagualu::hw::{Precision, Roofline};
+use bagualu::tensor::ops::{Activation, AdamStep, ComputeBackend};
 use bagualu::tensor::rng::Rng;
 use bagualu::tensor::Tensor;
 use std::time::Instant;
@@ -28,22 +42,43 @@ use std::time::Instant;
 const TABLE_OUT: &str = "target/e26/kernel-table.txt";
 const JSON_OUT: &str = "BENCH_kernels.json";
 
-/// The CI gate where the wide (AVX-512) micro-kernel runs: tiled must
-/// beat reference by at least this factor on the gate shape. The 6×64
-/// register tile keeps C out of the k-loop entirely and runs 16-lane
-/// multiply+add against packed B panels, so 3× holds with margin there.
-/// On hosts without AVX-512 the portable 8×8 tile only has the same
-/// vector width the reference auto-vectorizes to, so the floor drops to
-/// [`PORTABLE_MIN_SPEEDUP`] — strictly faster, honestly labelled.
-const TILED_MIN_SPEEDUP: f64 = 3.0;
-/// The floor applied when only the portable micro-kernel is available.
-const PORTABLE_MIN_SPEEDUP: f64 = 1.0;
+/// NN gate where the wide (AVX-512) micro-kernel runs: the 6×64 register
+/// tile keeps C out of the k-loop entirely and runs 16-lane multiply+add
+/// against packed B panels, so 3× over the reference holds with margin.
+pub const NN_TILED_MIN_SPEEDUP: f64 = 3.0;
+/// NT gate where the wide kernel runs: the packed dot4-order kernel keeps
+/// 4 chain accumulators × 4 ZMM columns in registers against full-k packed
+/// Bᵀ panels; 2× over the scalar reference is conservative.
+pub const NT_TILED_MIN_SPEEDUP: f64 = 2.0;
+/// FMA gate where the wide kernel runs: fusing multiply+add halves the
+/// arithmetic µops of the inner loops, so the opt-in tier must show at
+/// least 1.5× over the exact tiled backend to justify giving up
+/// bit-identity.
+pub const FMA_MIN_SPEEDUP: f64 = 1.5;
+/// The floor applied to every gate when only the portable micro-kernel is
+/// available (no AVX-512): strictly not-slower, honestly labelled.
+pub const PORTABLE_MIN_SPEEDUP: f64 = 1.0;
 /// The gate shape: large enough that B (1 MiB) falls out of L1/L2 and the
 /// reference kernel's streaming cost shows.
 const GATE_DIM: usize = 512;
 
+/// Approximate roofline model of the benchmark host, used only to put the
+/// achieved rates in context (`pct_roofline` is reporting, never gated —
+/// the model is not measured on the runner). Assumptions, documented so
+/// the percentages mean something: one core at a nominal 2 GHz sustaining
+/// one 16-lane FMA per cycle → 64 GFLOP/s fp32; the half backends convert
+/// to fp32 and compute fp32, so their sustained rate is the same; fp64
+/// halves the lanes; ~12 GB/s single-core DRAM stream; zero launch
+/// overhead for in-process calls.
+pub fn host_roofline() -> Roofline {
+    Roofline::from_rates(64.0e9, 64.0e9, 32.0e9, 12.0e9, 0.0)
+}
+
+const HOST_FP32_GFLOPS: f64 = 64.0;
+const HOST_MEM_BW_GBPS: f64 = 12.0;
+
 /// Best-of-N wall time for one op, with one untimed warmup.
-fn best_ns(reps: usize, mut f: impl FnMut() -> Tensor) -> u64 {
+fn best_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
     std::hint::black_box(f());
     let mut best = u64::MAX;
     for _ in 0..reps {
@@ -58,6 +93,67 @@ fn gflops(flops: u64, ns: u64) -> f64 {
     flops as f64 / ns as f64
 }
 
+/// Best-of-N for two ops with their reps *interleaved*: rep i of `f` runs
+/// immediately before rep i of `g`, on the same operands. Gate ratios use
+/// this instead of sweep-table rows because the table times each backend
+/// as a block — on shared or frequency-scaling runners, minutes of drift
+/// between blocks shows up as ratio noise that a paired measurement
+/// cancels.
+fn paired_best<T>(reps: usize, mut f: impl FnMut() -> T, mut g: impl FnMut() -> T) -> (u64, u64) {
+    std::hint::black_box(f());
+    std::hint::black_box(g());
+    let (mut bf, mut bg) = (u64::MAX, u64::MAX);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        bf = bf.min(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        std::hint::black_box(g());
+        bg = bg.min(t0.elapsed().as_nanos() as u64);
+    }
+    (bf, bg)
+}
+
+/// Running state of one gate's paired measurement, sampled at several
+/// points dispersed across the run. On a shared single-core runner the
+/// machine oscillates between quiet and contended windows lasting
+/// seconds; a contended window compresses both rates *and* their ratio,
+/// so back-to-back retries cannot escape it. The gates assert peak
+/// kernel capability, so each pair keeps its global best-of across all
+/// sample points, and a pair that has already cleared its floor is not
+/// re-sampled.
+struct GatePair {
+    best_f: u64,
+    best_g: u64,
+    floor: f64,
+    rounds: usize,
+}
+
+impl GatePair {
+    fn new(floor: f64) -> GatePair {
+        GatePair {
+            best_f: u64::MAX,
+            best_g: u64::MAX,
+            floor,
+            rounds: 0,
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.best_f as f64 / self.best_g as f64
+    }
+
+    fn passing(&self) -> bool {
+        self.rounds > 0 && self.ratio() >= self.floor
+    }
+
+    fn absorb(&mut self, f: u64, g: u64) {
+        self.best_f = self.best_f.min(f);
+        self.best_g = self.best_g.min(g);
+        self.rounds += 1;
+    }
+}
+
 struct Row {
     backend: String,
     op: &'static str,
@@ -66,168 +162,428 @@ struct Row {
     n: usize,
     ns: u64,
     gflops: f64,
+    /// FLOPs per byte of minimum streaming traffic (both operands + the
+    /// output once each, at their in-memory fp32 width).
+    ai: f64,
+    /// Achieved rate as a percentage of the [`host_roofline`] rate for
+    /// this row's FLOPs/bytes.
+    pct_roofline: f64,
+}
+
+struct RowOpRow {
+    backend: &'static str,
+    op: &'static str,
+    rows: usize,
+    cols: usize,
+    ns: u64,
+    /// Billions of elements per second.
+    gelems: f64,
+}
+
+struct Gate {
+    name: &'static str,
+    op: &'static str,
+    shape: String,
+    ratio: f64,
+    floor: f64,
+}
+
+/// Build one GEMM row: time it, then attach intensity and roofline
+/// context. All operands live in memory as fp32, so the minimum traffic is
+/// `4(mk + kn + mn)` bytes regardless of the compute dtype (the half
+/// backends' packed copies are extra traffic the percentage honestly
+/// charges against them).
+#[allow(clippy::too_many_arguments)]
+fn gemm_row(
+    backend: &str,
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    precision: Precision,
+    reps: usize,
+    f: impl FnMut() -> Tensor,
+) -> Row {
+    let ns = best_ns(reps, f);
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    let bytes = 4.0 * (m * k + k * n + m * n) as f64;
+    let gf = gflops(flops, ns);
+    let rl = host_roofline().kernel(flops as f64, bytes, precision);
+    let roof_gflops = rl.flops / rl.time / 1.0e9;
+    Row {
+        backend: backend.to_string(),
+        op,
+        m,
+        k,
+        n,
+        ns,
+        gflops: gf,
+        ai: flops as f64 / bytes,
+        pct_roofline: 100.0 * gf / roof_gflops,
+    }
+}
+
+/// Bitwise prechecks: no timing is meaningful if the kernels disagree.
+fn precheck() {
+    let mut rng = Rng::seed_from(99);
+    let a = Tensor::randn(&[130, 257], 1.0, &mut rng);
+    let b = Tensor::randn(&[257, 140], 1.0, &mut rng);
+    let reference = ComputeBackend::Reference.instantiate();
+    let tiled = ComputeBackend::Tiled.instantiate();
+    let assert_bits = |x: &Tensor, y: &Tensor, what: &str| {
+        for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what} must be bit-identical");
+        }
+    };
+    assert_bits(
+        &reference.matmul(&a, &b),
+        &tiled.matmul(&a, &b),
+        "tiled nn vs reference",
+    );
+    let bt = Tensor::randn(&[140, 257], 1.0, &mut rng);
+    assert_bits(
+        &reference.matmul_nt(&a, &bt),
+        &tiled.matmul_nt(&a, &bt),
+        "tiled nt vs reference",
+    );
+
+    // Row-op tiers: the vectorized tier splits rows across threads but
+    // never reorders a within-row reduction, so it must be bit-identical.
+    let ref_ops = ComputeBackend::Reference.instantiate_row_ops();
+    let vec_ops = ComputeBackend::Tiled.instantiate_row_ops();
+    let x = Tensor::randn(&[65, 130], 2.0, &mut rng);
+    let (mut xa, mut xb) = (x.clone(), x.clone());
+    ref_ops.softmax_rows_inplace(&mut xa);
+    vec_ops.softmax_rows_inplace(&mut xb);
+    assert_bits(&xa, &xb, "vectorized softmax vs reference");
+    let gamma: Vec<f32> = (0..130).map(|i| 1.0 + i as f32 * 1e-3).collect();
+    let beta: Vec<f32> = (0..130).map(|i| i as f32 * 1e-2).collect();
+    let la = ref_ops.layernorm_rows(&x, &gamma, &beta, 1e-5);
+    let lb = vec_ops.layernorm_rows(&x, &gamma, &beta, 1e-5);
+    assert_bits(&la.y, &lb.y, "vectorized layernorm vs reference");
+
+    println!(
+        "correctness: tiled == reference bitwise (nn 130x257x140, nt 130x257x140);\n\
+         \x20            vectorized row-ops == reference bitwise (softmax, layernorm) ✓\n"
+    );
 }
 
 pub fn run() {
-    println!("== E26: compute floor — GEMM throughput per backend ==\n");
-    let backends = [
-        ComputeBackend::Reference,
-        ComputeBackend::Tiled,
-        ComputeBackend::Half(bagualu::tensor::DType::BF16),
-        ComputeBackend::Half(bagualu::tensor::DType::F16),
-    ];
+    println!("== E26: compute floor — GEMM + row-op throughput per backend ==\n");
+    precheck();
 
-    // Correctness first: no timing is meaningful if the kernels disagree.
-    {
-        let mut rng = Rng::seed_from(99);
-        let a = Tensor::randn(&[130, 257], 1.0, &mut rng);
-        let b = Tensor::randn(&[257, 140], 1.0, &mut rng);
-        let r = ComputeBackend::Reference.instantiate().matmul(&a, &b);
-        let t = ComputeBackend::Tiled.instantiate().matmul(&a, &b);
-        for (x, y) in r.as_slice().iter().zip(t.as_slice()) {
-            assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "tiled must be bit-identical to reference"
-            );
-        }
-        println!("correctness: tiled == reference bitwise on 130x257x140 ✓\n");
-    }
-
+    let wide = bagualu::tensor::ops::wide_kernel_available();
     let mut rows: Vec<Row> = Vec::new();
     let mut rng = Rng::seed_from(7);
 
+    // ---- Gate operands are allocated first (this process's first large
+    // allocations: fresh mmap, page-aligned), and the paired gate rounds
+    // are sampled at several points dispersed across the run — see
+    // [`GatePair`] for why back-to-back retries are not enough.
+    let floor_of = |wide_floor: f64| {
+        if wide {
+            wide_floor
+        } else {
+            PORTABLE_MIN_SPEEDUP
+        }
+    };
+    let ga = Tensor::randn(&[GATE_DIM, GATE_DIM], 1.0, &mut rng);
+    let gb = Tensor::randn(&[GATE_DIM, GATE_DIM], 1.0, &mut rng);
+    let reference = ComputeBackend::Reference.instantiate();
+    let tiled = ComputeBackend::Tiled.instantiate();
+    let fma = ComputeBackend::TiledFma.instantiate();
+    let mut gate_nn = GatePair::new(floor_of(NN_TILED_MIN_SPEEDUP));
+    let mut gate_nt = GatePair::new(floor_of(NT_TILED_MIN_SPEEDUP));
+    let mut gate_fma = GatePair::new(floor_of(FMA_MIN_SPEEDUP));
+    let sample_gates = |nn: &mut GatePair, nt: &mut GatePair, fm: &mut GatePair| {
+        if !nn.passing() {
+            let (f, g) = paired_best(11, || reference.matmul(&ga, &gb), || tiled.matmul(&ga, &gb));
+            nn.absorb(f, g);
+        }
+        if !nt.passing() {
+            let (f, g) = paired_best(
+                7,
+                || reference.matmul_nt(&ga, &gb),
+                || tiled.matmul_nt(&ga, &gb),
+            );
+            nt.absorb(f, g);
+        }
+        if !fm.passing() {
+            let (f, g) = paired_best(15, || tiled.matmul(&ga, &gb), || fma.matmul(&ga, &gb));
+            fm.absorb(f, g);
+        }
+    };
+    sample_gates(&mut gate_nn, &mut gate_nt, &mut gate_fma);
+
     // ---- Square NN sweep (the forward-pass shape).
-    println!("-- square NN GFLOP/s (best of N) --");
-    let mut t = Table::new(&["backend", "128^3", "256^3", "512^3"]);
-    let mut nn_512: Vec<(String, f64)> = Vec::new();
+    let backends = [
+        ComputeBackend::Reference,
+        ComputeBackend::Tiled,
+        ComputeBackend::TiledFma,
+        ComputeBackend::Half(bagualu::tensor::DType::BF16),
+        ComputeBackend::Half(bagualu::tensor::DType::F16),
+    ];
+    println!(
+        "-- square NN GFLOP/s (best of N; %roof vs ~{HOST_FP32_GFLOPS:.0} GFLOP/s host model) --"
+    );
+    let mut t = Table::new(&["backend", "128^3", "256^3", "512^3", "%roof@512"]);
     for cb in backends {
         let be = cb.instantiate();
+        let precision = match cb {
+            ComputeBackend::Half(_) => Precision::Half,
+            _ => Precision::FP32,
+        };
         let mut cells = vec![cb.to_string()];
+        let mut pct = 0.0;
         for dim in [128usize, 256, GATE_DIM] {
             let a = Tensor::randn(&[dim, dim], 1.0, &mut rng);
             let b = Tensor::randn(&[dim, dim], 1.0, &mut rng);
-            let flops = 2 * (dim as u64).pow(3);
             let reps = if dim >= GATE_DIM { 5 } else { 3 };
-            let ns = best_ns(reps, || be.matmul(&a, &b));
-            let gf = gflops(flops, ns);
-            cells.push(format!("{gf:.2}"));
-            rows.push(Row {
-                backend: cb.to_string(),
-                op: "nn",
-                m: dim,
-                k: dim,
-                n: dim,
-                ns,
-                gflops: gf,
-            });
+            let row = gemm_row(
+                &cb.to_string(),
+                "nn",
+                dim,
+                dim,
+                dim,
+                precision,
+                reps,
+                || be.matmul(&a, &b),
+            );
+            cells.push(format!("{:.2}", row.gflops));
             if dim == GATE_DIM {
-                nn_512.push((cb.to_string(), gf));
+                pct = row.pct_roofline;
             }
+            rows.push(row);
         }
+        cells.push(format!("{pct:.1}%"));
         t.row(&[
             cells[0].clone(),
             cells[1].clone(),
             cells[2].clone(),
             cells[3].clone(),
+            cells[4].clone(),
         ]);
     }
     t.print();
+    sample_gates(&mut gate_nn, &mut gate_nt, &mut gate_fma);
 
-    // ---- The CI gate.
-    let ref_512 = nn_512
-        .iter()
-        .find(|(b, _)| b == "reference")
-        .expect("reference measured")
-        .1;
-    let tiled_512 = nn_512
-        .iter()
-        .find(|(b, _)| b == "tiled")
-        .expect("tiled measured")
-        .1;
-    let speedup = tiled_512 / ref_512;
-    let wide = bagualu::tensor::ops::wide_kernel_available();
-    let floor = if wide {
-        TILED_MIN_SPEEDUP
-    } else {
-        PORTABLE_MIN_SPEEDUP
-    };
-    println!(
-        "\ngate: tiled {tiled_512:.2} GFLOP/s vs reference {ref_512:.2} GFLOP/s \
-         at {GATE_DIM}^3 → {speedup:.2}x (floor {floor}x, wide kernel: {wide})"
-    );
-    assert!(
-        speedup >= floor,
-        "tiled backend must sustain >={floor}x reference GFLOP/s at \
-         {GATE_DIM}^3 (wide kernel: {wide}), got {speedup:.2}x \
-         ({tiled_512:.2} vs {ref_512:.2})"
-    );
-
-    // ---- Backward layouts + fused epilogue at 256, reference vs tiled.
-    println!("\n-- layout & epilogue GFLOP/s at 256^3 --");
-    let mut t2 = Table::new(&["backend", "nt (dX)", "tn (dW)", "nn+bias+gelu"]);
-    let dim = 256usize;
-    let flops = 2 * (dim as u64).pow(3);
-    for cb in [ComputeBackend::Reference, ComputeBackend::Tiled] {
+    // ---- Backward layouts + fused epilogue at 256³ and the 512³ gate
+    // shape, for the three fp32 backends.
+    println!("\n-- layout & epilogue GFLOP/s --");
+    let mut t2 = Table::new(&["backend", "shape", "nt (dX)", "tn (dW)", "nn+bias+gelu"]);
+    for cb in [
+        ComputeBackend::Reference,
+        ComputeBackend::Tiled,
+        ComputeBackend::TiledFma,
+    ] {
         let be = cb.instantiate();
-        let a = Tensor::randn(&[dim, dim], 1.0, &mut rng);
-        let b = Tensor::randn(&[dim, dim], 1.0, &mut rng);
-        let bias: Vec<f32> = (0..dim).map(|j| j as f32 * 1e-3).collect();
-        type OpSpec<'a> = (&'static str, Box<dyn Fn() -> Tensor + 'a>);
-        let specs: [OpSpec; 3] = [
-            ("nt", Box::new(|| be.matmul_nt(&a, &b))),
-            ("tn", Box::new(|| be.matmul_tn(&a, &b))),
-            (
-                "nn_bias_gelu",
-                Box::new(|| be.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu)),
-            ),
-        ];
-        let mut cells = vec![cb.to_string()];
-        for (op, f) in specs {
-            let ns = best_ns(3, f);
-            let gf = gflops(flops, ns);
-            cells.push(format!("{gf:.2}"));
-            rows.push(Row {
-                backend: cb.to_string(),
-                op,
-                m: dim,
-                k: dim,
-                n: dim,
-                ns,
-                gflops: gf,
-            });
+        for dim in [256usize, GATE_DIM] {
+            let a = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+            let b = Tensor::randn(&[dim, dim], 1.0, &mut rng);
+            let bias: Vec<f32> = (0..dim).map(|j| j as f32 * 1e-3).collect();
+            let reps = if dim >= GATE_DIM { 5 } else { 3 };
+            type OpSpec<'a> = (&'static str, Box<dyn FnMut() -> Tensor + 'a>);
+            let specs: [OpSpec; 3] = [
+                ("nt", Box::new(|| be.matmul_nt(&a, &b))),
+                ("tn", Box::new(|| be.matmul_tn(&a, &b))),
+                (
+                    "nn_bias_gelu",
+                    Box::new(|| be.matmul_bias_act(&a, &b, Some(&bias), Activation::Gelu)),
+                ),
+            ];
+            let mut cells = vec![cb.to_string(), format!("{dim}^3")];
+            for (op, f) in specs {
+                let row = gemm_row(&cb.to_string(), op, dim, dim, dim, Precision::FP32, reps, f);
+                cells.push(format!("{:.2}", row.gflops));
+                rows.push(row);
+            }
+            t2.row(&[
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+                cells[4].clone(),
+            ]);
         }
-        t2.row(&[
+    }
+    t2.print();
+    sample_gates(&mut gate_nn, &mut gate_nt, &mut gate_fma);
+
+    // ---- Row-op tiers: elements/s for softmax, layernorm, Adam.
+    println!("\n-- row-op Gelem/s (reference vs vectorized tier) --");
+    let mut rowop_rows: Vec<RowOpRow> = Vec::new();
+    let mut t3 = Table::new(&["tier", "softmax 256x2048", "layernorm 256x2048", "adam 1M"]);
+    let (rn, rc) = (256usize, 2048usize);
+    let adam_len = 1usize << 20;
+    for (tier, cb) in [
+        ("reference", ComputeBackend::Reference),
+        ("vectorized", ComputeBackend::Tiled),
+    ] {
+        let ops = cb.instantiate_row_ops();
+        let mut cells = vec![tier.to_string()];
+
+        let x = Tensor::randn(&[rn, rc], 1.0, &mut rng);
+        let mut buf = x.clone();
+        let ns = best_ns(5, || ops.softmax_rows_inplace(&mut buf));
+        let gel = (rn * rc) as f64 / ns as f64;
+        cells.push(format!("{gel:.3}"));
+        rowop_rows.push(RowOpRow {
+            backend: tier,
+            op: "softmax",
+            rows: rn,
+            cols: rc,
+            ns,
+            gelems: gel,
+        });
+
+        let gamma: Vec<f32> = (0..rc).map(|i| 1.0 + i as f32 * 1e-4).collect();
+        let beta: Vec<f32> = (0..rc).map(|i| i as f32 * 1e-3).collect();
+        let ns = best_ns(5, || ops.layernorm_rows(&x, &gamma, &beta, 1e-5));
+        let gel = (rn * rc) as f64 / ns as f64;
+        cells.push(format!("{gel:.3}"));
+        rowop_rows.push(RowOpRow {
+            backend: tier,
+            op: "layernorm",
+            rows: rn,
+            cols: rc,
+            ns,
+            gelems: gel,
+        });
+
+        let step = AdamStep {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            bc1: 0.1,
+            bc2: 0.001,
+        };
+        let g = Tensor::randn(&[adam_len], 0.1, &mut rng);
+        let mut value = Tensor::randn(&[adam_len], 1.0, &mut rng);
+        let mut m = Tensor::zeros(&[adam_len]);
+        let mut v = Tensor::zeros(&[adam_len]);
+        let ns = best_ns(5, || {
+            ops.adam_update(
+                value.as_mut_slice(),
+                g.as_slice(),
+                m.as_mut_slice(),
+                v.as_mut_slice(),
+                &step,
+            )
+        });
+        let gel = adam_len as f64 / ns as f64;
+        cells.push(format!("{gel:.3}"));
+        rowop_rows.push(RowOpRow {
+            backend: tier,
+            op: "adam",
+            rows: 1,
+            cols: adam_len,
+            ns,
+            gelems: gel,
+        });
+
+        t3.row(&[
             cells[0].clone(),
             cells[1].clone(),
             cells[2].clone(),
             cells[3].clone(),
         ]);
     }
-    t2.print();
+    t3.print();
+
+    // ---- Last gate sample point, then freeze the CI gates — all at
+    // 512³, from the dispersed paired rounds (see [`GatePair`]); the
+    // sweep rows above are for the trajectory tables, not the gates.
+    sample_gates(&mut gate_nn, &mut gate_nt, &mut gate_fma);
+    let shape = format!("{GATE_DIM}^3");
+    let gates = vec![
+        Gate {
+            name: "nn_tiled_over_reference",
+            op: "nn",
+            shape: shape.clone(),
+            ratio: gate_nn.ratio(),
+            floor: gate_nn.floor,
+        },
+        Gate {
+            name: "nt_tiled_over_reference",
+            op: "nt",
+            shape: shape.clone(),
+            ratio: gate_nt.ratio(),
+            floor: gate_nt.floor,
+        },
+        Gate {
+            name: "nn_fma_over_tiled",
+            op: "nn",
+            shape: shape.clone(),
+            ratio: gate_fma.ratio(),
+            floor: gate_fma.floor,
+        },
+    ];
+    let gate_flops = 2 * (GATE_DIM as u64).pow(3);
+    println!(
+        "\npaired @{shape}: nn ref {:.1} / tiled {:.1} GF/s; nt ref {:.1} / tiled {:.1}; \
+         nn tiled {:.1} / fma {:.1}",
+        gflops(gate_flops, gate_nn.best_f),
+        gflops(gate_flops, gate_nn.best_g),
+        gflops(gate_flops, gate_nt.best_f),
+        gflops(gate_flops, gate_nt.best_g),
+        gflops(gate_flops, gate_fma.best_f),
+        gflops(gate_flops, gate_fma.best_g),
+    );
+    println!("-- gates at {shape} (wide kernel: {wide}) --");
+    for g in &gates {
+        println!(
+            "gate {}: {:.2}x (floor {}x) {}",
+            g.name,
+            g.ratio,
+            g.floor,
+            if g.ratio >= g.floor { "✓" } else { "✗" }
+        );
+    }
 
     // ---- Artifacts.
     let mut artifact = String::from("E26 kernel bench\n\nsquare NN GFLOP/s\n");
     artifact.push_str(&t.render());
-    artifact.push_str(&format!(
-        "\ngate: tiled/reference at {GATE_DIM}^3 = {speedup:.2}x \
-         (floor {floor}x, wide kernel: {wide})\n"
-    ));
-    artifact.push_str("\nlayouts at 256^3\n");
+    artifact.push_str("\nlayouts\n");
     artifact.push_str(&t2.render());
+    artifact.push_str(&format!("\ngates at {shape} (wide kernel: {wide})\n"));
+    for g in &gates {
+        artifact.push_str(&format!(
+            "  {}: {:.2}x (floor {}x)\n",
+            g.name, g.ratio, g.floor
+        ));
+    }
+    artifact.push_str("\nrow-op Gelem/s\n");
+    artifact.push_str(&t3.render());
     std::fs::create_dir_all("target/e26").expect("create target/e26");
     std::fs::write(TABLE_OUT, &artifact).expect("write kernel table");
 
-    let mut json = String::from("{\n  \"schema\": \"bagualu-kernel-bench/v1\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bagualu-kernel-bench/v2\",\n");
+    json.push_str(&format!("  \"wide_kernel\": {wide},\n"));
     json.push_str(&format!(
-        "  \"gate\": {{\"shape\": \"{GATE_DIM}^3\", \"tiled_over_reference\": {speedup:.3}, \
-         \"floor\": {floor}, \"wide_kernel\": {wide}}},\n"
+        "  \"roofline_model\": {{\"sustained_fp32_gflops\": {HOST_FP32_GFLOPS}, \
+         \"mem_bw_gbps\": {HOST_MEM_BW_GBPS}, \"note\": \"approximate single-core host \
+         model; pct_roofline is context, never gated\"}},\n"
     ));
-    json.push_str("  \"results\": [\n");
+    json.push_str("  \"gates\": [\n");
+    for (i, g) in gates.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"op\": \"{}\", \"shape\": \"{}\", \
+             \"ratio\": {:.3}, \"floor\": {}}}{}\n",
+            g.name,
+            g.op,
+            g.shape,
+            g.ratio,
+            g.floor,
+            if i + 1 == gates.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
-             \"best_ns\": {}, \"gflops\": {:.3}}}{}\n",
+             \"best_ns\": {}, \"gflops\": {:.3}, \"ai\": {:.2}, \"pct_roofline\": {:.2}}}{}\n",
             r.backend,
             r.op,
             r.m,
@@ -235,7 +591,23 @@ pub fn run() {
             r.n,
             r.ns,
             r.gflops,
+            r.ai,
+            r.pct_roofline,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"rowops\": [\n");
+    for (i, r) in rowop_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"op\": \"{}\", \"rows\": {}, \"cols\": {}, \
+             \"best_ns\": {}, \"gelems_per_s\": {:.3}}}{}\n",
+            r.backend,
+            r.op,
+            r.rows,
+            r.cols,
+            r.ns,
+            r.gelems,
+            if i + 1 == rowop_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");
@@ -243,11 +615,27 @@ pub fn run() {
 
     println!(
         "\nwrote {TABLE_OUT} and {JSON_OUT}\n\n\
-         Shape check: the tiled kernel's win comes from memory operations per\n\
-         FLOP (register-tiled C, packed B panels), so it is per-core and\n\
-         survives any runner's thread count. Half-compute rows pay operand\n\
-         quantization up front — at 512^3 that is O(n^2) against O(n^3)\n\
-         compute, so the gap to tiled narrows as shapes grow (the reproduction\n\
-         analogue of mixed-precision arithmetic intensity on the CPEs).\n"
+         Shape check: the tiled kernels' wins come from memory operations per\n\
+         FLOP (register-tiled C, packed panels), so they are per-core and\n\
+         survive any runner's thread count. The FMA tier halves the arithmetic\n\
+         µops of the same loops — pure issue-width win, same traffic. Half\n\
+         rows pay operand quantization up front: O(n^2) against O(n^3)\n\
+         compute, so their gap to tiled narrows as shapes grow (the\n\
+         reproduction analogue of mixed-precision arithmetic intensity on\n\
+         the CPEs). Roofline context uses a documented approximate host\n\
+         model, so pct_roofline is comparable across PRs, not across\n\
+         machines.\n"
     );
+
+    // Gates last, after artifacts are on disk for post-mortems.
+    for g in &gates {
+        assert!(
+            g.ratio >= g.floor,
+            "gate {} failed: {:.2}x < floor {}x at {} (wide kernel: {wide})",
+            g.name,
+            g.ratio,
+            g.floor,
+            g.shape
+        );
+    }
 }

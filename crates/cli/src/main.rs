@@ -63,7 +63,10 @@ fn print_help() {
     eprintln!("  train     run the functional MoDa trainer");
     eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
     eprintln!("            --wire-dtype f32|f16|bf16 (compress comm traffic to 16-bit in flight)");
-    eprintln!("            --compute-backend reference|tiled|half (GEMM kernels; default tiled)");
+    eprintln!(
+        "            --compute-backend reference|tiled|tiled:fma|half (GEMM kernels; \
+         default tiled. tiled:fma is faster but not bit-identical)"
+    );
     eprintln!("            --compute-dtype fp16|bf16 (half-compute storage format; default bf16)");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
     eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
@@ -208,8 +211,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             ComputeBackend::Half(_) => compute = ComputeBackend::Half(dt),
             _ => {
                 return Err(
-                    "--compute-dtype only applies to --compute-backend half (reference and \
-                     tiled always compute in fp32)"
+                    "--compute-dtype only applies to --compute-backend half (reference, \
+                     tiled, and tiled:fma always compute in fp32)"
                         .into(),
                 )
             }
@@ -301,6 +304,15 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         let ckpt_every = args.get_parse("ckpt-every", 10usize)?;
         // Reject contradictory flag combinations up front, before any rank
         // threads spin up — each with the fix spelled out.
+        if elastic && !cfg.compute.bit_identical() {
+            return Err(format!(
+                "--elastic verifies its resume against a fresh shrunk run bit for bit, \
+                 but --compute-backend {} only promises a tolerance band, not identical \
+                 bits; use --compute-backend tiled (same kernels, bit-identical) or \
+                 drop --elastic",
+                cfg.compute
+            ));
+        }
         if elastic && cfg.nranks < 2 {
             return Err(
                 "--elastic needs at least 2 ranks: a 1-rank world has no survivors to \

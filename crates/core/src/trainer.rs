@@ -28,7 +28,7 @@ use bagualu_parallel::model_dist::DistTransformer;
 use bagualu_parallel::moe_dist::A2aKind;
 use bagualu_parallel::placement::ExpertPlacement;
 use bagualu_parallel::sync::{backward_and_sync_overlapped_wire, sync_grads_wire};
-use bagualu_tensor::ops::{install_backend, ComputeBackend};
+use bagualu_tensor::ops::{install_backend, install_row_ops, ComputeBackend};
 use bagualu_tensor::DType;
 use bagualu_trace::{self as trace, names, Trace, TraceCollector, DRIVER_LANE};
 use std::path::{Path, PathBuf};
@@ -869,10 +869,13 @@ impl RankState {
 }
 
 fn rank_main<C: Communicator>(cfg: TrainConfig, comm: &C) -> TrainReport {
-    // Scope the configured GEMM backend to this rank's thread: every
+    // Scope the configured compute backends to this rank's thread: every
     // matmul below — model forward/backward, eval, optimizer-adjacent
-    // GEMMs — dispatches to it, and nothing outside this rank is affected.
+    // GEMMs — dispatches to the GEMM backend, and every softmax/layer-norm/
+    // Adam pass to the paired row-op tier; nothing outside this rank is
+    // affected.
     let _backend = install_backend(cfg.compute.instantiate());
+    let _row_ops = install_row_ops(cfg.compute.instantiate_row_ops());
     let mut st = RankState::new(cfg, comm);
     for step in 0..cfg.steps {
         st.step(step, comm);
@@ -998,9 +1001,10 @@ fn rank_main_ft<C: FtCommunicator>(
     comm: &C,
 ) -> Result<Attempt, bagualu_comm::fault::CommError> {
     let hb = Duration::from_millis(ft.heartbeat_ms.max(1));
-    // Same per-rank backend scope as `rank_main`; restart attempts run on
-    // fresh threads, so each attempt re-installs it.
+    // Same per-rank backend scopes as `rank_main`; restart attempts run on
+    // fresh threads, so each attempt re-installs them.
     let _backend = install_backend(cfg.compute.instantiate());
+    let _row_ops = install_row_ops(cfg.compute.instantiate_row_ops());
     let mut st = RankState::new(cfg, comm);
     let placement_meta = crate::checkpoint::PlacementMeta {
         placement: cfg.resolved_placement(),

@@ -58,6 +58,27 @@ impl Roofline {
         }
     }
 
+    /// Build from explicit sustained rates, for hosts that are not any
+    /// `MachineConfig` — e.g. the E26 kernel bench reporting
+    /// percent-of-roofline against an approximate model of the CI runner.
+    /// All rates are FLOP/s (or bytes/s for `mem_bw`); `launch_overhead`
+    /// is seconds and may be zero for in-process kernel calls.
+    pub fn from_rates(
+        sustained_fp32: f64,
+        sustained_half: f64,
+        sustained_fp64: f64,
+        mem_bw: f64,
+        launch_overhead: f64,
+    ) -> Roofline {
+        Roofline {
+            sustained_fp32,
+            sustained_half,
+            sustained_fp64,
+            mem_bw,
+            launch_overhead,
+        }
+    }
+
     /// Sustained rate for a precision, FLOP/s.
     pub fn sustained(&self, p: Precision) -> f64 {
         match p {
@@ -152,6 +173,20 @@ mod tests {
         let c = r.gemm(4, 4, 4, Precision::FP32);
         assert!(c.time >= r.launch_overhead);
         assert!(c.time < 2.0 * r.launch_overhead);
+    }
+
+    #[test]
+    fn from_rates_matches_explicit_arithmetic() {
+        let r = Roofline::from_rates(64.0e9, 128.0e9, 32.0e9, 10.0e9, 0.0);
+        assert_eq!(r.sustained(Precision::FP32), 64.0e9);
+        assert_eq!(r.sustained(Precision::Half), 128.0e9);
+        assert_eq!(r.sustained(Precision::FP64), 32.0e9);
+        // Compute-bound kernel: 64e9 flops at 64 GFLOP/s = 1 s.
+        let c = r.kernel(64.0e9, 8.0, Precision::FP32);
+        assert!((c.time - 1.0).abs() < 1e-9, "time {}", c.time);
+        // Memory-bound kernel: 100e9 bytes at 10 GB/s = 10 s.
+        let c = r.kernel(1.0, 100.0e9, Precision::FP32);
+        assert!((c.time - 10.0).abs() < 1e-9, "time {}", c.time);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Layer normalization with hand-derived backward.
+//!
+//! The forward pass dispatches through the pluggable
+//! [`RowOpsBackend`](bagualu_tensor::ops::RowOpsBackend) (reference or
+//! vectorized tier, bit-identical to each other), which also records the
+//! `compute.layernorm.{flops,ns}` trace counters. The backward stays here:
+//! it is the model's hand-derived gradient, not a swappable kernel.
 
 use crate::param::{HasParams, Param};
+use bagualu_tensor::ops::layernorm_rows;
 use bagualu_tensor::Tensor;
 
 /// Row-wise layer norm: `y = γ ⊙ (x − μ)/√(σ² + ε) + β`.
@@ -27,31 +34,18 @@ impl LayerNorm {
         self.gamma.value.len()
     }
 
-    /// Forward over `[n, d]`.
+    /// Forward over `[n, d]`, on the calling thread's row-op backend.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let d = self.dim();
         assert_eq!(x.cols(), d);
-        let n = x.rows();
-        let mut xhat = x.clone();
-        let mut inv_sigma = Vec::with_capacity(n);
-        for row in xhat.as_mut_slice().chunks_exact_mut(d) {
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + self.eps).sqrt();
-            for v in row.iter_mut() {
-                *v = (*v - mean) * inv;
-            }
-            inv_sigma.push(inv);
-        }
-        let mut y = xhat.clone();
-        let (g, b) = (self.gamma.value.as_slice(), self.beta.value.as_slice());
-        for row in y.as_mut_slice().chunks_exact_mut(d) {
-            for ((v, &gi), &bi) in row.iter_mut().zip(g).zip(b) {
-                *v = *v * gi + bi;
-            }
-        }
-        self.cache = Some((xhat, inv_sigma));
-        y
+        let out = layernorm_rows(
+            x,
+            self.gamma.value.as_slice(),
+            self.beta.value.as_slice(),
+            self.eps,
+        );
+        self.cache = Some((out.xhat, out.inv_sigma));
+        out.y
     }
 
     /// Backward: accumulates `dγ`, `dβ`; returns `dx`.

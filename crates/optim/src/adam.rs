@@ -1,6 +1,13 @@
 //! Adam / AdamW with bias correction.
+//!
+//! The element-wise update dispatches through the pluggable
+//! [`RowOpsBackend`](bagualu_tensor::ops::RowOpsBackend) (reference or
+//! vectorized tier, bit-identical to each other), which also records the
+//! `compute.adam.{flops,ns}` trace counters. Mixed precision and ZeRO both
+//! delegate to this optimizer, so the routing covers every training mode.
 
 use bagualu_model::param::HasParams;
+use bagualu_tensor::ops::{adam_update, AdamStep};
 use bagualu_tensor::Tensor;
 
 /// Adam hyperparameters. `weight_decay` is decoupled (AdamW-style).
@@ -56,12 +63,20 @@ impl Adam {
         self.cfg.lr = lr;
     }
 
-    /// Apply one update from the accumulated gradients.
+    /// Apply one update from the accumulated gradients, on the calling
+    /// thread's row-op backend.
     pub fn step(&mut self, model: &mut dyn HasParams) {
         self.t += 1;
         let c = self.cfg;
-        let bc1 = 1.0 - c.beta1.powi(self.t);
-        let bc2 = 1.0 - c.beta2.powi(self.t);
+        let step = AdamStep {
+            lr: c.lr,
+            beta1: c.beta1,
+            beta2: c.beta2,
+            eps: c.eps,
+            weight_decay: c.weight_decay,
+            bc1: 1.0 - c.beta1.powi(self.t),
+            bc2: 1.0 - c.beta2.powi(self.t),
+        };
         let (ms, vs) = (&mut self.m, &mut self.v);
         let mut i = 0usize;
         model.visit_params(&mut |p| {
@@ -74,18 +89,13 @@ impl Adam {
                 p.value.shape(),
                 "parameter {i} changed shape"
             );
-            let m = ms[i].as_mut_slice();
-            let v = vs[i].as_mut_slice();
-            let value = p.value.as_mut_slice();
-            let grad = p.grad.as_slice();
-            for j in 0..value.len() {
-                let g = grad[j];
-                m[j] = c.beta1 * m[j] + (1.0 - c.beta1) * g;
-                v[j] = c.beta2 * v[j] + (1.0 - c.beta2) * g * g;
-                let mhat = m[j] / bc1;
-                let vhat = v[j] / bc2;
-                value[j] -= c.lr * (mhat / (vhat.sqrt() + c.eps) + c.weight_decay * value[j]);
-            }
+            adam_update(
+                p.value.as_mut_slice(),
+                p.grad.as_slice(),
+                ms[i].as_mut_slice(),
+                vs[i].as_mut_slice(),
+                &step,
+            );
             i += 1;
         });
     }

@@ -191,6 +191,11 @@ pub enum ComputeBackend {
     /// Cache-tiled, packed-panel, register-blocked kernels. Bit-identical
     /// to `Reference` on every f32 input, just faster.
     Tiled,
+    /// The tiled kernels with fused multiply-add in the wide micro-kernels.
+    /// **Not** bit-identical to `Reference` — results sit in a documented
+    /// tolerance band — so any run whose tests or tooling assert bit-pinned
+    /// curves must not use it (see [`ComputeBackend::bit_identical`]).
+    TiledFma,
     /// Tiled kernels over operands stored and multiplied in a 16-bit
     /// format, accumulating in `f32`. The dtype must be [`DType::F16`] or
     /// [`DType::BF16`].
@@ -216,6 +221,18 @@ impl ComputeBackend {
         }
     }
 
+    /// Whether this backend reproduces its tier's pinned bits exactly.
+    ///
+    /// `Reference` and `Tiled` are bit-identical to each other;
+    /// `Half` is bit-pinned within its own dtype tier (deterministic and
+    /// reproducible run to run). `TiledFma` is the one tier that trades
+    /// bit-identity for speed, so workflows that compare loss curves or
+    /// checkpoints bit-for-bit (elastic re-shard pins, resume pins) must
+    /// reject it — the CLI does.
+    pub fn bit_identical(self) -> bool {
+        !matches!(self, ComputeBackend::TiledFma)
+    }
+
     /// Build the backend this configuration names.
     ///
     /// # Panics
@@ -225,7 +242,21 @@ impl ComputeBackend {
         match self {
             ComputeBackend::Reference => Arc::new(crate::ops::matmul::Reference),
             ComputeBackend::Tiled => Arc::new(crate::ops::tiled::Tiled),
+            ComputeBackend::TiledFma => Arc::new(crate::ops::tiled::TiledFma),
             ComputeBackend::Half(dt) => Arc::new(crate::ops::half_compute::HalfCompute::new(dt)),
+        }
+    }
+
+    /// Build the row-op backend ([`RowOpsBackend`]) that pairs with this
+    /// GEMM configuration: the reference tier for `Reference` (the oracle
+    /// stays the oracle end to end), the vectorized tier — bit-identical to
+    /// reference, just parallel/fused — for every faster GEMM tier.
+    ///
+    /// [`RowOpsBackend`]: crate::ops::rowops::RowOpsBackend
+    pub fn instantiate_row_ops(self) -> Arc<dyn crate::ops::rowops::RowOpsBackend> {
+        match self {
+            ComputeBackend::Reference => Arc::new(crate::ops::rowops::ReferenceRowOps),
+            _ => Arc::new(crate::ops::rowops::VectorizedRowOps),
         }
     }
 }
@@ -235,6 +266,7 @@ impl fmt::Display for ComputeBackend {
         match self {
             ComputeBackend::Reference => write!(f, "reference"),
             ComputeBackend::Tiled => write!(f, "tiled"),
+            ComputeBackend::TiledFma => write!(f, "tiled:fma"),
             ComputeBackend::Half(dt) => write!(f, "half:{dt}"),
         }
     }
@@ -243,17 +275,19 @@ impl fmt::Display for ComputeBackend {
 impl FromStr for ComputeBackend {
     type Err = String;
 
-    /// `reference | tiled | half[:fp16|:bf16]` (bare `half` means bf16, the
-    /// format that keeps f32's exponent range). `f16` is accepted as an
-    /// alias for `fp16`.
+    /// `reference | tiled | tiled:fma | half[:fp16|:bf16]` (bare `half`
+    /// means bf16, the format that keeps f32's exponent range). `f16` is
+    /// accepted as an alias for `fp16`, and `fma` for `tiled:fma`.
     fn from_str(s: &str) -> Result<ComputeBackend, String> {
         match s {
             "reference" | "ref" => Ok(ComputeBackend::Reference),
             "tiled" => Ok(ComputeBackend::Tiled),
+            "tiled:fma" | "fma" => Ok(ComputeBackend::TiledFma),
             "half" | "half:bf16" => Ok(ComputeBackend::Half(DType::BF16)),
             "half:fp16" | "half:f16" => Ok(ComputeBackend::Half(DType::F16)),
             other => Err(format!(
-                "unknown compute backend: {other} (want reference | tiled | half[:fp16|:bf16])"
+                "unknown compute backend: {other} \
+                 (want reference | tiled | tiled:fma | half[:fp16|:bf16])"
             )),
         }
     }
@@ -268,6 +302,7 @@ mod tests {
         for cb in [
             ComputeBackend::Reference,
             ComputeBackend::Tiled,
+            ComputeBackend::TiledFma,
             ComputeBackend::Half(DType::F16),
             ComputeBackend::Half(DType::BF16),
         ] {
@@ -285,6 +320,38 @@ mod tests {
     fn half_f32_is_rejected() {
         assert!(ComputeBackend::Half(DType::F32).validate().is_err());
         assert!(ComputeBackend::Tiled.validate().is_ok());
+        assert!(ComputeBackend::TiledFma.validate().is_ok());
+    }
+
+    #[test]
+    fn only_fma_gives_up_bit_identity() {
+        assert!(ComputeBackend::Reference.bit_identical());
+        assert!(ComputeBackend::Tiled.bit_identical());
+        assert!(ComputeBackend::Half(DType::BF16).bit_identical());
+        assert!(!ComputeBackend::TiledFma.bit_identical());
+    }
+
+    #[test]
+    fn fma_alias_parses() {
+        assert_eq!(
+            "fma".parse::<ComputeBackend>().unwrap(),
+            ComputeBackend::TiledFma
+        );
+    }
+
+    #[test]
+    fn row_ops_tier_follows_the_gemm_tier() {
+        assert_eq!(
+            ComputeBackend::Reference.instantiate_row_ops().name(),
+            "reference"
+        );
+        for cb in [
+            ComputeBackend::Tiled,
+            ComputeBackend::TiledFma,
+            ComputeBackend::Half(DType::BF16),
+        ] {
+            assert_eq!(cb.instantiate_row_ops().name(), "vectorized");
+        }
     }
 
     #[test]

@@ -1,23 +1,28 @@
-//! Numerically stable row-wise softmax kernels.
+//! Numerically stable row-wise softmax: backend dispatch.
+//!
+//! The free functions here are thin dispatchers, exactly like the matmul
+//! ones: they resolve the calling thread's
+//! [`RowOpsBackend`](crate::ops::rowops::RowOpsBackend), record the
+//! `compute.softmax.{flops,ns}` trace counters when tracing is enabled,
+//! and delegate. The actual kernels — the reference tier's verbatim
+//! historical loops and the bit-identical row-parallel vectorized tier —
+//! live in [`mod@crate::ops::rowops`].
 
+use crate::ops::rowops::{current_row_ops, traced_rowop, SOFTMAX_FLOPS_PER_ELEM};
 use crate::tensor::Tensor;
+use bagualu_trace::names;
 
-/// Row-wise softmax of a 2-D tensor, in place. Uses the max-subtraction
-/// trick so half-precision-scale logits cannot overflow the exponentials.
+/// Row-wise softmax of a 2-D tensor, in place, on the calling thread's
+/// row-op backend. Uses the max-subtraction trick so
+/// half-precision-scale logits cannot overflow the exponentials.
 pub fn softmax_rows_inplace(x: &mut Tensor) {
-    let c = x.cols();
-    for row in x.as_mut_slice().chunks_exact_mut(c) {
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    let flops = SOFTMAX_FLOPS_PER_ELEM * x.len() as u64;
+    traced_rowop(
+        names::COMPUTE_SOFTMAX_NS,
+        names::COMPUTE_SOFTMAX_FLOPS,
+        flops,
+        || current_row_ops().softmax_rows_inplace(x),
+    )
 }
 
 /// Row-wise softmax, returning a new tensor.
@@ -27,19 +32,18 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
     out
 }
 
-/// Row-wise log-softmax, returning a new tensor. More accurate than taking
-/// `ln` of [`softmax_rows`] for cross-entropy losses.
+/// Row-wise log-softmax, returning a new tensor, on the calling thread's
+/// row-op backend. More accurate than taking `ln` of [`softmax_rows`] for
+/// cross-entropy losses. Counted under the `compute.softmax.*` counters —
+/// it is the same pass shape over the same logits.
 pub fn log_softmax_rows(x: &Tensor) -> Tensor {
-    let c = x.cols();
-    let mut out = x.clone();
-    for row in out.as_mut_slice().chunks_exact_mut(c) {
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= lse;
-        }
-    }
-    out
+    let flops = SOFTMAX_FLOPS_PER_ELEM * x.len() as u64;
+    traced_rowop(
+        names::COMPUTE_SOFTMAX_NS,
+        names::COMPUTE_SOFTMAX_FLOPS,
+        flops,
+        || current_row_ops().log_softmax_rows(x),
+    )
 }
 
 #[cfg(test)]

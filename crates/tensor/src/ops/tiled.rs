@@ -39,9 +39,27 @@
 //! skips the intermediate rounding of the product and would produce
 //! different bits than the scalar reference. Vector lanes are distinct
 //! output elements, so lane width never touches accumulation order. NT
-//! reuses the reference's `dot4` chain verbatim, and TN is an exact
-//! transpose of A fed to the NN core, whose `k`-order is the reference
-//! TN's `i`-order. The proptests in `tests/` pin all of this bitwise.
+//! packs Bᵀ into column panels and reproduces the reference's `dot4`
+//! pattern exactly — four independent chains filled in ascending `k`, chain
+//! sums folded left-to-right, then a sequential tail — with output columns
+//! as vector lanes; edge columns fall back to the scalar `dot4` itself. TN
+//! is an exact transpose of A fed to the NN core, whose `k`-order is the
+//! reference TN's `i`-order. The proptests in `tests/` pin all of this
+//! bitwise.
+//!
+//! # The FMA tier
+//!
+//! [`TiledFma`] runs the same tiling with `_mm512_fmadd_ps` in the full
+//! wide micro-kernels (NN and NT). Skipping the product's intermediate
+//! rounding changes low bits, so this tier is **not** bit-identical to the
+//! oracle; it is pinned to a tolerance band instead: per output element the
+//! absolute error is bounded by `2 (k+1) ε · Σₚ|A[i,p]||B[p,j]|` (each of
+//! the ≤ k+1 fused/rounded steps contributes at most one half-ulp of the
+//! running magnitude bound, doubled for slack). Where the wide kernel does
+//! not run (no AVX-512F, or edge tiles), `TiledFma` computes exactly the
+//! same bits as [`Tiled`] — the band holds trivially. Runs whose tests
+//! assert bit-identity (elastic re-shard pins, checkpoint-resume pins) must
+//! not use it; the CLI rejects those combinations.
 
 use crate::ops::backend::{Activation, MatmulBackend};
 use crate::ops::matmul::{dot4, KC, PAR_THRESHOLD};
@@ -56,6 +74,10 @@ pub(crate) const MR: usize = 8;
 pub(crate) const NR: usize = 8;
 /// Wide-path micro-tile height: 6 rows × 4 zmm of accumulator.
 pub(crate) const MR_W: usize = 6;
+/// Wide-path micro-tile height for the FMA tier: 5 rows keeps the live
+/// register count at 25 zmm so the allocator never re-folds B loads into
+/// the FMAs (see [`micro_full_wide`]). Divides [`MC_W`] exactly, like 6.
+pub(crate) const MR_W_FMA: usize = 5;
 /// Wide-path micro-tile width: 64 columns = 4 × 16 f32 lanes.
 pub(crate) const NR_W: usize = 64;
 /// Rows of C per parallel task on the wide path — a multiple of [`MR_W`]
@@ -66,9 +88,13 @@ pub(crate) const MC_W: usize = 60;
 /// never affects accumulation order (each element still sums its products
 /// in strictly ascending `k`), so this is free to differ from [`KC`].
 pub(crate) const KC_W: usize = 128;
-/// Rows of B per cache block in the NT kernel: 16 rows × KC f32 ≈ 16 KiB,
-/// small enough to stay L1-resident while every row of A streams past.
-const NT_JB: usize = 16;
+/// Output columns per packed-Bᵀ panel on the portable NT path. Matches the
+/// NN micro-tile width so the autovectorizer sees the same 8-wide rows.
+const NT_NR: usize = NR;
+/// Output columns per packed-Bᵀ panel on the wide NT path: 64 = 4 zmm of
+/// lanes per chain accumulator. One full-k panel at `k = 512` is 128 KiB —
+/// L2-resident while every A row of an MC-chunk streams over it.
+const NT_NR_W: usize = NR_W;
 
 /// Whether this host runs the wide (AVX-512) micro-kernel. Benchmarks use
 /// this to decide which performance floor to hold [`Tiled`] to — results
@@ -97,8 +123,18 @@ fn avx512_available() -> bool {
 /// panels of `kc·nr` contiguous floats. Offset arithmetic stays exact for
 /// the ragged final KC-block because every *preceding* block has full
 /// height: `block_base = k0 · n_panels · nr`.
+///
+/// The buffer is explicitly aligned to 64 bytes (one cache line, one zmm):
+/// `vec![0.0f32; …]` alignment depends on where the allocator happens to
+/// place a large block — page-aligned from a fresh mmap, but only 16-byte
+/// aligned once heap churn raises glibc's mmap threshold — and a 16-byte
+/// base makes three of every four 64-byte panel loads straddle a cache
+/// line. The arithmetic-bound exact kernels hide that; the load-bound FMA
+/// kernel measurably does not.
 struct PackedB {
     data: Vec<f32>,
+    /// Offset (in floats) of the first 64-byte-aligned element of `data`.
+    align_off: usize,
     n_panels: usize,
     nr: usize,
 }
@@ -106,7 +142,12 @@ struct PackedB {
 impl PackedB {
     fn pack(bv: &[f32], k: usize, n: usize, nr: usize, kcb: usize) -> PackedB {
         let n_panels = n.div_ceil(nr);
-        let mut data = vec![0.0f32; k * n_panels * nr];
+        let len = k * n_panels * nr;
+        // Over-allocate one cache line and skip to the aligned start; the
+        // Vec's heap block never moves, so the offset stays valid.
+        let mut data = vec![0.0f32; len + 16];
+        let align_off = (data.as_ptr() as usize).wrapping_neg() % 64 / 4;
+        let floats = &mut data[align_off..align_off + len];
         // kk-outer traversal: each B row is read once, sequentially, and
         // scattered to its panels — sequential reads beat sequential
         // writes once B outgrows L2.
@@ -119,17 +160,22 @@ impl PackedB {
                     let j0 = p * nr;
                     let width = nr.min(n - j0);
                     let dst = block_base + p * kc * nr + kk * nr;
-                    data[dst..dst + width].copy_from_slice(&src[j0..j0 + width]);
+                    floats[dst..dst + width].copy_from_slice(&src[j0..j0 + width]);
                 }
             }
         }
-        PackedB { data, n_panels, nr }
+        PackedB {
+            data,
+            align_off,
+            n_panels,
+            nr,
+        }
     }
 
     /// The `kc`-row panel `p` of the KC-block starting at `k0`.
     #[inline]
     fn panel(&self, k0: usize, kc: usize, p: usize) -> &[f32] {
-        let base = k0 * self.n_panels * self.nr + p * kc * self.nr;
+        let base = self.align_off + k0 * self.n_panels * self.nr + p * kc * self.nr;
         &self.data[base..base + kc * self.nr]
     }
 }
@@ -171,24 +217,36 @@ fn micro_full(
     }
 }
 
-/// Wide full MR_W×NR_W micro-kernel: 6 C rows × 4 zmm accumulators, with
-/// one packed-B row (4 loads) and 6 scalar broadcasts per `kk` step.
+/// Wide full MR×NR_W micro-kernel: `MR` C rows × 4 zmm accumulators, with
+/// one packed-B row (4 loads) and `MR` scalar broadcasts per `kk` step.
 ///
-/// Multiply and add are issued as *separate* IEEE instructions — never
-/// FMA — so every product rounds exactly like the scalar reference and
-/// the backend stays bit-identical (see the module docs).
+/// With `FMA = false`, multiply and add are issued as *separate* IEEE
+/// instructions so every product rounds exactly like the scalar reference
+/// and the backend stays bit-identical (see the module docs). With
+/// `FMA = true` the pair fuses into `_mm512_fmadd_ps` — half the arithmetic
+/// µops, low bits inside the documented tolerance band.
+///
+/// `MR` is a const parameter because the two tiers want different register
+/// budgets: the exact tier runs 6 rows (24 accumulators + 4 B + 1
+/// broadcast = 29 zmm) and is arithmetic-bound anyway, but at 6 rows the
+/// register allocator is squeezed enough that it re-folds the four B
+/// vectors into *every* multiply as memory operands — ~30 load µops per
+/// `kk` instead of 10. Hidden under 48 arithmetic µops that is free; under
+/// 24 fused FMAs it becomes the bottleneck. The FMA tier therefore runs 5
+/// rows (25 zmm live), which keeps B in registers and the kernel on its
+/// FMA-port bound — same 64 flops/cycle ceiling, actually reachable.
 ///
 /// # Safety
 ///
 /// Callers must guarantee:
 /// * the CPU supports AVX-512F (`avx512_available()` returned true);
-/// * `av` holds at least `(ia0 + MR_W - 1) * k + k0 + kc` elements;
+/// * `av` holds at least `(ia0 + MR - 1) * k + k0 + kc` elements;
 /// * `bpanel` holds at least `kc * NR_W` elements;
-/// * `cchunk` holds at least `(rc0 + MR_W - 1) * n + j0 + NR_W` elements.
+/// * `cchunk` holds at least `(rc0 + MR - 1) * n + j0 + NR_W` elements.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 #[allow(clippy::too_many_arguments)] // same signature as micro_full — the tile coordinates
-unsafe fn micro_full_wide(
+unsafe fn micro_full_wide<const FMA: bool, const MR: usize>(
     av: &[f32],
     k: usize,
     ia0: usize,
@@ -201,18 +259,18 @@ unsafe fn micro_full_wide(
     j0: usize,
 ) {
     use std::arch::x86_64::*;
-    debug_assert!(kc > 0 && (ia0 + MR_W - 1) * k + k0 + kc <= av.len());
+    debug_assert!(kc > 0 && (ia0 + MR - 1) * k + k0 + kc <= av.len());
     debug_assert!(kc * NR_W <= bpanel.len());
-    debug_assert!((rc0 + MR_W - 1) * n + j0 + NR_W <= cchunk.len());
+    debug_assert!((rc0 + MR - 1) * n + j0 + NR_W <= cchunk.len());
 
     let cp = cchunk.as_mut_ptr();
     let bp = bpanel.as_ptr();
     // Hoist the per-row A cursors so the k-loop does no index arithmetic.
-    let mut arow = [av.as_ptr(); MR_W];
+    let mut arow = [av.as_ptr(); MR];
     for (r, ar) in arow.iter_mut().enumerate() {
         *ar = av.as_ptr().add((ia0 + r) * k + k0);
     }
-    let mut acc = [[_mm512_setzero_ps(); 4]; MR_W];
+    let mut acc = [[_mm512_setzero_ps(); 4]; MR];
     for (r, accr) in acc.iter_mut().enumerate() {
         let base = cp.add((rc0 + r) * n + j0);
         for (v, a) in accr.iter_mut().enumerate() {
@@ -227,10 +285,17 @@ unsafe fn micro_full_wide(
         let b3 = _mm512_loadu_ps(brow.add(48));
         for (r, accr) in acc.iter_mut().enumerate() {
             let a = _mm512_set1_ps(*arow[r].add(kk));
-            accr[0] = _mm512_add_ps(accr[0], _mm512_mul_ps(a, b0));
-            accr[1] = _mm512_add_ps(accr[1], _mm512_mul_ps(a, b1));
-            accr[2] = _mm512_add_ps(accr[2], _mm512_mul_ps(a, b2));
-            accr[3] = _mm512_add_ps(accr[3], _mm512_mul_ps(a, b3));
+            if FMA {
+                accr[0] = _mm512_fmadd_ps(a, b0, accr[0]);
+                accr[1] = _mm512_fmadd_ps(a, b1, accr[1]);
+                accr[2] = _mm512_fmadd_ps(a, b2, accr[2]);
+                accr[3] = _mm512_fmadd_ps(a, b3, accr[3]);
+            } else {
+                accr[0] = _mm512_add_ps(accr[0], _mm512_mul_ps(a, b0));
+                accr[1] = _mm512_add_ps(accr[1], _mm512_mul_ps(a, b1));
+                accr[2] = _mm512_add_ps(accr[2], _mm512_mul_ps(a, b2));
+                accr[3] = _mm512_add_ps(accr[3], _mm512_mul_ps(a, b3));
+            }
         }
     }
     for (r, accr) in acc.iter().enumerate() {
@@ -302,8 +367,17 @@ fn epilogue(cchunk: &mut [f32], n: usize, bias: Option<&[f32]>, act: Activation)
 
 /// The shared NN core: `C = act(A·B + bias)` with B packed once and the
 /// epilogue applied per row-chunk while it is still cache-resident.
-/// `HalfCompute` reuses this on quantized operands.
-pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activation) -> Tensor {
+/// `HalfCompute` reuses this on quantized operands. `fma` selects the fused
+/// multiply-add variant of the *wide full* micro-kernel only — edge tiles
+/// and the portable path always compute exactly, so `fma = true` differs
+/// from `fma = false` only where the 6×64 tile runs.
+pub(crate) fn tiled_nn(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&[f32]>,
+    act: Activation,
+    fma: bool,
+) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
@@ -316,6 +390,8 @@ pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activa
         epilogue(c.as_mut_slice(), n, bias, act);
         return c;
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = fma;
     // The wide tile only pays when at least one panel is full-width.
     let wide = avx512_available() && n >= NR_W;
     let (mc, mr, nr, kcb) = if wide {
@@ -323,6 +399,12 @@ pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activa
     } else {
         (MC, MR, NR, KC)
     };
+    // The FMA wide kernel runs 5-row tiles (see [`MR_W_FMA`]); the ragged
+    // remainder rows fall to the exact edge kernel either way. Blocking
+    // (`kcb`) is shared with the exact tier: measured on AVX-512 hosts,
+    // L1-resident B panels beat a register-resident C with full-`k` panels
+    // streaming from L2.
+    let mr = if wide && fma { MR_W_FMA } else { mr };
     let (av, bv) = (a.as_slice(), b.as_slice());
     let packed = PackedB::pack(bv, k, n, nr, kcb);
     let packed = &packed;
@@ -343,12 +425,38 @@ pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activa
                         if wide {
                             #[cfg(target_arch = "x86_64")]
                             // SAFETY: `wide` proves AVX-512F support; the
-                            // loop bounds keep `ia0+r+MR_W` rows inside
+                            // loop bounds keep `ia0+r+mr` rows inside
                             // `av`, `bpanel` is exactly `kc·NR_W` long, and
-                            // `rc0+MR_W` rows × `j0+NR_W` cols sit inside
-                            // this chunk (rh == MR_W, width == NR_W).
+                            // `rc0+mr` rows × `j0+NR_W` cols sit inside
+                            // this chunk (rh == mr, width == NR_W).
                             unsafe {
-                                micro_full_wide(av, k, ia0 + r, k0, kc, bpanel, cchunk, r, n, j0);
+                                if fma {
+                                    micro_full_wide::<true, MR_W_FMA>(
+                                        av,
+                                        k,
+                                        ia0 + r,
+                                        k0,
+                                        kc,
+                                        bpanel,
+                                        cchunk,
+                                        r,
+                                        n,
+                                        j0,
+                                    );
+                                } else {
+                                    micro_full_wide::<false, MR_W>(
+                                        av,
+                                        k,
+                                        ia0 + r,
+                                        k0,
+                                        kc,
+                                        bpanel,
+                                        cchunk,
+                                        r,
+                                        n,
+                                        j0,
+                                    );
+                                }
                             }
                             #[cfg(not(target_arch = "x86_64"))]
                             unreachable!("wide path requires x86_64");
@@ -393,28 +501,194 @@ pub(crate) fn tiled_nn(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, act: Activa
     c
 }
 
-/// NT kernel: rows of C are `dot4` products, with rows of B processed in
-/// L1-sized blocks so each block is reused across every row of the chunk.
-pub(crate) fn tiled_nt(a: &Tensor, b: &Tensor) -> Tensor {
+/// Bᵀ packed for the NT kernel: full-`k`-height, `nr`-wide column panels.
+///
+/// B is `[n, k]` row-major; panel `p` holds, at offset `kk·nr + lane`, the
+/// value `B[(p·nr + lane)·k + kk]` — the transposed panel in the same
+/// (`kk`-major, lane-minor) layout [`PackedB`] produces for NN, but at full
+/// `k` height: the NT micro-kernel keeps four *chain* accumulators live
+/// across the whole reduction (they cannot round-trip through C without
+/// collapsing the chains), so there is no KC blocking to offset for. Only
+/// the `n / nr` full panels are packed; ragged edge columns take the plain
+/// [`dot4`] path over unpacked B rows.
+fn pack_bt(bv: &[f32], k: usize, n: usize, nr: usize) -> (Vec<f32>, usize) {
+    let full_panels = n / nr;
+    let len = full_panels * k * nr;
+    // 64-byte-align the panels, exactly as [`PackedB::pack`] does and for
+    // the same reason: the wide NT kernel is load-bound, and a 16-byte
+    // buffer base would split most of its 64-byte panel loads across
+    // cache lines.
+    let mut data = vec![0.0f32; len + 16];
+    let align_off = (data.as_ptr() as usize).wrapping_neg() % 64 / 4;
+    // Lane-outer traversal: each B row is read once, sequentially, and
+    // scattered down its panel column (stride `nr`).
+    for p in 0..full_panels {
+        let panel = &mut data[align_off + p * k * nr..align_off + (p + 1) * k * nr];
+        for lane in 0..nr {
+            let src = &bv[(p * nr + lane) * k..(p * nr + lane + 1) * k];
+            for (kk, &x) in src.iter().enumerate() {
+                panel[kk * nr + lane] = x;
+            }
+        }
+    }
+    (data, align_off)
+}
+
+/// Portable NT micro-kernel: one A row × [`NT_NR`] output columns, columns
+/// as lanes. Reproduces [`dot4`] per lane exactly — four independent
+/// chains filled in ascending `k` (`chain = k mod 4`), chain sums folded
+/// left-to-right, then a sequential tail — so the result is bit-identical
+/// to the reference's scalar dot product.
+#[inline]
+fn micro_nt(arow: &[f32], bpanel: &[f32], cseg: &mut [f32]) {
+    let k = arow.len();
+    let mut acc = [[0.0f32; NT_NR]; 4];
+    let chunks = k / 4;
+    for t in 0..chunks {
+        let p = t * 4;
+        for (c, accc) in acc.iter_mut().enumerate() {
+            let a = arow[p + c];
+            let brow: &[f32; NT_NR] = bpanel[(p + c) * NT_NR..(p + c + 1) * NT_NR]
+                .try_into()
+                .unwrap();
+            for (s, &bj) in accc.iter_mut().zip(brow) {
+                *s += a * bj;
+            }
+        }
+    }
+    let mut s = [0.0f32; NT_NR];
+    for (lane, sl) in s.iter_mut().enumerate() {
+        *sl = ((acc[0][lane] + acc[1][lane]) + acc[2][lane]) + acc[3][lane];
+    }
+    for p in chunks * 4..k {
+        let a = arow[p];
+        let brow = &bpanel[p * NT_NR..(p + 1) * NT_NR];
+        for (sl, &bj) in s.iter_mut().zip(brow) {
+            *sl += a * bj;
+        }
+    }
+    cseg.copy_from_slice(&s);
+}
+
+/// Wide NT micro-kernel: one A row × [`NT_NR_W`] output columns, with
+/// 4 chains × 4 zmm of accumulators (16 registers) plus one broadcast and
+/// four packed-B loads per `k` step. Per lane this is exactly [`dot4`]'s
+/// accumulation order (see [`micro_nt`]); with `FMA = true` the
+/// multiply-add pairs fuse and land in the documented tolerance band
+/// instead.
+///
+/// # Safety
+///
+/// Callers must guarantee the CPU supports AVX-512F, `bpanel` holds at
+/// least `arow.len() * NT_NR_W` elements, and `cseg` holds at least
+/// `NT_NR_W` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_nt_wide<const FMA: bool>(arow: &[f32], bpanel: &[f32], cseg: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let k = arow.len();
+    debug_assert!(k * NT_NR_W <= bpanel.len());
+    debug_assert!(NT_NR_W <= cseg.len());
+    let ap = arow.as_ptr();
+    let bp = bpanel.as_ptr();
+    let mut acc = [[_mm512_setzero_ps(); 4]; 4]; // [chain][vec]
+    let chunks = k / 4;
+    for t in 0..chunks {
+        let p = t * 4;
+        for (c, accc) in acc.iter_mut().enumerate() {
+            let a = _mm512_set1_ps(*ap.add(p + c));
+            let brow = bp.add((p + c) * NT_NR_W);
+            for (v, s) in accc.iter_mut().enumerate() {
+                let bj = _mm512_loadu_ps(brow.add(v * 16));
+                *s = if FMA {
+                    _mm512_fmadd_ps(a, bj, *s)
+                } else {
+                    _mm512_add_ps(*s, _mm512_mul_ps(a, bj))
+                };
+            }
+        }
+    }
+    // Chain sums fold left-to-right — per lane, dot4's exact order.
+    let mut s = [_mm512_setzero_ps(); 4];
+    for (v, sv) in s.iter_mut().enumerate() {
+        *sv = _mm512_add_ps(
+            _mm512_add_ps(_mm512_add_ps(acc[0][v], acc[1][v]), acc[2][v]),
+            acc[3][v],
+        );
+    }
+    for p in chunks * 4..k {
+        let a = _mm512_set1_ps(*ap.add(p));
+        let brow = bp.add(p * NT_NR_W);
+        for (v, sv) in s.iter_mut().enumerate() {
+            let bj = _mm512_loadu_ps(brow.add(v * 16));
+            *sv = if FMA {
+                _mm512_fmadd_ps(a, bj, *sv)
+            } else {
+                _mm512_add_ps(*sv, _mm512_mul_ps(a, bj))
+            };
+        }
+    }
+    let cp = cseg.as_mut_ptr();
+    for (v, sv) in s.iter().enumerate() {
+        _mm512_storeu_ps(cp.add(v * 16), *sv);
+    }
+}
+
+/// NT kernel: Bᵀ is packed once into full-`k` column panels, then each
+/// panel stays cache-resident while every A row of the chunk streams over
+/// it (panel-outer, row-inner — the old per-element `dot4` walk streamed
+/// all of B past every row and lost to the reference). Ragged edge columns
+/// (`n mod nr`) take the plain [`dot4`] path. Bit-identical to the
+/// reference for `fma = false`; see the module docs for the `fma = true`
+/// band.
+pub(crate) fn tiled_nt(a: &Tensor, b: &Tensor, fma: bool) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul_nt: inner dims {k} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
-    if m == 0 || n == 0 {
+    if m == 0 || n == 0 || k == 0 {
         return c;
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = fma;
     let (av, bv) = (a.as_slice(), b.as_slice());
+    let wide = avx512_available() && n >= NT_NR_W;
+    let nr = if wide { NT_NR_W } else { NT_NR };
+    let full_panels = n / nr;
+    let (packed, align_off) = pack_bt(bv, k, n, nr);
+    let packed = &packed;
 
     let body = |(chunk_idx, cchunk): (usize, &mut [f32])| {
         let ia0 = chunk_idx * MC;
         let rows = cchunk.len() / n;
-        for j0 in (0..n).step_by(NT_JB) {
-            let j1 = (j0 + NT_JB).min(n);
+        for p in 0..full_panels {
+            let j0 = p * nr;
+            let bpanel = &packed[align_off + p * k * nr..align_off + (p + 1) * k * nr];
             for r in 0..rows {
                 let arow = &av[(ia0 + r) * k..(ia0 + r + 1) * k];
-                for j in j0..j1 {
-                    cchunk[r * n + j] = dot4(arow, &bv[j * k..(j + 1) * k]);
+                let cseg = &mut cchunk[r * n + j0..r * n + j0 + nr];
+                if wide {
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: `wide` proves AVX-512F support; `bpanel` is
+                    // exactly `k·NT_NR_W` long and `cseg` exactly `NT_NR_W`.
+                    unsafe {
+                        if fma {
+                            micro_nt_wide::<true>(arow, bpanel, cseg);
+                        } else {
+                            micro_nt_wide::<false>(arow, bpanel, cseg);
+                        }
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    unreachable!("wide path requires x86_64");
+                } else {
+                    micro_nt(arow, bpanel, cseg);
                 }
+            }
+        }
+        for r in 0..rows {
+            let arow = &av[(ia0 + r) * k..(ia0 + r + 1) * k];
+            for j in full_panels * nr..n {
+                cchunk[r * n + j] = dot4(arow, &bv[j * k..(j + 1) * k]);
             }
         }
     };
@@ -444,11 +718,11 @@ impl MatmulBackend for Tiled {
     }
 
     fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
-        tiled_nn(a, b, None, Activation::Identity)
+        tiled_nn(a, b, None, Activation::Identity, false)
     }
 
     fn matmul_nt(&self, a: &Tensor, b: &Tensor) -> Tensor {
-        tiled_nt(a, b)
+        tiled_nt(a, b, false)
     }
 
     /// TN as an exact transpose of A fed to the NN core: the core's
@@ -462,7 +736,7 @@ impl MatmulBackend for Tiled {
             a.rows(),
             b.rows()
         );
-        tiled_nn(&a.transposed(), b, None, Activation::Identity)
+        tiled_nn(&a.transposed(), b, None, Activation::Identity, false)
     }
 
     fn matmul_bias_act(
@@ -472,7 +746,51 @@ impl MatmulBackend for Tiled {
         bias: Option<&[f32]>,
         act: Activation,
     ) -> Tensor {
-        tiled_nn(a, b, bias, act)
+        tiled_nn(a, b, bias, act, false)
+    }
+}
+
+/// The same tiling as [`Tiled`] with fused multiply-add in the wide full
+/// micro-kernels — roughly half the arithmetic µops where the 6×64 tile
+/// runs, at the price of bit-identity: results sit in a tolerance band of
+/// the oracle (see the module docs) rather than matching it exactly. Opt-in
+/// via `--compute-backend tiled:fma`; rejected wherever a run promises
+/// bit-pinned comparisons.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TiledFma;
+
+impl MatmulBackend for TiledFma {
+    fn name(&self) -> &'static str {
+        "tiled:fma"
+    }
+
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        tiled_nn(a, b, None, Activation::Identity, true)
+    }
+
+    fn matmul_nt(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        tiled_nt(a, b, true)
+    }
+
+    fn matmul_tn(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(
+            a.rows(),
+            b.rows(),
+            "matmul_tn: outer dims {} vs {}",
+            a.rows(),
+            b.rows()
+        );
+        tiled_nn(&a.transposed(), b, None, Activation::Identity, true)
+    }
+
+    fn matmul_bias_act(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        bias: Option<&[f32]>,
+        act: Activation,
+    ) -> Tensor {
+        tiled_nn(a, b, bias, act, true)
     }
 }
 
@@ -598,6 +916,100 @@ mod tests {
                     assert_bitwise(&fused, &ref_fused, &format!("vs ref {m}x{k}x{n} {act:?}"));
                 }
             }
+        }
+    }
+
+    /// The per-element magnitude bound `Σₚ|A[i,p]||B[p,j]|` used by the
+    /// FMA tolerance band.
+    fn abs_bound(a: &Tensor, b: &Tensor, nt: bool) -> Tensor {
+        let (m, k) = (a.rows(), a.cols());
+        let n = if nt { b.rows() } else { b.cols() };
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    let bv = if nt { b.at(j, p) } else { b.at(p, j) };
+                    s += (a.at(i, p) * bv).abs() as f64;
+                }
+                c.set(i, j, s as f32);
+            }
+        }
+        c
+    }
+
+    /// `TiledFma` must sit inside the documented tolerance band of the
+    /// oracle: per element, `|Δ| ≤ 2 (k+1) ε · Σ|a||b|` (see the module
+    /// docs). Exercises NN, NT, TN and the fused epilogue on shapes that
+    /// hit the wide path, its edges, and the portable path.
+    #[test]
+    fn fma_variant_is_within_the_documented_band() {
+        let mut rng = Rng::seed_from(15);
+        for (m, k, n) in shapes() {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let tol_of = |bound: f32, k: usize| 2.0 * (k as f32 + 1.0) * f32::EPSILON * bound;
+            {
+                let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+                let exact = Reference.matmul(&a, &b);
+                let fma = TiledFma.matmul(&a, &b);
+                let bound = abs_bound(&a, &b, false);
+                for i in 0..m * n {
+                    let d = (exact.as_slice()[i] - fma.as_slice()[i]).abs();
+                    assert!(
+                        d <= tol_of(bound.as_slice()[i], k),
+                        "nn {m}x{k}x{n} elem {i}: Δ={d}"
+                    );
+                }
+            }
+            {
+                let b = Tensor::randn(&[n, k], 1.0, &mut rng);
+                let exact = Reference.matmul_nt(&a, &b);
+                let fma = TiledFma.matmul_nt(&a, &b);
+                let bound = abs_bound(&a, &b, true);
+                for i in 0..m * n {
+                    let d = (exact.as_slice()[i] - fma.as_slice()[i]).abs();
+                    assert!(
+                        d <= tol_of(bound.as_slice()[i], k),
+                        "nt {m}x{k}x{n} elem {i}: Δ={d}"
+                    );
+                }
+            }
+            {
+                let b = Tensor::randn(&[m, n], 1.0, &mut rng);
+                let exact = Reference.matmul_tn(&a, &b);
+                let fma = TiledFma.matmul_tn(&a, &b);
+                let bound = abs_bound(&a.transposed(), &b, false);
+                for i in 0..k * n {
+                    let d = (exact.as_slice()[i] - fma.as_slice()[i]).abs();
+                    assert!(
+                        d <= tol_of(bound.as_slice()[i], m),
+                        "tn {m}x{k}x{n} elem {i}: Δ={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Where the wide kernel cannot run (portable path: `n < NR_W`, or no
+    /// AVX-512), `TiledFma` computes exactly the same bits as `Tiled` —
+    /// FMA only ever fires inside the wide full micro-kernels.
+    #[test]
+    fn fma_equals_tiled_bitwise_on_the_portable_path() {
+        let mut rng = Rng::seed_from(16);
+        for (m, k, n) in [(9, 33, 7), (40, 120, 63), (130, 31, 8)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            assert_bitwise(
+                &TiledFma.matmul(&a, &b),
+                &Tiled.matmul(&a, &b),
+                &format!("portable nn {m}x{k}x{n}"),
+            );
+            let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+            assert_bitwise(
+                &TiledFma.matmul_nt(&a, &bt),
+                &Tiled.matmul_nt(&a, &bt),
+                &format!("portable nt {m}x{k}x{n}"),
+            );
         }
     }
 

@@ -78,6 +78,27 @@ pub const COMPUTE_MATMUL_FLOPS: &str = "compute.matmul.flops";
 /// bias+activation epilogue (see [`COMPUTE_MATMUL_FLOPS`]).
 pub const COMPUTE_MATMUL_NS: &str = "compute.matmul.ns";
 
+/// Nominal FLOPs executed by the row-wise softmax family (softmax and
+/// log-softmax: 5 per element — compare, subtract, exp, sum, scale),
+/// whichever row-op backend is installed. Nominal counts keep achieved
+/// rates comparable across PRs; `exp` is of course many hardware ops.
+pub const COMPUTE_SOFTMAX_FLOPS: &str = "compute.softmax.flops";
+/// Wall-clock nanoseconds inside the softmax kernels (see
+/// [`COMPUTE_SOFTMAX_FLOPS`]).
+pub const COMPUTE_SOFTMAX_NS: &str = "compute.softmax.ns";
+/// Nominal FLOPs executed by layer-norm forward (8 per element: two
+/// reduction adds, centered square, normalize, scale, shift).
+pub const COMPUTE_LAYERNORM_FLOPS: &str = "compute.layernorm.flops";
+/// Wall-clock nanoseconds inside layer-norm forward (see
+/// [`COMPUTE_LAYERNORM_FLOPS`]).
+pub const COMPUTE_LAYERNORM_NS: &str = "compute.layernorm.ns";
+/// Nominal FLOPs executed by the Adam/AdamW update (12 per element: two
+/// moment lerps, two bias corrections, sqrt, divide, decay, apply).
+pub const COMPUTE_ADAM_FLOPS: &str = "compute.adam.flops";
+/// Wall-clock nanoseconds inside the Adam/AdamW update (see
+/// [`COMPUTE_ADAM_FLOPS`]).
+pub const COMPUTE_ADAM_NS: &str = "compute.adam.ns";
+
 /// Messages dropped in flight by fault injection.
 pub const FAULT_DROPS: &str = "fault.drops";
 /// Payloads corrupted in flight by fault injection.

@@ -8,7 +8,9 @@
 //!   wide (AVX-512) micro-kernel, wherever this host runs;
 //! * `HalfCompute` equals `Reference` bit for bit once the operands are
 //!   pre-quantized (storage format is the *only* difference), and tracks
-//!   the f32 oracle within its format's tolerance otherwise.
+//!   the f32 oracle within its format's tolerance otherwise;
+//! * `tiled:fma` is the one tier that is *not* bit-identical — it must
+//!   stay inside the documented per-element error band instead.
 //!
 //! Shapes deliberately sweep the degenerate cases (`m == 0`, `k == 0`,
 //! `n == 1`), the MR/NR/MR_W/NR_W tile edges, and the serial-vs-parallel
@@ -132,6 +134,49 @@ proptest! {
             ),
             "fused {m}x{k}x{n}"
         );
+    }
+
+    // `tiled:fma` trades bitwise identity for a *documented* band: each
+    // output element stays within `2(k+1)·ε·Σ_p |A[i,p]·B[p,j]|` of the
+    // Reference answer (the standard forward-error bound for a length-k
+    // dot product, doubled for the padded-edge contraction). Shapes sweep
+    // the edges where the fused path hands off to the exact micro-kernel:
+    // `m == 0`, `k` below one KC panel, and `n` not dividing NR_W.
+    #[test]
+    fn fma_stays_within_documented_band_of_reference(
+        m in 0usize..70, k in 0usize..300, n in 0usize..140, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bt = b.transposed();
+        let at = a.transposed();
+        let reference = ComputeBackend::Reference.instantiate();
+        let fma = ComputeBackend::TiledFma.instantiate();
+        let eps = f32::EPSILON as f64;
+        let layouts: [(&str, Tensor, Tensor); 3] = [
+            ("nn", fma.matmul(&a, &b), reference.matmul(&a, &b)),
+            ("nt", fma.matmul_nt(&a, &bt), reference.matmul_nt(&a, &bt)),
+            ("tn", fma.matmul_tn(&at, &b), reference.matmul_tn(&at, &b)),
+        ];
+        for (layout, got, want) in layouts {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut mag = 0.0f64;
+                    for p in 0..k {
+                        mag += (a.at(i, p) as f64 * b.at(p, j) as f64).abs();
+                    }
+                    let band = 2.0 * (k as f64 + 1.0) * eps * mag;
+                    let diff = (got.at(i, j) as f64 - want.at(i, j) as f64).abs();
+                    prop_assert!(
+                        diff <= band,
+                        "{layout} {m}x{k}x{n} [{i},{j}]: |{} - {}| = {diff:e} > band {band:e}",
+                        got.at(i, j),
+                        want.at(i, j),
+                    );
+                }
+            }
+        }
     }
 
     // Straddle the serial-vs-rayon dispatch boundary (`m·n` around

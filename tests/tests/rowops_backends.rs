@@ -1,0 +1,119 @@
+//! Property tests for the [`RowOpsBackend`] tier pair: the vectorized
+//! tier must be bit-identical to the reference tier for every row op, on
+//! arbitrary shapes and seeds — the same contract `Tiled` carries against
+//! `Reference` for GEMM (see DESIGN.md "Compute floor"). Unlike the
+//! `tiled:fma` GEMM tier there is no tolerance band here: both row-op
+//! tiers keep the reference accumulation order and only differ in how
+//! rows are split across threads, which must not change a single bit.
+
+use bagualu_tensor::ops::{
+    AdamStep, ComputeBackend, ReferenceRowOps, RowOpsBackend, VectorizedRowOps,
+};
+use bagualu_tensor::rng::Rng;
+use bagualu_tensor::Tensor;
+use proptest::prelude::*;
+
+fn bitwise_eq(x: &[f32], y: &[f32]) -> bool {
+    x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Softmax and log-softmax: rows from empty to far past the row-split
+    // chunk size, including single-column rows (softmax of one element is
+    // exactly 1.0 on both tiers).
+    #[test]
+    fn vectorized_softmax_is_bitwise_reference(
+        rows in 0usize..48, cols in 1usize..300, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[rows, cols], 2.0, &mut rng);
+        let (mut a, mut b) = (x.clone(), x.clone());
+        ReferenceRowOps.softmax_rows_inplace(&mut a);
+        VectorizedRowOps.softmax_rows_inplace(&mut b);
+        prop_assert!(bitwise_eq(a.as_slice(), b.as_slice()), "softmax {rows}x{cols}");
+        let la = ReferenceRowOps.log_softmax_rows(&x);
+        let lb = VectorizedRowOps.log_softmax_rows(&x);
+        prop_assert!(bitwise_eq(la.as_slice(), lb.as_slice()), "log_softmax {rows}x{cols}");
+    }
+
+    // LayerNorm: all three outputs (y, x̂, 1/σ) must match, since the
+    // backward pass consumes the cached x̂ and 1/σ directly.
+    #[test]
+    fn vectorized_layernorm_is_bitwise_reference(
+        rows in 0usize..48, cols in 1usize..300, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+        let gamma: Vec<f32> = (0..cols).map(|i| 1.0 + i as f32 * 1e-3).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| i as f32 * 1e-2 - 0.5).collect();
+        let a = ReferenceRowOps.layernorm_rows(&x, &gamma, &beta, 1e-5);
+        let b = VectorizedRowOps.layernorm_rows(&x, &gamma, &beta, 1e-5);
+        prop_assert!(bitwise_eq(a.y.as_slice(), b.y.as_slice()), "y {rows}x{cols}");
+        prop_assert!(bitwise_eq(a.xhat.as_slice(), b.xhat.as_slice()), "xhat {rows}x{cols}");
+        prop_assert!(bitwise_eq(&a.inv_sigma, &b.inv_sigma), "inv_sigma {rows}x{cols}");
+    }
+
+    // Adam: value, m, and v must all agree after the update — optimizer
+    // state divergence is how elastic-resize replays go wrong silently.
+    #[test]
+    fn vectorized_adam_is_bitwise_reference(
+        len in 0usize..5000, t in 1u32..50, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let grad = Tensor::randn(&[len.max(1)], 0.1, &mut rng);
+        let value0 = Tensor::randn(&[len.max(1)], 1.0, &mut rng);
+        let m0 = Tensor::randn(&[len.max(1)], 0.01, &mut rng);
+        let v0 = Tensor::randn(&[len.max(1)], 0.001, &mut rng);
+        let grad = &grad.as_slice()[..len];
+        let step = AdamStep {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            bc1: 1.0 - 0.9f32.powi(t as i32),
+            bc2: 1.0 - 0.999f32.powi(t as i32),
+        };
+        let run = |ops: &dyn RowOpsBackend| {
+            let mut value = value0.as_slice()[..len].to_vec();
+            let mut m = m0.as_slice()[..len].to_vec();
+            let mut v: Vec<f32> = v0.as_slice()[..len].iter().map(|x| x.abs()).collect();
+            ops.adam_update(&mut value, grad, &mut m, &mut v, &step);
+            (value, m, v)
+        };
+        let (va, ma, sa) = run(&ReferenceRowOps);
+        let (vb, mb, sb) = run(&VectorizedRowOps);
+        prop_assert!(bitwise_eq(&va, &vb), "value len={len} t={t}");
+        prop_assert!(bitwise_eq(&ma, &mb), "m len={len} t={t}");
+        prop_assert!(bitwise_eq(&sa, &sb), "v len={len} t={t}");
+    }
+
+    // The backend registry pairing: every ComputeBackend resolves to the
+    // row-op tier its bit-identity contract promises — Reference keeps
+    // the reference tier, everything faster gets the vectorized tier,
+    // and the result is bitwise either way.
+    #[test]
+    fn compute_backend_rowops_pairing_is_bitwise(
+        rows in 1usize..16, cols in 1usize..80, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+        let mut want = x.clone();
+        ReferenceRowOps.softmax_rows_inplace(&mut want);
+        for cb in [
+            ComputeBackend::Reference,
+            ComputeBackend::Tiled,
+            ComputeBackend::TiledFma,
+        ] {
+            let ops = cb.instantiate_row_ops();
+            let mut got = x.clone();
+            ops.softmax_rows_inplace(&mut got);
+            prop_assert!(
+                bitwise_eq(got.as_slice(), want.as_slice()),
+                "{cb} ({}) {rows}x{cols}", ops.name(),
+            );
+        }
+    }
+}
