@@ -10,7 +10,7 @@ use bagualu_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: reproduce <all | e1 e2 ... e28>");
+        eprintln!("usage: reproduce <all | e1 e2 ... e29>");
         eprintln!("experiments:");
         for id in experiments::ALL {
             eprintln!("  {id}");

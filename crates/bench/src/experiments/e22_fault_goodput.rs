@@ -95,8 +95,8 @@ pub fn run() {
             seed += 1;
             arrivals = exp_arrivals(seed, mtbf, STEPS);
         }
-        // The analytic optimum, converted from seconds to steps.
-        let tau_opt_s = (2.0 * delta_s * mtbf * step_s).sqrt();
+        // The analytic optimum (shared with the tuner), seconds to steps.
+        let tau_opt_s = bagualu::perfmodel::young_daly_tau_opt(delta_s, mtbf * step_s);
         let tau_opt_steps = tau_opt_s / step_s;
         let mut best: Option<(usize, f64)> = None;
         let mut rows = Vec::new();

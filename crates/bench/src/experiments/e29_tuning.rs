@@ -1,0 +1,225 @@
+//! E29 — auto-tuning: modeled-vs-measured ranking fidelity and the
+//! tuned-vs-default win.
+//!
+//! `bagualu-tune` ranks the communication knob space with the α–β cost
+//! model, then validates its top picks with short measured runs of the
+//! real trainer. This experiment grades that loop on a 4-rank world:
+//!
+//! 1. **Search + rank**: enumerate the standard knob grid over a tiny
+//!    4-rank base config and rank every candidate by modeled step time at
+//!    a 4096-node target scale.
+//! 2. **Measure**: time the modeled top-K plus the all-defaults baseline
+//!    on the functional trainer; the winner is the *measured* argmin.
+//! 3. **Fidelity**: pairwise concordance between the modeled and measured
+//!    orderings of the measured set — how often the model gets a
+//!    strictly-ordered pair right (reported, not gated: timing noise on a
+//!    shared CI box is real).
+//! 4. **Gates** (the CI teeth): the tuned config's *modeled* step time is
+//!    no worse than default's, its *measured* step time is no worse than
+//!    default's on the 4-rank world, and the winning TOML round-trips to
+//!    the exact same `RunConfig` — the reproducibility contract behind
+//!    `bagualu train --config`.
+//!
+//! Artifacts: `target/e29/tuning-table.txt` and `BENCH_tuning.json` at
+//! the repo root (schema `bagualu-tuning/v1`).
+
+use crate::table::Table;
+use bagualu::runconfig::RunConfig;
+use bagualu_tune::{tune, CostEnv, SearchSpace, TuneOptions};
+
+const TABLE_OUT: &str = "target/e29/tuning-table.txt";
+const JSON_OUT: &str = "BENCH_tuning.json";
+
+const RANKS: usize = 4;
+const SCALE_NODES: usize = 4096;
+const TOP_K: usize = 3;
+const MEASURE_STEPS: usize = 6;
+
+fn base_config() -> RunConfig {
+    let mut rc = RunConfig::default();
+    rc.train.ranks = RANKS;
+    rc.train.batch = 2;
+    rc.train.seq = 8;
+    rc
+}
+
+pub fn run() {
+    println!("== E29: cost-model-driven auto-tuning ==\n");
+
+    let base = base_config();
+    let space = SearchSpace::default();
+    let env = CostEnv::sunway(SCALE_NODES);
+    let opts = TuneOptions {
+        scale_nodes: SCALE_NODES,
+        top_k: TOP_K,
+        measure_steps: MEASURE_STEPS,
+        measure: true,
+    };
+    println!(
+        "search space: {} grid points over wire dtype / a2a topology / placement+bias \
+         / overlap / bucket size",
+        space.grid_points()
+    );
+    println!(
+        "base: tiny preset, {} ranks; modeled at {} nodes; measuring top-{} + default \
+         with {}-step runs\n",
+        RANKS, SCALE_NODES, TOP_K, MEASURE_STEPS
+    );
+
+    let report = tune(&base, &space, &env, &opts).expect("tuning the default base succeeds");
+
+    // ---- Full modeled ranking (the tuner's own table).
+    println!("-- modeled ranking (measured column for the validated set) --");
+    print!("{}", report.table());
+
+    // ---- Ranking fidelity over the measured set.
+    let measured: Vec<(usize, f64, f64)> = report
+        .scored
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.measured_step_s.map(|m| (i, c.cost.step_s, m)))
+        .collect();
+    let mut ordered_pairs = 0usize;
+    let mut concordant = 0usize;
+    for (ai, a) in measured.iter().enumerate() {
+        for b in &measured[ai + 1..] {
+            if a.1 == b.1 {
+                continue; // modeled tie: the model makes no claim
+            }
+            ordered_pairs += 1;
+            if (a.1 < b.1) == (a.2 < b.2) {
+                concordant += 1;
+            }
+        }
+    }
+    let concordance = if ordered_pairs > 0 {
+        concordant as f64 / ordered_pairs as f64
+    } else {
+        1.0
+    };
+    println!(
+        "\nranking fidelity: {concordant}/{ordered_pairs} strictly-modeled pairs ordered \
+         the same way by measurement ({:.0}%)",
+        concordance * 100.0
+    );
+
+    // ---- Gates.
+    let winner = report.winner();
+    let default = report.default_candidate();
+    let w_measured = winner.measured_step_s.expect("winner was measured");
+    let d_measured = default.measured_step_s.expect("default was measured");
+    assert!(
+        winner.cost.step_s <= default.cost.step_s,
+        "tuned config models worse than default: {} vs {} s",
+        winner.cost.step_s,
+        default.cost.step_s
+    );
+    assert!(
+        w_measured <= d_measured,
+        "tuned config measured worse than default on {RANKS} ranks: {w_measured} vs \
+         {d_measured} s"
+    );
+    let replayed =
+        RunConfig::from_toml(&report.winning_toml()).expect("winning TOML must parse back");
+    assert_eq!(
+        replayed, winner.rc,
+        "winning TOML did not round-trip to the same RunConfig"
+    );
+    println!(
+        "\ngates: tuned modeled {:.3}ms <= default {:.3}ms; tuned measured {:.3}ms <= \
+         default {:.3}ms ({} ranks); winning TOML round-trips ✓",
+        winner.cost.step_s * 1e3,
+        default.cost.step_s * 1e3,
+        w_measured * 1e3,
+        d_measured * 1e3,
+        RANKS
+    );
+    println!("winner: {}", winner.name);
+
+    // ---- Artifacts.
+    let mut summary = Table::new(&["role", "candidate", "modeled", "measured", "roofl_x"]);
+    for (role, c) in [("winner", winner), ("default", default)] {
+        summary.row(&[
+            role.into(),
+            c.name.clone(),
+            format!("{:.3}ms", c.cost.step_s * 1e3),
+            format!("{:.3}ms", c.measured_step_s.unwrap() * 1e3),
+            format!("{:.2}", c.cost.roofline_distance),
+        ]);
+    }
+    println!();
+    summary.print();
+
+    let mut artifact = String::from("E29 tuning: cost-model search + measured validation\n\n");
+    artifact.push_str(&format!(
+        "base: tiny preset, {RANKS} ranks; modeled at {SCALE_NODES} nodes; \
+         top-{TOP_K} + default measured with {MEASURE_STEPS}-step runs\n\n"
+    ));
+    artifact.push_str(&report.table());
+    artifact.push_str(&format!(
+        "\nranking fidelity: {concordant}/{ordered_pairs} pairs concordant \
+         ({:.0}%)\n\nwinning config:\n{}",
+        concordance * 100.0,
+        report.winning_toml()
+    ));
+    std::fs::create_dir_all("target/e29").expect("create target/e29");
+    std::fs::write(TABLE_OUT, &artifact).expect("write tuning table");
+
+    let mut json = String::from("{\n  \"schema\": \"bagualu-tuning/v1\",\n");
+    json.push_str(&format!(
+        "  \"search\": {{\"grid_points\": {}, \"candidates\": {}, \"scale_nodes\": \
+         {SCALE_NODES}, \"ranks\": {RANKS}, \"top_k\": {TOP_K}, \"measure_steps\": \
+         {MEASURE_STEPS}}},\n",
+        space.grid_points(),
+        report.scored.len()
+    ));
+    json.push_str("  \"measured\": [\n");
+    for (i, &(idx, modeled, meas)) in measured.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"measured_ms\": {:.4}}}{}\n",
+            report.scored[idx].name,
+            modeled * 1e3,
+            meas * 1e3,
+            if i + 1 == measured.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"concordance\": {{\"pairs\": {ordered_pairs}, \"concordant\": {concordant}, \
+         \"fraction\": {concordance:.4}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"winner\": {{\"name\": \"{}\", \"modeled_ms\": {:.4}, \"measured_ms\": {:.4}, \
+         \"roofline_distance\": {:.4}}},\n",
+        winner.name,
+        winner.cost.step_s * 1e3,
+        w_measured * 1e3,
+        winner.cost.roofline_distance
+    ));
+    json.push_str(&format!(
+        "  \"default\": {{\"modeled_ms\": {:.4}, \"measured_ms\": {:.4}}},\n",
+        default.cost.step_s * 1e3,
+        d_measured * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"tuned_modeled_no_worse\": true, \"tuned_measured_no_worse\": \
+         true, \"toml_round_trip\": true, \"strict_measured_win\": {}}}\n}}\n",
+        report.winner_index != report.default_index && w_measured < d_measured
+    ));
+    std::fs::write(JSON_OUT, json).expect("write BENCH_tuning.json");
+
+    println!(
+        "\nwrote {TABLE_OUT} and {JSON_OUT}\n\n\
+         Shape check: at 4096 modeled nodes the tiny model's per-pair a2a\n\
+         payloads are latency-dominated, so the model sends the 16-bit\n\
+         hierarchical candidates to the top. The measured side is the honest\n\
+         split: on a 4-rank in-process world the knob effects sit inside\n\
+         scheduler noise, so the winner is chosen by *measured* argmin over\n\
+         the top-K plus the default — by construction it is never measurably\n\
+         worse than the default, and when a candidate's real win clears the\n\
+         noise it takes the crown (strict_measured_win in the JSON). The\n\
+         winner's TOML is the product: `bagualu train --config` on it\n\
+         reproduces the tuned run bit for bit, because flags and file build\n\
+         the same RunConfig.\n"
+    );
+}

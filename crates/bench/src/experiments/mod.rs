@@ -28,11 +28,13 @@ pub mod e25_placement;
 pub mod e26_kernel_bench;
 pub mod e27_goodput;
 pub mod e28_serving;
+pub mod e29_tuning;
 
 /// All experiment ids, in order.
-pub const ALL: [&str; 28] = [
+pub const ALL: [&str; 29] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
     "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28",
+    "e29",
 ];
 
 /// Run one experiment by id. Returns false for an unknown id.
@@ -66,6 +68,7 @@ pub fn run(id: &str) -> bool {
         "e26" => e26_kernel_bench::run(),
         "e27" => e27_goodput::run(),
         "e28" => e28_serving::run(),
+        "e29" => e29_tuning::run(),
         _ => return false,
     }
     true

@@ -1,0 +1,289 @@
+//! Flags → [`RunConfig`]: the CLI's half of the unified config layer.
+//!
+//! Every flag default here is *derived from* [`RunConfig::default`] — the
+//! CLI holds no default literals of its own, so the flag surface and the
+//! TOML schema can never drift (a test below pins this). Precedence is
+//! `RunConfig::default()` < `--config FILE` < explicit flags, which makes
+//! a config file a named set of overrides and a flag a one-off tweak on
+//! top of it.
+
+use crate::args::Args;
+use bagualu::runconfig::RunConfig;
+use bagualu::tensor::{ComputeBackend, DType};
+
+/// Parse a flag through its knob's own `FromStr`, keeping the knob's
+/// error text (which lists the accepted spellings) but naming the flag.
+fn flag<T: std::str::FromStr<Err = String>>(
+    args: &Args,
+    key: &str,
+    current: T,
+) -> Result<T, String> {
+    match args.get(key, "") {
+        s if s.is_empty() => Ok(current),
+        s => s.parse().map_err(|e: String| format!("--{key}: {e}")),
+    }
+}
+
+/// Read `--config FILE` into a [`RunConfig`], or start from defaults.
+fn base(args: &Args) -> Result<RunConfig, String> {
+    let path = args.get("config", "");
+    if path.is_empty() {
+        return Ok(RunConfig::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("--config {path}: {e}"))?;
+    RunConfig::from_toml(&text).map_err(|e| format!("--config {path}: {e}"))
+}
+
+/// The flags [`train_run_config`] consumes (for `assert_known`).
+pub const TRAIN_CONFIG_FLAGS: &[&str] = &[
+    "config",
+    "dump-config",
+    "preset",
+    "experts",
+    "gate",
+    "ranks",
+    "steps",
+    "batch",
+    "seq",
+    "lr",
+    "dtype",
+    "seed",
+    "skew",
+    "zero",
+    "wire-dtype",
+    "hierarchical",
+    "supernode-size",
+    "no-overlap",
+    "bucket-kib",
+    "placement",
+    "locality-bias",
+    "compute-backend",
+    "compute-dtype",
+    "ckpt-dir",
+    "ckpt-every",
+    "max-restarts",
+    "elastic",
+    "straggler-factor",
+    "straggler-window",
+];
+
+/// The flags [`serve_run_config`] consumes.
+pub const SERVE_CONFIG_FLAGS: &[&str] = &[
+    "config",
+    "dump-config",
+    "ranks",
+    "experts",
+    "hierarchical",
+    "supernode-size",
+    "placement",
+    "locality-bias",
+    "max-batch",
+    "kv-blocks",
+    "block-tokens",
+];
+
+/// Overlay the training-side flags onto `--config`/defaults. The result
+/// is *not* yet validated — `RunConfig::to_train_config` validates, so
+/// `--dump-config` can still print a config the user is mid-way through
+/// assembling.
+pub fn train_run_config(args: &Args) -> Result<RunConfig, String> {
+    let mut rc = base(args)?;
+
+    // [model]
+    let p = args.get("preset", "");
+    if !p.is_empty() {
+        bagualu::runconfig::preset(&p).map_err(|e| format!("--preset: {e}"))?;
+        rc.model.preset = p;
+    }
+    rc.model.experts = args.get_parse("experts", rc.model.experts)?;
+    rc.model.gate = flag(args, "gate", rc.model.gate)?;
+
+    // [train]
+    rc.train.ranks = args.get_parse("ranks", rc.train.ranks)?;
+    rc.train.steps = args.get_parse("steps", rc.train.steps)?;
+    rc.train.batch = args.get_parse("batch", rc.train.batch)?;
+    rc.train.seq = args.get_parse("seq", rc.train.seq)?;
+    rc.train.lr = args.get_parse("lr", rc.train.lr)?;
+    rc.train.dtype = flag(args, "dtype", rc.train.dtype)?;
+    rc.train.seed = args.get_parse("seed", rc.train.seed)?;
+    rc.train.skew = args.get_parse("skew", rc.train.skew)?;
+    if args.switch("zero") {
+        rc.train.zero = true;
+    }
+
+    // [comm]
+    rc.comm.wire_dtype = flag(args, "wire-dtype", rc.comm.wire_dtype)?;
+    if args.switch("hierarchical") {
+        rc.comm.hierarchical = true;
+    }
+    rc.comm.supernode_size = args.get_parse("supernode-size", rc.comm.supernode_size)?;
+    if args.switch("no-overlap") {
+        rc.comm.overlap = false;
+    }
+    rc.comm.bucket_kib = args.get_parse("bucket-kib", rc.comm.bucket_kib)?;
+
+    // [placement]
+    rc.placement.policy = flag(args, "placement", rc.placement.policy)?;
+    rc.placement.locality_bias = args.get_parse("locality-bias", rc.placement.locality_bias)?;
+
+    // [compute] — `--compute-dtype` refines a `half` backend in place.
+    rc.compute.backend = flag(args, "compute-backend", rc.compute.backend)?;
+    let compute_dtype = args.get("compute-dtype", "");
+    if !compute_dtype.is_empty() {
+        let dt: DType = compute_dtype
+            .parse()
+            .map_err(|e| format!("--compute-dtype: {e}"))?;
+        match (rc.compute.backend, dt) {
+            (_, DType::F32) => {
+                return Err("--compute-dtype wants a 16-bit format (fp16 | bf16)".into())
+            }
+            (ComputeBackend::Half(_), dt) => rc.compute.backend = ComputeBackend::Half(dt),
+            _ => {
+                return Err(
+                    "--compute-dtype only applies to --compute-backend half (reference, \
+                     tiled, and tiled:fma always compute in fp32)"
+                        .into(),
+                )
+            }
+        }
+    }
+
+    // [ft] — any recovery-side flag opts the run into the fault-tolerant
+    // driver, matching the historical CLI behavior.
+    let ckpt_dir = args.get("ckpt-dir", "");
+    if !ckpt_dir.is_empty() {
+        rc.ft.ckpt_dir = ckpt_dir;
+        rc.ft.enabled = true;
+    }
+    rc.ft.ckpt_every = args.get_parse("ckpt-every", rc.ft.ckpt_every)?;
+    rc.ft.max_restarts = args.get_parse("max-restarts", rc.ft.max_restarts)?;
+    if args.switch("elastic") {
+        rc.ft.elastic = true;
+        rc.ft.enabled = true;
+    }
+    let sf = args.get("straggler-factor", "");
+    if !sf.is_empty() {
+        rc.ft.straggler_factor = sf
+            .parse()
+            .map_err(|_| format!("bad --straggler-factor: {sf}"))?;
+        rc.ft.enabled = true;
+    }
+    rc.ft.straggler_window = args.get_parse("straggler-window", rc.ft.straggler_window)?;
+
+    Ok(rc)
+}
+
+/// Overlay the serving-side flags onto `--config`/defaults. Serving uses
+/// `[model]`, `[serve]`, the comm topology, and placement; `[train]`'s
+/// `ranks` doubles as the serving world size (one world size per run).
+pub fn serve_run_config(args: &Args) -> Result<RunConfig, String> {
+    let mut rc = base(args)?;
+    rc.train.ranks = args.get_parse("ranks", rc.train.ranks)?;
+    rc.model.experts = args.get_parse("experts", rc.model.experts)?;
+    if args.switch("hierarchical") {
+        rc.comm.hierarchical = true;
+    }
+    rc.comm.supernode_size = args.get_parse("supernode-size", rc.comm.supernode_size)?;
+    rc.placement.policy = flag(args, "placement", rc.placement.policy)?;
+    rc.placement.locality_bias = args.get_parse("locality-bias", rc.placement.locality_bias)?;
+    rc.serve.max_batch = args.get_parse("max-batch", rc.serve.max_batch)?;
+    rc.serve.kv_blocks = args.get_parse("kv-blocks", rc.serve.kv_blocks)?;
+    rc.serve.block_tokens = args.get_parse("block-tokens", rc.serve.block_tokens)?;
+    Ok(rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagualu::parallel::ExpertPlacement;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    /// The anti-drift pin: a bare `bagualu train` must mean exactly
+    /// `RunConfig::default()`. If a default literal ever sneaks back into
+    /// the CLI layer, this fails.
+    #[test]
+    fn bare_train_is_exactly_the_default_run_config() {
+        assert_eq!(
+            train_run_config(&parse("train")).unwrap(),
+            RunConfig::default()
+        );
+        assert_eq!(
+            serve_run_config(&parse("serve")).unwrap(),
+            RunConfig::default()
+        );
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let rc = train_run_config(&parse(
+            "train --ranks 4 --steps 7 --wire-dtype bf16 --hierarchical \
+             --supernode-size 2 --placement supernode:2 --no-overlap --zero \
+             --compute-backend tiled:fma --gate balanced --skew 1.1",
+        ))
+        .unwrap();
+        assert_eq!(rc.train.ranks, 4);
+        assert_eq!(rc.train.steps, 7);
+        assert!(rc.comm.hierarchical && !rc.comm.overlap && rc.train.zero);
+        assert_eq!(rc.comm.supernode_size, 2);
+        assert_eq!(
+            rc.placement.policy,
+            ExpertPlacement::Supernode { supernode_size: 2 }
+        );
+        assert_eq!(rc.compute.backend, ComputeBackend::TiledFma);
+    }
+
+    #[test]
+    fn flags_override_config_file() {
+        let dir = std::env::temp_dir().join(format!("bagualu-cli-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.toml");
+        let mut file_rc = RunConfig::default();
+        file_rc.train.steps = 99;
+        file_rc.train.ranks = 4;
+        std::fs::write(&path, file_rc.to_toml()).unwrap();
+        let rc = train_run_config(&parse(&format!(
+            "train --config {} --steps 11",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(rc.train.steps, 11, "flag beats file");
+        assert_eq!(rc.train.ranks, 4, "file beats default");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ft_flags_enable_the_recovery_driver() {
+        let rc = train_run_config(&parse("train --elastic --ckpt-every 4")).unwrap();
+        assert!(rc.ft.enabled && rc.ft.elastic);
+        assert_eq!(rc.ft.ckpt_every, 4);
+        let rc = train_run_config(&parse("train --straggler-factor 1.5")).unwrap();
+        assert!(rc.ft.enabled);
+        assert_eq!(rc.ft.straggler_factor, 1.5);
+        assert!(!train_run_config(&parse("train")).unwrap().ft.enabled);
+    }
+
+    #[test]
+    fn knob_errors_name_the_flag_and_the_choices() {
+        let e = train_run_config(&parse("train --gate top9")).unwrap_err();
+        assert!(e.contains("--gate") && e.contains("balanced"), "{e}");
+        let e = train_run_config(&parse("train --compute-dtype fp32")).unwrap_err();
+        assert!(e.contains("16-bit"), "{e}");
+        let e = train_run_config(&parse("train --config /no/such/file.toml")).unwrap_err();
+        assert!(e.contains("--config"), "{e}");
+    }
+
+    #[test]
+    fn config_flag_surface_matches_the_flag_lists() {
+        // Every flag the builders read must be declared, or `assert_known`
+        // would reject it at the command layer.
+        for f in ["config", "supernode-size", "preset", "dump-config"] {
+            assert!(TRAIN_CONFIG_FLAGS.contains(&f), "{f} missing");
+        }
+        for f in ["config", "max-batch", "kv-blocks", "block-tokens"] {
+            assert!(SERVE_CONFIG_FLAGS.contains(&f), "{f} missing");
+        }
+    }
+}

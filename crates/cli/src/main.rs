@@ -9,6 +9,7 @@
 //! ```
 
 mod args;
+mod config;
 
 use args::Args;
 use bagualu::comm::FaultPlan;
@@ -20,11 +21,9 @@ use bagualu::model::param::HasParams;
 use bagualu::model::transformer::Transformer;
 use bagualu::optim::adam::{Adam, AdamConfig};
 use bagualu::parallel::moe_dist::A2aKind;
-use bagualu::parallel::ExpertPlacement;
 use bagualu::perfmodel::{project, PerfInput};
 use bagualu::tensor::rng::Rng;
-use bagualu::tensor::{ComputeBackend, DType};
-use bagualu::trainer::{FtConfig, TrainConfig, Trainer};
+use bagualu::trainer::Trainer;
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -37,6 +36,7 @@ fn main() {
         "project" => cmd_project(&args),
         "generate" => cmd_generate(&args),
         "serve" => cmd_serve(&args),
+        "tune" => cmd_tune(&args),
         "" | "help" => {
             print_help();
             Ok(())
@@ -61,6 +61,9 @@ fn print_help() {
     eprintln!("commands:");
     eprintln!("  info      machine model and brain-scale preset tables");
     eprintln!("  train     run the functional MoDa trainer");
+    eprintln!("            --config FILE (TOML RunConfig; defaults < file < flags)");
+    eprintln!("            --dump-config (print the resolved config as TOML and exit)");
+    eprintln!("            --preset tiny|1.93t|14.5t|174t (model shape; default tiny)");
     eprintln!("            --ranks N --steps N --batch N --seq N --lr F --dtype fp32|bf16|fp16");
     eprintln!("            --wire-dtype f32|f16|bf16 (compress comm traffic to 16-bit in flight)");
     eprintln!(
@@ -69,7 +72,8 @@ fn print_help() {
     );
     eprintln!("            --compute-dtype fp16|bf16 (half-compute storage format; default bf16)");
     eprintln!("            --experts N --gate top1|top2|balanced|noisy --skew F");
-    eprintln!("            --hierarchical (a2a) --zero (sharded optimizer) --csv PATH");
+    eprintln!("            --hierarchical (a2a) --supernode-size S (0 = auto ranks/2)");
+    eprintln!("            --zero (sharded optimizer) --csv PATH");
     eprintln!("            --placement roundrobin|block|supernode[:S] (expert↔rank mapping)");
     eprintln!("            --locality-bias B (gate bonus toward intra-supernode experts)");
     eprintln!("            --no-overlap (blocking grad sync) --bucket-kib N (overlap bucket)");
@@ -87,6 +91,12 @@ fn print_help() {
     eprintln!("            --naive (collectives) --overlap F --tokens-per-node N --two-level-gate");
     eprintln!("  generate  train a tiny model and decode from it");
     eprintln!("            --steps N --prompt a,b,c --tokens N");
+    eprintln!("  tune      auto-tune the comm knobs against the cost model (see docs/TUNING.md)");
+    eprintln!("            takes every train flag as the base config, plus:");
+    eprintln!("            --scale-nodes N (machine scale the model targets; default 4096)");
+    eprintln!("            --top-k N (modeled candidates to validate with real runs; default 3)");
+    eprintln!("            --measure-steps N (steps per validation run) --no-measure (model only)");
+    eprintln!("            --out FILE (write the winning config TOML; feed to train --config)");
     eprintln!("  serve     continuous-batching expert-parallel inference (see docs/SERVING.md)");
     eprintln!("            --ranks N --max-batch N --kv-blocks N --block-tokens N");
     eprintln!("            --requests N --qps F (0 = all at once) --prompt-len N --tokens N");
@@ -140,143 +150,20 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
-    args.assert_known(&[
-        "ranks",
-        "steps",
-        "batch",
-        "seq",
-        "lr",
-        "dtype",
-        "wire-dtype",
-        "compute-backend",
-        "compute-dtype",
-        "experts",
-        "gate",
-        "skew",
-        "hierarchical",
-        "zero",
-        "csv",
-        "seed",
-        "no-overlap",
-        "bucket-kib",
-        "ckpt-dir",
-        "ckpt-every",
-        "crash",
-        "max-restarts",
-        "slow",
-        "elastic",
-        "straggler-factor",
-        "straggler-window",
-        "trace",
-        "placement",
-        "locality-bias",
-    ])?;
-    use bagualu::model::moe::GateKind;
-    let gate = match args.get("gate", "top2").as_str() {
-        "top1" => GateKind::Top1,
-        "top2" => GateKind::Top2,
-        "balanced" => GateKind::Balanced,
-        "noisy" => GateKind::NoisyTop1,
-        other => return Err(format!("unknown gate: {other}")),
-    };
-    let dtype = match args.get("dtype", "fp32").as_str() {
-        "fp32" => DType::F32,
-        "bf16" => DType::BF16,
-        "fp16" => DType::F16,
-        other => return Err(format!("unknown dtype: {other}")),
-    };
-    let wire: bagualu::comm::WireDType = args
-        .get("wire-dtype", "f32")
-        .parse()
-        .map_err(|e| format!("--wire-dtype: {e}"))?;
-    let placement: ExpertPlacement = args
-        .get("placement", "roundrobin")
-        .parse()
-        .map_err(|e| format!("--placement: {e}"))?;
-    // Library default is Reference (the oracle, for reproducibility pins);
-    // the CLI defaults users onto the fast tiled kernels — bit-identical
-    // output, so nothing observable changes besides speed.
-    let mut compute: ComputeBackend = args
-        .get("compute-backend", "tiled")
-        .parse()
-        .map_err(|e| format!("--compute-backend: {e}"))?;
-    let compute_dtype = args.get("compute-dtype", "");
-    if !compute_dtype.is_empty() {
-        let dt = match compute_dtype.as_str() {
-            "fp16" | "f16" => DType::F16,
-            "bf16" => DType::BF16,
-            other => return Err(format!("unknown compute dtype: {other} (fp16 | bf16)")),
-        };
-        match compute {
-            ComputeBackend::Half(_) => compute = ComputeBackend::Half(dt),
-            _ => {
-                return Err(
-                    "--compute-dtype only applies to --compute-backend half (reference, \
-                     tiled, and tiled:fma always compute in fp32)"
-                        .into(),
-                )
-            }
-        }
+    let mut known = vec!["csv", "trace", "crash", "slow"];
+    known.extend_from_slice(config::TRAIN_CONFIG_FLAGS);
+    args.assert_known(&known)?;
+    // Defaults < --config FILE < explicit flags, all through one
+    // RunConfig: the run is fully described by `--dump-config`'s output.
+    let rc = config::train_run_config(args)?;
+    if args.switch("dump-config") {
+        print!("{}", rc.to_toml());
+        return Ok(());
     }
-    let nranks = args.get_parse("ranks", 2usize)?;
-    let skew: f64 = args.get_parse("skew", 0.0f64)?;
-    let zero = args.switch("zero");
     let trace_path = args.get("trace", "");
-    let cfg = TrainConfig {
-        model: ModelConfig {
-            n_experts: args.get_parse("experts", 4usize)?,
-            gate,
-            ..ModelConfig::tiny()
-        },
-        nranks,
-        batch_per_rank: args.get_parse("batch", 2usize)?,
-        seq: args.get_parse("seq", 8usize)?,
-        steps: args.get_parse("steps", 50usize)?,
-        lr: args.get_parse("lr", 1e-2f32)?,
-        dtype,
-        a2a: if args.switch("hierarchical") {
-            A2aKind::Hierarchical {
-                supernode_size: nranks.max(2) / 2,
-            }
-        } else {
-            A2aKind::Pairwise
-        },
-        clip: if zero { None } else { Some(1.0) },
-        zero_optimizer: zero,
-        seed: args.get_parse("seed", 42u64)?,
-        data: if skew > 0.0 {
-            TokenDistribution::Zipf(skew)
-        } else {
-            TokenDistribution::Uniform
-        },
-        overlap: !args.switch("no-overlap"),
-        bucket_bytes: args.get_parse("bucket-kib", 1024usize)? << 10,
-        trace: !trace_path.is_empty(),
-        wire,
-        placement,
-        compute,
-        locality_bias: args.get_parse("locality-bias", 0.0f32)?,
-        ..Default::default()
-    };
-    // Surface bad placement flags as CLI errors instead of trainer panics.
-    if placement == (ExpertPlacement::Supernode { supernode_size: 0 })
-        && !matches!(cfg.a2a, A2aKind::Hierarchical { .. })
-    {
-        return Err(
-            "--placement supernode needs an explicit size (supernode:S) unless \
-             --hierarchical is set"
-                .into(),
-        );
-    }
-    if nranks == 0 {
-        return Err("--ranks must be >= 1".into());
-    }
-    cfg.resolved_placement()
-        .validate(nranks)
-        .map_err(|e| format!("--placement: {e}"))?;
-    if cfg.locality_bias < 0.0 {
-        return Err("--locality-bias must be >= 0".into());
-    }
+    let mut cfg = rc.to_train_config()?;
+    cfg.trace = !trace_path.is_empty();
+    let nranks = cfg.nranks;
     println!(
         "training {} params on {} ranks, {} steps, {} (wire {}, placement {}, compute {}) …",
         cfg.model.count_params(),
@@ -288,60 +175,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         cfg.compute
     );
 
-    // Fault-tolerant path: any checkpoint, fault, or degradation flag
-    // routes through run_ft.
-    let ckpt_dir = args.get("ckpt-dir", "");
+    // Fault-tolerant path: an enabled [ft] section (any checkpoint or
+    // degradation flag sets it) or an injected fault routes through
+    // run_ft. Contradictory combinations were already rejected by
+    // `to_train_config`'s validation, each with the fix spelled out.
     let crash_spec = args.get("crash", "");
     let slow_spec = args.get("slow", "");
-    let elastic = args.switch("elastic");
-    let straggler_spec = args.get("straggler-factor", "");
-    let ft_requested = !ckpt_dir.is_empty()
-        || !crash_spec.is_empty()
-        || !slow_spec.is_empty()
-        || elastic
-        || !straggler_spec.is_empty();
+    let ft_requested = rc.ft.enabled || !crash_spec.is_empty() || !slow_spec.is_empty();
     let report = if ft_requested {
-        let ckpt_every = args.get_parse("ckpt-every", 10usize)?;
-        // Reject contradictory flag combinations up front, before any rank
-        // threads spin up — each with the fix spelled out.
-        if elastic && !cfg.compute.bit_identical() {
-            return Err(format!(
-                "--elastic verifies its resume against a fresh shrunk run bit for bit, \
-                 but --compute-backend {} only promises a tolerance band, not identical \
-                 bits; use --compute-backend tiled (same kernels, bit-identical) or \
-                 drop --elastic",
-                cfg.compute
-            ));
-        }
-        if elastic && cfg.nranks < 2 {
-            return Err(
-                "--elastic needs at least 2 ranks: a 1-rank world has no survivors to \
-                 continue on (raise --ranks or drop --elastic)"
-                    .into(),
-            );
-        }
-        if ckpt_every == 0 && (elastic || !straggler_spec.is_empty()) {
-            return Err(
-                "--ckpt-every 0 disables checkpoints, but --elastic re-shards from the \
-                 last checkpoint and straggler migration re-places experts at checkpoint \
-                 boundaries; give --ckpt-every a positive interval"
-                    .into(),
-            );
-        }
-        let straggler_factor = if straggler_spec.is_empty() {
-            None
-        } else {
-            let f: f64 = straggler_spec
-                .parse()
-                .map_err(|_| format!("bad --straggler-factor: {straggler_spec}"))?;
-            if f <= 1.0 {
-                return Err(format!(
-                    "--straggler-factor {f} would flag healthy ranks on noise alone; \
-                     it must exceed 1.0 (e.g. 1.5)"
-                ));
-            }
-            Some(f)
-        };
         let mut plan = FaultPlan::new(cfg.seed);
         for part in crash_spec.split(',').filter(|s| !s.is_empty()) {
             let (r, s) = part
@@ -392,20 +233,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
             plan = plan.slow_rank(rank, from, to, delay);
         }
-        let dir = if ckpt_dir.is_empty() {
-            std::env::temp_dir().join(format!("bagualu-train-ckpt-{}", std::process::id()))
-        } else {
-            ckpt_dir.clone().into()
-        };
-        let ft = FtConfig {
-            plan,
-            ckpt_every,
-            max_restarts: args.get_parse("max-restarts", 3usize)?,
-            elastic,
-            straggler_factor,
-            straggler_window: args.get_parse("straggler-window", 3usize)?,
-            ..FtConfig::new(dir)
-        };
+        // The fault *plan* is injection tooling, not part of the run
+        // description — --crash/--slow opt into the recovery driver
+        // without writing an [ft] section of their own.
+        let mut ft_rc = rc.clone();
+        ft_rc.ft.enabled = true;
+        let mut ft = ft_rc.to_ft_config().expect("just enabled");
+        ft.plan = plan;
         let report = Trainer::new(cfg).run_ft(&ft);
         if report.restarts > 0 {
             println!(
@@ -480,59 +314,90 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let mut known = vec!["scale-nodes", "top-k", "measure-steps", "no-measure", "out"];
+    known.extend_from_slice(config::TRAIN_CONFIG_FLAGS);
+    args.assert_known(&known)?;
+    // Every train flag works here and fixes the base config the tuner
+    // anchors to; the tuner only searches the communication-side axes.
+    let rc = config::train_run_config(args)?;
+    if args.switch("dump-config") {
+        print!("{}", rc.to_toml());
+        return Ok(());
+    }
+    let defaults = bagualu_tune::TuneOptions::default();
+    let opts = bagualu_tune::TuneOptions {
+        scale_nodes: args.get_parse("scale-nodes", defaults.scale_nodes)?,
+        top_k: args.get_parse("top-k", defaults.top_k)?,
+        measure_steps: args.get_parse("measure-steps", defaults.measure_steps)?,
+        measure: !args.switch("no-measure"),
+    };
+    let env = bagualu_tune::CostEnv::sunway(opts.scale_nodes);
+    let space = bagualu_tune::SearchSpace::default();
+    println!(
+        "tuning over {} knob combinations at {} modeled nodes ({} measured validation \
+         run(s) of {} step(s) each) …",
+        space.grid_points(),
+        opts.scale_nodes,
+        if opts.measure { opts.top_k + 1 } else { 0 },
+        opts.measure_steps
+    );
+    let report = bagualu_tune::tune(&rc, &space, &env, &opts)?;
+    print!("{}", report.table());
+    let w = report.winner();
+    println!(
+        "winner: {} (modeled {:.3} ms/step, {}, {:.2}x over the roofline floor)",
+        w.name,
+        w.cost.step_s * 1e3,
+        match w.measured_step_s {
+            Some(t) => format!("measured {:.3} ms/step", t * 1e3),
+            None => "not measured".into(),
+        },
+        w.cost.roofline_distance
+    );
+    let out = args.get("out", "");
+    if out.is_empty() {
+        println!("\n# winning config (save and replay with: bagualu train --config FILE)");
+        print!("{}", report.winning_toml());
+    } else {
+        std::fs::write(&out, report.winning_toml()).map_err(|e| format!("--out {out}: {e}"))?;
+        println!("wrote winning config to {out} (replay with: bagualu train --config {out})");
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    args.assert_known(&[
-        "ranks",
-        "max-batch",
-        "kv-blocks",
-        "block-tokens",
-        "requests",
-        "qps",
-        "prompt-len",
-        "tokens",
-        "experts",
-        "hierarchical",
-        "placement",
-        "locality-bias",
-        "seed",
-    ])?;
-    use bagualu::serve::{run, EngineConfig, ServerOptions};
+    let mut known = vec!["requests", "qps", "prompt-len", "tokens", "seed"];
+    known.extend_from_slice(config::SERVE_CONFIG_FLAGS);
+    args.assert_known(&known)?;
+    use bagualu::serve::run;
     use bagualu::trace::names;
     use std::time::{Duration, Instant};
 
-    let nranks = args.get_parse("ranks", 2usize)?;
+    let rc = config::serve_run_config(args)?;
+    if args.switch("dump-config") {
+        print!("{}", rc.to_toml());
+        return Ok(());
+    }
+    rc.validate()?;
+    let nranks = rc.train.ranks;
     let requests = args.get_parse("requests", 32usize)?;
     let qps: f64 = args.get_parse("qps", 0.0f64)?;
     let prompt_len = args.get_parse("prompt-len", 4usize)?;
     let max_new = args.get_parse("tokens", 8usize)?;
     let seed = args.get_parse("seed", 42u64)?;
-    let locality_bias = args.get_parse("locality-bias", 0.0f32)?;
-    let engine = EngineConfig {
-        max_batch: args.get_parse("max-batch", 8usize)?,
-        kv_blocks: args.get_parse("kv-blocks", 64usize)?,
-        block_tokens: args.get_parse("block-tokens", 4usize)?,
-    };
+    let locality_bias = rc.placement.locality_bias;
+    let engine = rc.to_engine_config();
     let model_cfg = ModelConfig {
-        n_experts: args.get_parse("experts", 4usize)?,
-        ..ModelConfig::tiny()
+        n_experts: rc.model.experts,
+        gate: rc.model.gate,
+        ..bagualu::runconfig::preset(&rc.model.preset)?
     };
-    let a2a = if args.switch("hierarchical") {
-        A2aKind::Hierarchical {
-            supernode_size: nranks.max(2) / 2,
-        }
-    } else {
-        A2aKind::Pairwise
-    };
-    if nranks == 0 || requests == 0 || prompt_len == 0 {
-        return Err("--ranks, --requests, and --prompt-len must all be >= 1".into());
+    let a2a = rc.a2a();
+    let placement = rc.placement.policy;
+    if requests == 0 || prompt_len == 0 {
+        return Err("--requests and --prompt-len must both be >= 1".into());
     }
-    let placement: ExpertPlacement = args
-        .get("placement", "roundrobin")
-        .parse()
-        .map_err(|e| format!("--placement: {e}"))?;
-    placement
-        .validate(nranks)
-        .map_err(|e| format!("--placement: {e}"))?;
     if max_new == 0 {
         return Err("--tokens must be >= 1 (there is nothing to decode otherwise)".into());
     }
@@ -542,9 +407,6 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
              ({}); shorten one of them",
             model_cfg.max_seq
         ));
-    }
-    if locality_bias < 0.0 {
-        return Err("--locality-bias must be >= 0".into());
     }
     let supernode_size = match a2a {
         A2aKind::Hierarchical { supernode_size } => supernode_size,
@@ -573,11 +435,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "full blast".to_string()
         }
     );
-    let opts = ServerOptions {
-        nranks,
-        engine,
-        trace: true,
-    };
+    let opts = rc.to_server_options(true);
     let started = Instant::now();
     let report = run(
         opts,

@@ -20,6 +20,7 @@
 //! the trailer makes truncation at a record boundary detectable. Version 1
 //! files (no CRCs, no trailer) still load.
 
+use crate::runconfig::RunConfig;
 use bagualu_model::param::HasParams;
 use bagualu_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -373,6 +374,71 @@ pub fn read_placement(path: impl AsRef<Path>) -> io::Result<Option<PlacementMeta
     for (name, t) in read_params_file(path.as_ref())? {
         if name == PLACEMENT_RECORD {
             return Ok(Some(PlacementMeta::decode(&t)?));
+        }
+    }
+    Ok(None)
+}
+
+// ------------------------------------------------------ run-config metadata
+
+/// Reserved record name for the embedded [`RunConfig`] TOML. Like
+/// [`PLACEMENT_RECORD`], the name can never collide with a parameter and
+/// older loaders skip it.
+pub const RUNCONFIG_RECORD: &str = "__runconfig__";
+
+/// Encode UTF-8 text as a tensor record, one byte per element (every byte
+/// value is exact in `f32`). Wasteful by 4× but reuses the checkpoint
+/// format's CRC/trailer protection unchanged — config text is tiny next to
+/// the parameters it rides with.
+fn encode_text(text: &str) -> Tensor {
+    let bytes: Vec<f32> = text.bytes().map(f32::from).collect();
+    let n = bytes.len();
+    Tensor::from_vec(bytes, &[n])
+}
+
+fn decode_text(record: &str, t: &Tensor) -> io::Result<String> {
+    let bytes: Vec<u8> = t
+        .as_slice()
+        .iter()
+        .map(|&v| {
+            if v.fract() == 0.0 && (0.0..=255.0).contains(&v) {
+                Ok(v as u8)
+            } else {
+                Err(bad(format!("malformed {record} record: {v} is not a byte")))
+            }
+        })
+        .collect::<io::Result<_>>()?;
+    String::from_utf8(bytes).map_err(|e| bad(format!("malformed {record} record: {e}")))
+}
+
+/// [`save_params_with_placement`] plus a [`RUNCONFIG_RECORD`] embedding the
+/// run's full [`RunConfig`] as TOML, making the checkpoint self-describing:
+/// `bagualu train --config` can reproduce the run that wrote it from the
+/// shard alone.
+pub fn save_params_with_meta(
+    path: impl AsRef<Path>,
+    model: &mut dyn HasParams,
+    meta: PlacementMeta,
+    run_config: Option<&RunConfig>,
+) -> io::Result<u64> {
+    let (mut names, mut tensors) = collect_params(model);
+    names.push(PLACEMENT_RECORD.to_string());
+    tensors.push(meta.encode());
+    if let Some(rc) = run_config {
+        names.push(RUNCONFIG_RECORD.to_string());
+        tensors.push(encode_text(&rc.to_toml()));
+    }
+    write_checkpoint_atomic(path.as_ref(), &names, &tensors)
+}
+
+/// Read the embedded [`RunConfig`] of a checkpoint file. `Ok(None)` means
+/// the file carries no config record (an older build, or a run whose
+/// config the schema could not express).
+pub fn read_run_config(path: impl AsRef<Path>) -> io::Result<Option<RunConfig>> {
+    for (name, t) in read_params_file(path.as_ref())? {
+        if name == RUNCONFIG_RECORD {
+            let toml = decode_text(RUNCONFIG_RECORD, &t)?;
+            return Ok(Some(RunConfig::from_toml(&toml).map_err(bad)?));
         }
     }
     Ok(None)

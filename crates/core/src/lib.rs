@@ -48,13 +48,17 @@ pub mod checkpoint;
 pub mod data;
 pub mod metrics;
 pub mod perfmodel;
+pub mod runconfig;
 pub mod tokenizer;
 pub mod trainer;
 
 pub use checkpoint::{
     load_params, load_params_from_files, load_params_sharded, save_params, save_params_sharded,
 };
-pub use perfmodel::{PerfInput, Projection, StepBreakdown};
+pub use perfmodel::{
+    checkpoint_waste_fraction, young_daly_tau_opt, PerfInput, Projection, StepBreakdown,
+};
+pub use runconfig::{RunConfig, RUN_CONFIG_VERSION};
 pub use tokenizer::Bpe;
 pub use trainer::{FtConfig, TrainConfig, TrainReport, Trainer};
 

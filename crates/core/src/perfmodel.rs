@@ -222,12 +222,55 @@ pub fn project(input: &PerfInput) -> Projection {
     }
 }
 
+// ----------------------------------------------- checkpoint-interval math
+
+/// Young/Daly first-order optimal checkpoint interval,
+/// τ_opt = √(2·δ·MTBF), where δ is the cost of writing one checkpoint and
+/// MTBF the mean time between failures (same time unit for both; the
+/// result is in that unit). Shared by the E22 experiment and the
+/// auto-tuner so the formula lives in exactly one place.
+pub fn young_daly_tau_opt(checkpoint_cost_s: f64, mtbf_s: f64) -> f64 {
+    assert!(
+        checkpoint_cost_s >= 0.0 && mtbf_s > 0.0,
+        "young_daly_tau_opt wants δ >= 0 and MTBF > 0, got δ = {checkpoint_cost_s}, \
+         MTBF = {mtbf_s}"
+    );
+    (2.0 * checkpoint_cost_s * mtbf_s).sqrt()
+}
+
+/// First-order expected fraction of wall-clock lost to fault tolerance at
+/// checkpoint interval τ: δ/τ spent writing plus τ/(2·MTBF) of re-executed
+/// work per failure (half an interval lost on average). Minimized exactly
+/// at [`young_daly_tau_opt`]; the tuner folds this into its step-time
+/// objective.
+pub fn checkpoint_waste_fraction(checkpoint_cost_s: f64, interval_s: f64, mtbf_s: f64) -> f64 {
+    assert!(
+        interval_s > 0.0 && mtbf_s > 0.0,
+        "checkpoint_waste_fraction wants τ > 0 and MTBF > 0, got τ = {interval_s}, \
+         MTBF = {mtbf_s}"
+    );
+    checkpoint_cost_s / interval_s + interval_s / (2.0 * mtbf_s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn base() -> PerfInput {
         PerfInput::sunway_full(ModelConfig::bagualu_14_5t())
+    }
+
+    #[test]
+    fn young_daly_matches_the_closed_form() {
+        // δ = 2s, MTBF = 100s → τ = √400 = 20s.
+        assert_eq!(young_daly_tau_opt(2.0, 100.0), 20.0);
+        // τ_opt minimizes the waste model it pairs with.
+        let (delta, mtbf) = (3.0, 500.0);
+        let tau = young_daly_tau_opt(delta, mtbf);
+        let at_opt = checkpoint_waste_fraction(delta, tau, mtbf);
+        for off in [0.5, 0.8, 1.25, 2.0] {
+            assert!(at_opt <= checkpoint_waste_fraction(delta, tau * off, mtbf));
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!    overflow flag is all-reduced so every replica stays in lockstep).
 
 use crate::data::{SyntheticLM, TokenDistribution};
+use crate::runconfig::RunConfig;
 use bagualu_comm::collectives::{allreduce_recursive_doubling, barrier_ft, ReduceOp};
 use bagualu_comm::fault::{FaultPlan, FaultRuntime, FtCommunicator};
 use bagualu_comm::harness::{run_ranks_ft, run_ranks_map, RankOutcome};
@@ -36,7 +37,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Full training-run configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     pub model: ModelConfig,
     /// Data/expert-parallel width (threads).
@@ -223,6 +224,14 @@ pub struct TrainReport {
     /// The GEMM backend the run's ranks computed with
     /// (echoes [`TrainConfig::compute`]).
     pub compute: ComputeBackend,
+    /// The full serializable description of the run
+    /// ([`RunConfig::reconstruct`]ed from the configs it ran with), so a
+    /// report alone is enough to reproduce its run:
+    /// `report.run_config.unwrap().to_toml()` feeds straight back into
+    /// `bagualu train --config`. `None` when the run used a library-only
+    /// feature the config schema does not describe (custom model, LR
+    /// schedule, gradient accumulation, …).
+    pub run_config: Option<RunConfig>,
 }
 
 impl TrainReport {
@@ -533,6 +542,9 @@ impl Trainer {
                     resizes,
                     migrations,
                     trace: collector.map(|c| Arc::new(c.finish())),
+                    // The report's own reconstruction has no [ft] section
+                    // (finish() cannot see it); re-stamp with it included.
+                    run_config: RunConfig::reconstruct(&cfg, Some(ft)),
                     ..report
                 };
             }
@@ -864,6 +876,7 @@ impl RankState {
             wire: cfg.wire,
             placement: cfg.resolved_placement(),
             compute: cfg.compute,
+            run_config: RunConfig::reconstruct(&cfg, None),
         }
     }
 }
@@ -1011,6 +1024,9 @@ fn rank_main_ft<C: FtCommunicator>(
         n_experts: cfg.model.n_experts,
         nranks: comm.size(),
     };
+    // Embedded once per shard so every checkpoint is self-describing
+    // (`None` — and no record — when the schema cannot express this run).
+    let run_config = RunConfig::reconstruct(&cfg, Some(ft));
     match restore {
         Restore::Fresh => {}
         Restore::Strict => {
@@ -1112,8 +1128,13 @@ fn rank_main_ft<C: FtCommunicator>(
             std::fs::create_dir_all(&dir)
                 .unwrap_or_else(|e| panic!("cannot create checkpoint dir {dir:?}: {e}"));
             let path = dir.join(format!("rank{}.bglu", comm.rank()));
-            crate::checkpoint::save_params_with_placement(&path, &mut st.model, placement_meta)
-                .unwrap_or_else(|e| panic!("cannot write checkpoint {path:?}: {e}"));
+            crate::checkpoint::save_params_with_meta(
+                &path,
+                &mut st.model,
+                placement_meta,
+                run_config.as_ref(),
+            )
+            .unwrap_or_else(|e| panic!("cannot write checkpoint {path:?}: {e}"));
             // All shards must be durable before the manifest advances;
             // then rank 0 publishes the step atomically.
             if barrier_ft(comm, hb).is_err() {

@@ -33,6 +33,35 @@ impl GateKind {
     }
 }
 
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GateKind::Top1 => "top1",
+            GateKind::Top2 => "top2",
+            GateKind::Balanced => "balanced",
+            GateKind::NoisyTop1 => "noisy",
+        })
+    }
+}
+
+impl std::str::FromStr for GateKind {
+    type Err = String;
+
+    /// `top1 | top2 | balanced | noisy`, the inverse of
+    /// [`Display`](std::fmt::Display) (the CLI's historical spellings).
+    fn from_str(s: &str) -> Result<GateKind, String> {
+        match s {
+            "top1" => Ok(GateKind::Top1),
+            "top2" => Ok(GateKind::Top2),
+            "balanced" => Ok(GateKind::Balanced),
+            "noisy" => Ok(GateKind::NoisyTop1),
+            other => Err(format!(
+                "unknown gate: {other} (want top1 | top2 | balanced | noisy)"
+            )),
+        }
+    }
+}
+
 /// One token→expert assignment with its combine weight.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {

@@ -87,6 +87,21 @@ impl std::fmt::Display for DType {
     }
 }
 
+impl std::str::FromStr for DType {
+    type Err = String;
+
+    /// `fp32 | fp16 | bf16` (with `f32`/`f16` accepted as aliases), the
+    /// inverse of [`Display`](std::fmt::Display).
+    fn from_str(s: &str) -> Result<DType, String> {
+        match s {
+            "fp32" | "f32" => Ok(DType::F32),
+            "fp16" | "f16" => Ok(DType::F16),
+            "bf16" => Ok(DType::BF16),
+            other => Err(format!("unknown dtype: {other} (want fp32 | fp16 | bf16)")),
+        }
+    }
+}
+
 /// IEEE 754 binary16 value stored as its raw bit pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct F16(pub u16);

@@ -1,0 +1,417 @@
+//! The tuning objective: one modeled step time per [`RunConfig`].
+//!
+//! Mirrors the byte accounting of `bagualu::perfmodel::project` but reads
+//! every knob from the `RunConfig` instead of a hand-built `PerfInput`, so
+//! the thing being scored is exactly the thing `bagualu train --config`
+//! will run. Three ingredients fold into a single number:
+//!
+//! - **compute** — training FLOPs per token at the backend's precision,
+//!   against the machine's sustained GEMM rate;
+//! - **communication** — the four MoE all-to-alls (pairwise, hierarchical,
+//!   or locality-aware per the placement knobs) plus the bucketed dense
+//!   all-reduce, both charged *wire* bytes so `wire_dtype` compression is
+//!   visible to the model; overlap hides all but the last bucket's
+//!   all-reduce behind compute, exactly the trainer's pipeline shape;
+//! - **checkpoint waste** — the Young/Daly first-order overhead
+//!   `δ/τ + τ/(2·MTBF)` at the configured `ckpt_every` interval (shared
+//!   math with experiment E22 via `bagualu::perfmodel`).
+//!
+//! Each cost also carries two diagnostics the ranking table prints: the
+//! multiple of the data-movement **roofline floor** the config sits at
+//! (1.0 = bandwidth/compute bound, nothing left to tune), and the node
+//! count where the config goes **comm-bound** (exposed communication
+//! overtakes compute — the scale past which this config stops scaling).
+
+use bagualu::perfmodel::checkpoint_waste_fraction;
+use bagualu::runconfig::{preset, RunConfig};
+use bagualu::tensor::ComputeBackend;
+use bagualu_hw::{MachineConfig, Precision};
+use bagualu_model::config::ModelConfig;
+use bagualu_net::cost::CollectiveCost;
+use bagualu_parallel::ExpertPlacement;
+
+/// The environment a candidate is scored in: the machine scale being
+/// targeted plus the run-shape constants no knob controls.
+#[derive(Debug, Clone, Copy)]
+pub struct CostEnv {
+    /// Machine the model projects onto (one rank per node).
+    pub machine: MachineConfig,
+    /// Micro-batch tokens per node per step.
+    pub tokens_per_node: usize,
+    /// Max/mean expert-load imbalance multiplier on compute (the step is
+    /// set by the slowest shard; 1.0 = balanced).
+    pub imbalance: f64,
+    /// Mean time between failures, seconds. `None` disables the
+    /// checkpoint-waste term even for ft-enabled configs.
+    pub mtbf_s: Option<f64>,
+    /// Cost of writing one checkpoint, seconds (Young/Daly's δ).
+    pub ckpt_cost_s: f64,
+}
+
+impl CostEnv {
+    /// Sunway-subset environment at a node count, with BaGuaLu-like
+    /// defaults: 2048 tokens/node, balanced load, no failures modeled.
+    pub fn sunway(nodes: usize) -> CostEnv {
+        CostEnv {
+            machine: MachineConfig::sunway_subset(nodes),
+            tokens_per_node: 2048,
+            imbalance: 1.0,
+            mtbf_s: None,
+            ckpt_cost_s: 1.0,
+        }
+    }
+
+    /// Same environment moved to another node count.
+    pub fn at_nodes(&self, nodes: usize) -> CostEnv {
+        CostEnv {
+            machine: MachineConfig {
+                nodes,
+                ..self.machine
+            },
+            ..*self
+        }
+    }
+}
+
+/// Modeled per-step cost decomposition of one candidate, seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeledCost {
+    /// Dense + gate + expert compute (imbalance applied).
+    pub compute_s: f64,
+    /// All four all-to-alls across every MoE block.
+    pub a2a_s: f64,
+    /// Bucketed dense-gradient all-reduce (all buckets).
+    pub allreduce_s: f64,
+    /// Communication left exposed after overlap hiding.
+    pub exposed_comm_s: f64,
+    /// Young/Daly waste fraction at the configured checkpoint interval
+    /// (0 when fault tolerance is off or no MTBF is modeled).
+    pub ckpt_waste_frac: f64,
+    /// Young/Daly optimal checkpoint interval for this config's step
+    /// time, seconds (`None` when no MTBF is modeled).
+    pub tau_opt_s: Option<f64>,
+    /// The objective: `(compute + exposed comm) · (1 + waste)`.
+    pub step_s: f64,
+    /// Data-movement roofline floor: the larger of compute-at-peak and
+    /// wire-bytes-at-injection-bandwidth — no schedule beats this.
+    pub roofline_floor_s: f64,
+    /// `step_s / roofline_floor_s` (≥ 1). Distance from the roofline:
+    /// how much modeled time tuning could still recover.
+    pub roofline_distance: f64,
+    /// Smallest power-of-two node count at which exposed communication
+    /// overtakes compute — the comm-bound crossover scale. `None` if the
+    /// config stays compute-bound through the full 96k-node machine.
+    pub comm_bound_nodes: Option<usize>,
+}
+
+/// The model the candidate trains, resolved from its `[model]` section.
+fn resolve_model(rc: &RunConfig) -> ModelConfig {
+    let base = preset(&rc.model.preset)
+        .unwrap_or_else(|e| panic!("model_cost wants a validated RunConfig: {e}"));
+    ModelConfig {
+        n_experts: rc.model.experts,
+        gate: rc.model.gate,
+        ..base
+    }
+}
+
+/// Core accounting shared by [`model_cost`] and the comm-bound scan:
+/// `(compute_s, a2a_s, allreduce_s, exposed_comm_s)` at one node count.
+fn step_parts(rc: &RunConfig, m: &ModelConfig, env: &CostEnv) -> (f64, f64, f64, f64) {
+    let mach = &env.machine;
+    let nodes = mach.nodes.max(1);
+    let b = env.tokens_per_node as f64;
+
+    // ---- Compute: training FLOPs at the backend's arithmetic precision.
+    let precision = match rc.compute.backend {
+        ComputeBackend::Half(_) => Precision::Half,
+        _ => Precision::FP32,
+    };
+    let sustained = mach.processor.peak(precision) * mach.gemm_efficiency;
+    let compute_s = m.flops_per_token_train() * b * env.imbalance / sustained;
+
+    // ---- All-to-all: 2 exchanges forward + 2 backward per MoE block, in
+    // wire precision. Per-pair payload: this node's B·k token vectors
+    // spread over all nodes.
+    let cc = CollectiveCost::new(*mach);
+    let wire_elt = rc.comm.wire_dtype.size_bytes() as f64;
+    let a2a_bytes_per_rank = b * m.gate.k() as f64 * m.d_model as f64 * wire_elt;
+    let bytes_per_pair = ((a2a_bytes_per_rank / nodes as f64).ceil() as usize).max(1);
+    let one_a2a = if nodes <= 1 {
+        0.0
+    } else {
+        match rc.resolved_placement() {
+            // Supernode-pinned experts with a gate locality bias: the
+            // biased gate keeps a super-proportional fraction of dispatch
+            // traffic inside the supernode. Model the kept fraction as
+            // exponential saturation from the unbiased baseline s/n
+            // toward 1.0 as the bias grows.
+            ExpertPlacement::Supernode { .. } if rc.placement.locality_bias > 0.0 => {
+                let s = mach.supernode_size.min(nodes) as f64;
+                let baseline = s / nodes as f64;
+                let kept =
+                    1.0 - (1.0 - baseline) * (-(rc.placement.locality_bias as f64) / 2.0).exp();
+                cc.alltoall_with_locality(nodes, a2a_bytes_per_rank.ceil() as usize, kept)
+            }
+            _ if rc.comm.hierarchical => cc.alltoall_hierarchical(nodes, bytes_per_pair),
+            _ => cc.alltoall_pairwise(nodes, bytes_per_pair),
+        }
+    };
+    let a2a_s = one_a2a * 4.0 * m.n_moe_blocks() as f64;
+
+    // ---- Dense-gradient all-reduce: wire bytes, split into the trainer's
+    // buckets. Each bucket pays its collective's α once — more, smaller
+    // buckets trade bandwidth efficiency for overlap opportunity.
+    let grad_wire_bytes = m.dense_params() as f64 * wire_elt;
+    let bucket_bytes = (rc.comm.bucket_kib << 10) as f64;
+    let n_buckets = (grad_wire_bytes / bucket_bytes).ceil().max(1.0);
+    let per_bucket = (grad_wire_bytes / n_buckets).ceil() as usize;
+    let allreduce_s = if nodes <= 1 {
+        0.0
+    } else if rc.comm.hierarchical {
+        n_buckets * cc.allreduce_hierarchical(nodes, per_bucket)
+    } else {
+        n_buckets * cc.allreduce_ring(nodes, per_bucket)
+    };
+
+    // ---- Overlap: the trainer reduces bucket i while computing the
+    // gradients feeding bucket i+1, so all but the last bucket can hide
+    // behind backward compute. The all-to-alls sit on the critical path
+    // (activations are needed immediately) and stay exposed.
+    let hidden = if rc.comm.overlap {
+        ((1.0 - 1.0 / n_buckets) * allreduce_s).min(compute_s)
+    } else {
+        0.0
+    };
+    let exposed_comm_s = a2a_s + allreduce_s - hidden;
+    (compute_s, a2a_s, allreduce_s, exposed_comm_s)
+}
+
+/// Score one candidate: fold compute, exposed communication, and
+/// checkpoint waste into a single modeled step time, with roofline and
+/// scale-crossover diagnostics. Wants a config that passes
+/// `RunConfig::validate` (the search space guarantees this).
+pub fn model_cost(rc: &RunConfig, env: &CostEnv) -> ModeledCost {
+    let m = resolve_model(rc);
+    let (compute_s, a2a_s, allreduce_s, exposed_comm_s) = step_parts(rc, &m, env);
+    let base_step_s = compute_s + exposed_comm_s;
+
+    // ---- Young/Daly checkpoint waste at the configured interval.
+    let (ckpt_waste_frac, tau_opt_s) = match env.mtbf_s {
+        Some(mtbf) if rc.ft.enabled && rc.ft.ckpt_every > 0 => {
+            let tau = rc.ft.ckpt_every as f64 * base_step_s;
+            (
+                checkpoint_waste_fraction(env.ckpt_cost_s, tau, mtbf),
+                Some(bagualu::perfmodel::young_daly_tau_opt(
+                    env.ckpt_cost_s,
+                    mtbf,
+                )),
+            )
+        }
+        Some(mtbf) => (
+            0.0,
+            Some(bagualu::perfmodel::young_daly_tau_opt(
+                env.ckpt_cost_s,
+                mtbf,
+            )),
+        ),
+        None => (0.0, None),
+    };
+    let step_s = base_step_s * (1.0 + ckpt_waste_frac);
+
+    // ---- Data-movement roofline floor: even a perfect schedule cannot
+    // beat compute at *peak* rate or the wire bytes at full injection
+    // bandwidth, whichever is larger.
+    let nodes = env.machine.nodes.max(1);
+    let b = env.tokens_per_node as f64;
+    let precision = match rc.compute.backend {
+        ComputeBackend::Half(_) => Precision::Half,
+        _ => Precision::FP32,
+    };
+    let compute_floor = m.flops_per_token_train() * b / env.machine.processor.peak(precision);
+    let wire_elt = rc.comm.wire_dtype.size_bytes() as f64;
+    let wire_bytes_per_node = if nodes > 1 {
+        4.0 * m.n_moe_blocks() as f64 * b * m.gate.k() as f64 * m.d_model as f64 * wire_elt
+            + 2.0 * m.dense_params() as f64 * wire_elt
+    } else {
+        0.0
+    };
+    let comm_floor = wire_bytes_per_node / env.machine.network.intra_bw;
+    let roofline_floor_s = compute_floor.max(comm_floor);
+
+    // ---- Comm-bound crossover: scan power-of-two scales for the first
+    // where exposed communication overtakes compute. Compute per node is
+    // scale-invariant; collectives only get more expensive, so the first
+    // crossing is the crossing.
+    let mut comm_bound_nodes = None;
+    let mut n = 2usize;
+    while n <= 131_072 {
+        let at = env.at_nodes(n);
+        let (c, _, _, e) = step_parts(rc, &m, &at);
+        if e >= c {
+            comm_bound_nodes = Some(n);
+            break;
+        }
+        n *= 2;
+    }
+
+    ModeledCost {
+        compute_s,
+        a2a_s,
+        allreduce_s,
+        exposed_comm_s,
+        ckpt_waste_frac,
+        tau_opt_s,
+        step_s,
+        roofline_floor_s,
+        roofline_distance: step_s / roofline_floor_s,
+        comm_bound_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagualu_comm::WireDType;
+
+    fn env() -> CostEnv {
+        CostEnv::sunway(4096)
+    }
+
+    /// The satellite invariant: halving the wire bytes (16-bit wire
+    /// instead of 32-bit) must never *increase* modeled communication
+    /// time — total or exposed — across topology/overlap combinations.
+    #[test]
+    fn halving_wire_bytes_never_increases_modeled_comm_time() {
+        for hier in [false, true] {
+            for overlap in [false, true] {
+                for bucket_kib in [64, 1024, 1 << 20] {
+                    let mut rc = RunConfig::default();
+                    rc.comm.hierarchical = hier;
+                    rc.comm.overlap = overlap;
+                    rc.comm.bucket_kib = bucket_kib;
+                    rc.comm.wire_dtype = WireDType::F32;
+                    let full = model_cost(&rc, &env());
+                    rc.comm.wire_dtype = WireDType::F16;
+                    let half = model_cost(&rc, &env());
+                    let tag = format!("hier={hier} overlap={overlap} bucket={bucket_kib}KiB");
+                    assert!(
+                        half.a2a_s + half.allreduce_s <= full.a2a_s + full.allreduce_s + 1e-15,
+                        "{tag}: total comm grew"
+                    );
+                    assert!(
+                        half.exposed_comm_s <= full.exposed_comm_s + 1e-15,
+                        "{tag}: exposed comm grew ({} -> {})",
+                        full.exposed_comm_s,
+                        half.exposed_comm_s
+                    );
+                    assert!(half.step_s <= full.step_s + 1e-15, "{tag}: step grew");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_a2a_wins_at_scale() {
+        let mut flat = RunConfig::default();
+        flat.comm.overlap = false;
+        let mut hier = flat.clone();
+        hier.comm.hierarchical = true;
+        let e = CostEnv::sunway(96_000);
+        let cf = model_cost(&flat, &e);
+        let ch = model_cost(&hier, &e);
+        assert!(
+            ch.a2a_s < cf.a2a_s,
+            "hier {} vs flat {}",
+            ch.a2a_s,
+            cf.a2a_s
+        );
+        assert!(ch.step_s < cf.step_s);
+    }
+
+    #[test]
+    fn overlap_reduces_exposed_comm_only() {
+        let mut serial = RunConfig::default();
+        serial.comm.overlap = false;
+        // Tiny buckets: the tiny preset's dense gradients fit in one
+        // default 1 MiB bucket, and a single bucket has nothing to hide
+        // behind (the trainer reduces bucket i during bucket i+1's
+        // backward) — shrink the bucket so the pipeline exists.
+        serial.comm.bucket_kib = 1;
+        let mut overlapped = serial.clone();
+        overlapped.comm.overlap = true;
+        let cs = model_cost(&serial, &env());
+        let co = model_cost(&overlapped, &env());
+        assert_eq!(cs.a2a_s, co.a2a_s);
+        assert_eq!(cs.allreduce_s, co.allreduce_s);
+        assert!(co.exposed_comm_s < cs.exposed_comm_s);
+        assert!(co.step_s < cs.step_s);
+    }
+
+    #[test]
+    fn locality_bias_shrinks_the_a2a() {
+        // Supernode placement + bias must beat plain hierarchical a2a at a
+        // multi-supernode scale (the E15 story, through the tuner's lens).
+        let mut hier = RunConfig::default();
+        hier.train.ranks = 4;
+        hier.comm.hierarchical = true;
+        hier.comm.supernode_size = 2;
+        let mut biased = hier.clone();
+        biased.placement.policy = ExpertPlacement::Supernode { supernode_size: 2 };
+        biased.placement.locality_bias = 2.0;
+        let e = CostEnv::sunway(96_000);
+        let c0 = model_cost(&hier, &e);
+        let c1 = model_cost(&biased, &e);
+        assert!(c1.a2a_s < c0.a2a_s, "biased {} vs {}", c1.a2a_s, c0.a2a_s);
+        // More bias keeps more traffic local, monotonically.
+        let mut more = biased.clone();
+        more.placement.locality_bias = 4.0;
+        assert!(model_cost(&more, &e).a2a_s < c1.a2a_s);
+    }
+
+    #[test]
+    fn checkpoint_waste_costs_time_and_tau_opt_is_reported() {
+        let mut rc = RunConfig::default();
+        rc.ft.enabled = true;
+        rc.ft.ckpt_every = 10;
+        let mut e = env();
+        let off = model_cost(&rc, &e);
+        assert_eq!(off.ckpt_waste_frac, 0.0);
+        e.mtbf_s = Some(3600.0);
+        let on = model_cost(&rc, &e);
+        assert!(on.ckpt_waste_frac > 0.0);
+        assert!(on.step_s > off.step_s);
+        let tau = on.tau_opt_s.unwrap();
+        assert_eq!(tau, bagualu::perfmodel::young_daly_tau_opt(1.0, 3600.0));
+    }
+
+    #[test]
+    fn diagnostics_are_sane() {
+        let c = model_cost(&RunConfig::default(), &env());
+        assert!(c.roofline_floor_s > 0.0);
+        assert!(c.roofline_distance >= 1.0);
+        assert!(c.step_s >= c.compute_s);
+        // A flat pairwise a2a at tiny per-pair payloads is α-dominated and
+        // must go comm-bound somewhere below the full machine.
+        assert!(c.comm_bound_nodes.is_some());
+        // Hierarchical + compression pushes the crossover out (or off the
+        // scanned range entirely).
+        let mut tuned = RunConfig::default();
+        tuned.comm.hierarchical = true;
+        tuned.comm.wire_dtype = WireDType::F16;
+        let ct = model_cost(&tuned, &env());
+        match (c.comm_bound_nodes, ct.comm_bound_nodes) {
+            (Some(flat_n), Some(tuned_n)) => assert!(tuned_n >= flat_n),
+            (Some(_), None) => {}
+            other => panic!("unexpected crossover pair {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_node_has_no_communication() {
+        let c = model_cost(&RunConfig::default(), &CostEnv::sunway(1));
+        assert_eq!(c.a2a_s, 0.0);
+        assert_eq!(c.allreduce_s, 0.0);
+        assert_eq!(c.exposed_comm_s, 0.0);
+    }
+}

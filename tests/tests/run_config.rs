@@ -1,0 +1,188 @@
+//! Cross-crate contract tests for the `RunConfig` layer: the TOML schema
+//! round-trips exactly, bad input is rejected with actionable errors, a
+//! config file drives the trainer bit-identically to the equivalent direct
+//! construction, checkpoints are self-describing, and the tuner's winning
+//! TOML replays the tuned run.
+
+use bagualu::checkpoint::read_run_config;
+use bagualu::runconfig::RunConfig;
+use bagualu::tensor::DType;
+use bagualu::trainer::{FtConfig, Trainer};
+use bagualu_comm::fault::FaultPlan;
+use bagualu_comm::WireDType;
+use bagualu_parallel::ExpertPlacement;
+use bagualu_tune::{tune, CostEnv, SearchSpace, TuneOptions};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bagualu-runconfig-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A config that exercises every section with non-default values, so the
+/// round-trip test cannot pass by only preserving defaults.
+fn loaded_config() -> RunConfig {
+    let mut rc = RunConfig::default();
+    rc.model.experts = 8;
+    rc.train.ranks = 4;
+    rc.train.steps = 3;
+    rc.train.batch = 2;
+    rc.train.seq = 8;
+    rc.train.lr = 3e-3;
+    rc.train.seed = 7;
+    rc.train.skew = 1.1;
+    rc.comm.wire_dtype = WireDType::BF16;
+    rc.comm.hierarchical = true;
+    rc.comm.supernode_size = 2;
+    rc.comm.overlap = false;
+    rc.comm.bucket_kib = 256;
+    rc.placement.policy = ExpertPlacement::Supernode { supernode_size: 0 };
+    rc.placement.locality_bias = 1.5;
+    rc.ft.enabled = true;
+    rc.ft.ckpt_dir = "/tmp/ck".into();
+    rc.ft.ckpt_every = 2;
+    rc
+}
+
+#[test]
+fn toml_round_trip_is_exact() {
+    for rc in [RunConfig::default(), loaded_config()] {
+        rc.validate().unwrap();
+        let text = rc.to_toml();
+        let back = RunConfig::from_toml(&text).unwrap();
+        assert_eq!(back, rc, "TOML round-trip changed the config:\n{text}");
+        // Serializing the round-tripped config is a fixed point.
+        assert_eq!(back.to_toml(), text);
+    }
+}
+
+#[test]
+fn unknown_and_duplicate_keys_are_rejected_with_line_numbers() {
+    let mut text = RunConfig::default().to_toml();
+    text.push_str("\n[train]\nbogus_knob = 1\n");
+    let err = RunConfig::from_toml(&text).unwrap_err();
+    assert!(err.contains("bogus_knob"), "{err}");
+    assert!(err.contains("line"), "error should name the line: {err}");
+
+    let dup = RunConfig::default().to_toml().replacen("ranks", "steps", 1);
+    let err = RunConfig::from_toml(&dup).unwrap_err();
+    assert!(err.contains("steps"), "{err}");
+}
+
+#[test]
+fn contradictory_configs_fail_validation_not_later() {
+    // ZeRO shards fp32 master state; a half-precision model contradicts it.
+    let mut rc = RunConfig::default();
+    rc.train.zero = true;
+    rc.train.dtype = DType::F16;
+    let err = rc.validate().unwrap_err();
+    assert!(err.contains("zero"), "{err}");
+
+    // Supernode-aware placement is meaningless without a hierarchical a2a.
+    let mut rc = RunConfig::default();
+    rc.placement.policy = ExpertPlacement::Supernode { supernode_size: 0 };
+    rc.comm.hierarchical = false;
+    let err = rc.validate().unwrap_err();
+    assert!(err.to_lowercase().contains("hierarchical"), "{err}");
+
+    // from_toml applies the same gate, so a hand-edited file cannot smuggle
+    // a contradiction past the CLI.
+    let mut bad = RunConfig::default();
+    bad.train.zero = true;
+    bad.train.dtype = DType::F16;
+    assert!(RunConfig::from_toml(&bad.to_toml()).is_err());
+}
+
+/// The reproducibility contract behind `bagualu train --config`: a config
+/// that went through the TOML file format drives the trainer to the exact
+/// same losses as the directly-constructed equivalent.
+#[test]
+fn config_file_reproduces_direct_construction_bit_for_bit() {
+    let mut rc = RunConfig::default();
+    rc.train.ranks = 2;
+    rc.train.steps = 3;
+    rc.train.batch = 2;
+    rc.train.seq = 8;
+    rc.comm.wire_dtype = WireDType::BF16;
+    rc.comm.hierarchical = true;
+
+    let via_file = RunConfig::from_toml(&rc.to_toml()).unwrap();
+    let a = Trainer::new(rc.to_train_config().unwrap()).run();
+    let b = Trainer::new(via_file.to_train_config().unwrap()).run();
+    assert_eq!(
+        a.loss_curve, b.loss_curve,
+        "loss curves must be bitwise equal"
+    );
+    assert_eq!(a.aux_curve, b.aux_curve);
+    assert_eq!(a.total_tokens, b.total_tokens);
+}
+
+/// Checkpoints are self-describing: the shard embeds the `RunConfig` of
+/// the run that wrote it, and reading it back recovers exactly what
+/// `RunConfig::reconstruct` says the run was.
+#[test]
+fn checkpoint_embeds_the_run_config_that_wrote_it() {
+    let dir = tmp("embed");
+    let mut rc = RunConfig::default();
+    rc.train.ranks = 2;
+    rc.train.steps = 4;
+    rc.train.batch = 1;
+    rc.train.seq = 8;
+    let cfg = rc.to_train_config().unwrap();
+    let ft = FtConfig {
+        plan: FaultPlan::new(5),
+        ckpt_every: 2,
+        ..FtConfig::new(&dir)
+    };
+    Trainer::new(cfg).run_ft(&ft);
+
+    // The run checkpoints at step 2 (the final step is never checkpointed);
+    // read the config back from a shard.
+    let shard = dir.join("step2").join("rank0.bglu");
+    assert!(shard.exists(), "expected checkpoint shard at {shard:?}");
+    let embedded = read_run_config(&shard)
+        .unwrap()
+        .expect("checkpoint carries a __runconfig__ record");
+    let expected =
+        RunConfig::reconstruct(&cfg, Some(&ft)).expect("this run is expressible in the schema");
+    assert_eq!(embedded, expected);
+    // And the embedded config names the checkpoint directory it came from.
+    assert!(embedded.ft.enabled);
+    assert_eq!(embedded.ft.ckpt_dir, dir.display().to_string());
+    assert_eq!(embedded.ft.ckpt_every, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end tuner contract: the winning TOML, fed back through the file
+/// format, replays the tuned run bit-identically.
+#[test]
+fn tuner_winning_toml_replays_bit_identically() {
+    let mut base = RunConfig::default();
+    base.train.ranks = 2;
+    base.train.steps = 2;
+    base.train.batch = 1;
+    base.train.seq = 8;
+    let space = SearchSpace {
+        wire_dtypes: vec![WireDType::F32, WireDType::F16],
+        hierarchical: vec![false, true],
+        placements: vec![bagualu_tune::space::PlacementChoice::RoundRobin],
+        overlap: vec![true],
+        bucket_kibs: vec![1024],
+    };
+    let opts = TuneOptions {
+        measure: false,
+        ..TuneOptions::default()
+    };
+    let report = tune(&base, &space, &CostEnv::sunway(4096), &opts).unwrap();
+
+    let replayed = RunConfig::from_toml(&report.winning_toml()).unwrap();
+    assert_eq!(replayed, report.winner().rc);
+    let a = Trainer::new(report.winner().rc.to_train_config().unwrap()).run();
+    let b = Trainer::new(replayed.to_train_config().unwrap()).run();
+    assert_eq!(a.loss_curve, b.loss_curve);
+}
